@@ -1,0 +1,104 @@
+//! Component micro-benchmarks: the simulator's own hot paths.
+
+use cheri_cap::{representable_alignment_mask, round_representable_length, Capability};
+use cheri_isa::{Abi, Interp, InterpConfig, MemSize, NullSink, ProgramBuilder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use morello_uarch::{Cache, CacheGeometry, Gshare, TimingCore, UarchConfig};
+
+fn bench_capability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capability");
+    let cap = Capability::root_rw().set_bounds_exact(0x10_0000, 4096).unwrap();
+    g.bench_function("compress_roundtrip", |b| {
+        b.iter(|| {
+            let cc = black_box(cap).to_compressed();
+            black_box(Capability::from_compressed(cc, true))
+        })
+    });
+    g.bench_function("set_bounds_exact", |b| {
+        let root = Capability::root_rw();
+        b.iter(|| root.set_bounds_exact(black_box(0x10_0000), black_box(4096)).unwrap())
+    });
+    g.bench_function("representability_math", |b| {
+        b.iter(|| {
+            let len = black_box(1_234_567u64);
+            (round_representable_length(len), representable_alignment_mask(len))
+        })
+    });
+    g.bench_function("check_access", |b| {
+        b.iter(|| cap.check_access(black_box(0x10_0040), 8, cheri_cap::Perms::LOAD))
+    });
+    g.finish();
+}
+
+fn bench_uarch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uarch");
+    g.bench_function("l1d_access_hit", |b| {
+        let mut cache = Cache::new(CacheGeometry::new(64 << 10, 4, 64));
+        cache.access(0x1000, false);
+        b.iter(|| cache.access(black_box(0x1000), false))
+    });
+    g.bench_function("gshare_predict_update", |b| {
+        let mut bp = Gshare::new(13);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let t = bp.predict(black_box(0x4000));
+            bp.update(0x4000, i & 1 == 0);
+            t
+        })
+    });
+    g.finish();
+}
+
+fn interp_program(abi: Abi) -> cheri_isa::Program {
+    let mut b = ProgramBuilder::new("bench", abi);
+    let gbuf = b.global_zero("buf", 64 << 10);
+    let main = b.function("main", 0, |f| {
+        let p = f.vreg();
+        f.lea_global(p, gbuf, 0);
+        let n = f.vreg();
+        f.mov_imm(n, 20_000);
+        let acc = f.vreg();
+        f.mov_imm(acc, 0);
+        f.for_loop(0, n, 1, |f, i| {
+            let idx = f.vreg();
+            f.and(idx, i, 8191);
+            let v = f.vreg();
+            f.load_int_idx(v, p, idx, MemSize::S8);
+            f.add(acc, acc, v);
+            f.store_int_idx(acc, p, idx, MemSize::S8);
+        });
+        f.halt_code(acc);
+    });
+    b.set_entry(main);
+    b.lower()
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    for abi in [Abi::Hybrid, Abi::Purecap] {
+        let prog = interp_program(abi);
+        // ~120k retired instructions per run.
+        g.throughput(Throughput::Elements(120_000));
+        g.bench_function(format!("functional_{abi}"), |b| {
+            b.iter(|| {
+                Interp::new(InterpConfig::default())
+                    .run(black_box(&prog), &mut NullSink)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("with_timing_{abi}"), |b| {
+            b.iter(|| {
+                let mut core = TimingCore::new(UarchConfig::neoverse_n1_morello());
+                Interp::new(InterpConfig::default())
+                    .run(black_box(&prog), &mut core)
+                    .unwrap();
+                core.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_capability, bench_uarch, bench_interp);
+criterion_main!(benches);

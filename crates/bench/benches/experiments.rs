@@ -1,0 +1,64 @@
+//! Experiment benches: every table/figure path of the paper, exercised at
+//! `Scale::Test` so `cargo bench` regenerates each one end-to-end.
+
+use cheri_isa::Abi;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cheri_workloads::Scale;
+use morello_bench::experiments;
+use morello_sim::suite::{run_suite, select, SuiteRow, TABLE4_KEYS};
+use morello_sim::{project, Platform, Runner};
+
+fn test_rows() -> Vec<SuiteRow> {
+    let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
+    run_suite(
+        &runner,
+        &select(&["lbm_519", "omnetpp_520", "xalancbmk_523", "sqlite", "quickjs"]),
+    )
+    .expect("suite runs")
+}
+
+fn bench_tables_and_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    g.bench_function("suite_run_test_scale", |b| b.iter(test_rows));
+
+    let rows = test_rows();
+    g.bench_function("fig1_overall", |b| b.iter(|| experiments::fig1_overall(&rows)));
+    g.bench_function("fig2_binsize", |b| b.iter(|| experiments::fig2_binsize(&rows)));
+    g.bench_function("fig3_table4_topdown", |b| {
+        b.iter(|| experiments::fig3_table4_topdown(&rows))
+    });
+    g.bench_function("fig4_bounds", |b| b.iter(|| experiments::fig4_bounds(&rows)));
+    g.bench_function("fig5_instmix", |b| {
+        b.iter(|| {
+            (
+                experiments::fig5_instmix(&rows),
+                experiments::fig5_shift_summary(&rows),
+            )
+        })
+    });
+    g.bench_function("fig6_membound", |b| b.iter(|| experiments::fig6_membound(&rows)));
+    g.bench_function("fig7_correlation", |b| {
+        b.iter(|| experiments::fig7_correlation(&rows, Abi::Purecap))
+    });
+    g.bench_function("table2_memory_intensity", |b| {
+        b.iter(|| experiments::table2_memory_intensity(&rows))
+    });
+    g.bench_function("table3_key_metrics", |b| {
+        b.iter(|| experiments::table3_key_metrics(&rows))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("projection");
+    g.sample_size(10);
+    let platform = Platform::morello().with_scale(Scale::Test);
+    let w = cheri_workloads::by_key(TABLE4_KEYS[1]).unwrap(); // omnetpp
+    g.bench_function("ablation_projection_one_workload", |b| {
+        b.iter(|| project(platform, &w).expect("projection runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables_and_figures);
+criterion_main!(benches);

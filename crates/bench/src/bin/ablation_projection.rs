@@ -1,0 +1,50 @@
+//! §5 projection / ablation: how much purecap overhead each of the three
+//! Morello artefact fixes removes (PCC-aware branch predictor, wide
+//! capability store buffer, capability MADD), per workload.
+
+use cheri_workloads::by_key;
+use morello_bench::{harness_runner, write_json};
+use morello_pmu::Table;
+use morello_sim::project;
+
+const KEYS: [&str; 7] = [
+    "omnetpp_520",
+    "xalancbmk_523",
+    "leela_541",
+    "deepsjeng_531",
+    "sqlite",
+    "quickjs",
+    "lbm_519",
+];
+
+fn main() {
+    let runner = harness_runner();
+    let platform = *runner.platform();
+    let mut t = Table::new(&[
+        "Benchmark",
+        "morello",
+        "+pcc-aware BP",
+        "+wide cap SB",
+        "+cap MADD",
+        "projected (all)",
+        "overhead removed",
+    ]);
+    let mut rows = Vec::new();
+    for key in KEYS {
+        let w = by_key(key).expect("known workload");
+        let row = project(platform, &w).expect("projection runs");
+        t.row(&[
+            row.name.clone(),
+            format!("{:.3}x", row.morello_slowdown),
+            format!("{:.3}x", row.pcc_aware_slowdown),
+            format!("{:.3}x", row.wide_sb_slowdown),
+            format!("{:.3}x", row.cap_madd_slowdown),
+            format!("{:.3}x", row.projected_slowdown),
+            format!("{:.0}%", row.overhead_removed() * 100.0),
+        ]);
+        rows.push(row);
+    }
+    println!("Projection: purecap slowdown under improved microarchitectures");
+    println!("{}", t.render());
+    write_json("ablation_projection", &rows);
+}

@@ -1,0 +1,66 @@
+//! Calibration overview: the load-bearing shape numbers for every
+//! workload, side by side with the paper's values where available.
+//!
+//! Usage: `MORELLO_SCALE=small cargo run --release -p morello-bench --bin calibrate`
+
+use cheri_isa::Abi;
+use cheri_workloads::registry;
+use morello_bench::harness_runner;
+use morello_pmu::Table;
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let t0 = std::time::Instant::now();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    eprintln!("(suite simulated in {:.1?})", t0.elapsed());
+
+    let reg = registry();
+    let mut t = Table::new(&[
+        "Benchmark",
+        "retired(M)",
+        "IPC(hyb)",
+        "MI",
+        "MI paper",
+        "bm norm",
+        "pc norm",
+        "pc paper",
+        "inst x",
+        "capld%",
+        "capst%",
+        "brMR%",
+        "L1D%",
+        "L2%",
+    ]);
+    for r in &rows {
+        let h = r.get(Abi::Hybrid).unwrap();
+        let w = reg.iter().find(|w| w.key == r.key).unwrap();
+        let pc = r.get(Abi::Purecap);
+        t.row(&[
+            r.name.clone(),
+            format!("{:.1}", h.retired as f64 / 1e6),
+            format!("{:.2}", h.derived.ipc),
+            format!("{:.2}", h.derived.memory_intensity),
+            w.table2_mi.map_or("-".into(), |v| format!("{v:.2}")),
+            r.normalized_time(Abi::Benchmark)
+                .map_or("NA".into(), |v| format!("{v:.2}")),
+            r.normalized_time(Abi::Purecap)
+                .map_or("NA".into(), |v| format!("{v:.2}")),
+            w.paper_purecap_slowdown
+                .map_or("-".into(), |v| format!("{v:.2}")),
+            pc.map_or("NA".into(), |p| {
+                format!("{:.2}", p.retired as f64 / h.retired as f64)
+            }),
+            pc.map_or("NA".into(), |p| {
+                format!("{:.1}", p.derived.cap_load_density * 100.0)
+            }),
+            pc.map_or("NA".into(), |p| {
+                format!("{:.1}", p.derived.cap_store_density * 100.0)
+            }),
+            format!("{:.2}", h.derived.branch_mispredict_rate * 100.0),
+            format!("{:.2}", h.derived.l1d_miss_rate * 100.0),
+            format!("{:.2}", h.derived.l2_miss_rate * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}

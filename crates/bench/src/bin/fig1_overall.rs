@@ -1,0 +1,16 @@
+//! Figure 1: overall execution performance of every workload under the
+//! three ABIs, normalised to hybrid.
+//!
+//! `MORELLO_SCALE=small cargo run --release -p morello-bench --bin fig1_overall`
+
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    let (table, data) = experiments::fig1_overall(&rows);
+    println!("Figure 1: execution time normalised to the hybrid ABI");
+    println!("{}", table.render());
+    write_json("fig1_overall", &data);
+}

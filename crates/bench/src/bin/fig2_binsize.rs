@@ -1,0 +1,14 @@
+//! Figure 2: binary-section sizes under the three ABIs, normalised to
+//! hybrid (median across workloads).
+
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    let (table, data) = experiments::fig2_binsize(&rows);
+    println!("Figure 2: program-section sizes (median ratio to hybrid)");
+    println!("{}", table.render());
+    write_json("fig2_binsize", &data);
+}

@@ -1,0 +1,14 @@
+//! Figure 3 / Table 4: top-down pipeline breakdown for the six selected
+//! workloads, three ABIs per cell.
+
+use morello_bench::{harness_runner, write_json, experiments};
+use morello_sim::suite::{run_suite, select, TABLE4_KEYS};
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_suite(&runner, &select(&TABLE4_KEYS)).expect("suite runs");
+    let table = experiments::fig3_table4_topdown(&rows);
+    println!("Figure 3 / Table 4: top-down breakdown (hybrid, benchmark, purecap)");
+    println!("{}", table.render());
+    write_json("fig3_table4_topdown", &rows);
+}

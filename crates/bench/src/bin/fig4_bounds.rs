@@ -1,0 +1,14 @@
+//! Figure 4: percentage of cycles bound on the core vs the memory
+//! hierarchy, per workload and ABI.
+
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    let table = experiments::fig4_bounds(&rows);
+    println!("Figure 4: core-bound vs memory-bound cycles");
+    println!("{}", table.render());
+    write_json("fig4_bounds", &rows);
+}

@@ -1,0 +1,23 @@
+//! Figure 5: distribution of speculative instruction classes per ABI —
+//! the capability instruction-mix shift.
+
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    let table = experiments::fig5_instmix(&rows);
+    println!("Figure 5: speculative instruction mix by ABI");
+    println!("{}", table.render());
+    let shift = experiments::fig5_shift_summary(&rows);
+    println!(
+        "DP_SPEC share growth under purecap: {:.2}pp .. {:.2}pp (paper: 5.21 .. 29.31)",
+        shift.dp_growth_min, shift.dp_growth_max
+    );
+    println!(
+        "LD/ST share stability (std of delta): {:.2}pp / {:.2}pp (paper: 2.01 / 1.47)",
+        shift.ld_delta_std, shift.st_delta_std
+    );
+    write_json("fig5_instmix", &shift);
+}

@@ -1,0 +1,14 @@
+//! Figure 6: memory-bound analysis — which level of the hierarchy the
+//! backend-memory stalls come from (cache vs DRAM).
+
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    let table = experiments::fig6_membound(&rows);
+    println!("Figure 6: memory-bound split (share of memory-bound cycles)");
+    println!("{}", table.render());
+    write_json("fig6_membound", &rows);
+}

@@ -1,0 +1,17 @@
+//! Figure 7: Pearson correlation matrix of derived metrics across the
+//! workload population, hybrid vs purecap.
+
+use cheri_isa::Abi;
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    for abi in [Abi::Hybrid, Abi::Purecap] {
+        let (table, matrix) = experiments::fig7_correlation(&rows, abi);
+        println!("Figure 7 ({abi}): metric correlation matrix");
+        println!("{}", table.render());
+        write_json(&format!("fig7_correlation_{abi}"), &matrix);
+    }
+}

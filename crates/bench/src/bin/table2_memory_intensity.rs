@@ -1,0 +1,14 @@
+//! Table 2: memory-intensity classification of every workload (measured
+//! vs the paper's values).
+
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::run_full_suite;
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_full_suite(&runner).expect("suite runs");
+    let table = experiments::table2_memory_intensity(&rows);
+    println!("Table 2: benchmark memory-intensity values");
+    println!("{}", table.render());
+    write_json("table2_memory_intensity", &rows);
+}

@@ -1,0 +1,14 @@
+//! Table 3: aggregated key performance metrics for the twelve
+//! representative workloads, three ABIs each.
+
+use morello_bench::{experiments, harness_runner, write_json};
+use morello_sim::suite::{run_suite, select, TABLE3_KEYS};
+
+fn main() {
+    let runner = harness_runner();
+    let rows = run_suite(&runner, &select(&TABLE3_KEYS)).expect("suite runs");
+    let table = experiments::table3_key_metrics(&rows);
+    println!("Table 3: aggregated key performance metrics");
+    println!("{}", table.render());
+    write_json("table3_key_metrics", &rows);
+}

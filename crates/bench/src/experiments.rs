@@ -1,0 +1,469 @@
+//! Generators for every table and figure of the paper's evaluation.
+
+use cheri_isa::Abi;
+use cheri_workloads::by_key;
+use morello_pmu::{correlation_matrix, fmt_metric, Table};
+use morello_sim::suite::SuiteRow;
+use serde::Serialize;
+
+fn pct(v: f64) -> String {
+    fmt_metric(v * 100.0)
+}
+
+/// Figure 1: overall execution performance normalised to hybrid.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig1Row {
+    /// Workload name.
+    pub name: String,
+    /// Hybrid execution time in (simulated) seconds.
+    pub hybrid_seconds: f64,
+    /// benchmark-ABI time normalised to hybrid (`None` = NA).
+    pub benchmark_norm: Option<f64>,
+    /// purecap time normalised to hybrid.
+    pub purecap_norm: Option<f64>,
+}
+
+/// Builds Figure 1 from suite results.
+pub fn fig1_overall(rows: &[SuiteRow]) -> (Table, Vec<Fig1Row>) {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "hybrid (s)",
+        "benchmark (norm)",
+        "purecap (norm)",
+    ]);
+    let mut data = Vec::new();
+    for r in rows {
+        let h = r.get(Abi::Hybrid).expect("hybrid always runs");
+        let bm = r.normalized_time(Abi::Benchmark);
+        let pc = r.normalized_time(Abi::Purecap);
+        t.row(&[
+            r.name.clone(),
+            format!("{:.3}", h.seconds),
+            bm.map_or("NA".into(), |v| format!("{v:.3}")),
+            pc.map_or("NA".into(), |v| format!("{v:.3}")),
+        ]);
+        data.push(Fig1Row {
+            name: r.name.clone(),
+            hybrid_seconds: h.seconds,
+            benchmark_norm: bm,
+            purecap_norm: pc,
+        });
+    }
+    (t, data)
+}
+
+/// Figure 2: binary-section sizes normalised to hybrid (median across
+/// workloads), with absolute sizes for sections absent under hybrid.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2Row {
+    /// Section name.
+    pub section: String,
+    /// Median benchmark/hybrid size ratio (`None`: absent in hybrid).
+    pub benchmark_ratio: Option<f64>,
+    /// Median purecap/hybrid size ratio.
+    pub purecap_ratio: Option<f64>,
+    /// Median absolute size under purecap in bytes (for hybrid-absent
+    /// sections).
+    pub purecap_bytes: u64,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mid = v.len() / 2;
+    if v.len().is_multiple_of(2) {
+        (v[mid - 1] + v[mid]) / 2.0
+    } else {
+        v[mid]
+    }
+}
+
+/// Builds Figure 2.
+pub fn fig2_binsize(rows: &[SuiteRow]) -> (Table, Vec<Fig2Row>) {
+    let mut t = Table::new(&["Section", "benchmark/hybrid", "purecap/hybrid", "purecap bytes (median)"]);
+    let mut data = Vec::new();
+    let n_sections = rows
+        .first()
+        .and_then(|r| r.get(Abi::Hybrid))
+        .map(|h| h.binary.named().len())
+        .unwrap_or(0);
+    for s in 0..n_sections + 1 {
+        let mut ratios_bm = Vec::new();
+        let mut ratios_pc = Vec::new();
+        let mut abs_pc = Vec::new();
+        let mut name = String::from("total");
+        let mut hybrid_present = false;
+        for r in rows {
+            let h = r.get(Abi::Hybrid).expect("hybrid runs");
+            let p = match r.get(Abi::Purecap) {
+                Some(p) => p,
+                None => continue,
+            };
+            let (h_sz, p_sz, bm_sz) = if s == n_sections {
+                let bm = r.get(Abi::Benchmark).map(|b| b.binary.total());
+                (h.binary.total(), p.binary.total(), bm)
+            } else {
+                name = h.binary.named()[s].0.to_owned();
+                let bm = r.get(Abi::Benchmark).map(|b| b.binary.named()[s].1);
+                (h.binary.named()[s].1, p.binary.named()[s].1, bm)
+            };
+            abs_pc.push(p_sz as f64);
+            if h_sz > 0 {
+                hybrid_present = true;
+                ratios_pc.push(p_sz as f64 / h_sz as f64);
+                if let Some(bm) = bm_sz {
+                    ratios_bm.push(bm as f64 / h_sz as f64);
+                }
+            }
+        }
+        let row = Fig2Row {
+            section: name.clone(),
+            benchmark_ratio: hybrid_present.then(|| median(ratios_bm.clone())),
+            purecap_ratio: hybrid_present.then(|| median(ratios_pc.clone())),
+            purecap_bytes: median(abs_pc) as u64,
+        };
+        t.row(&[
+            name,
+            row.benchmark_ratio
+                .map_or("absolute".into(), |v| format!("{v:.2}x")),
+            row.purecap_ratio
+                .map_or("absolute".into(), |v| format!("{v:.2}x")),
+            format!("{}", row.purecap_bytes),
+        ]);
+        data.push(row);
+    }
+    (t, data)
+}
+
+/// Figure 3 / Table 4: the top-down breakdown, one column group per
+/// workload, three values per cell (hybrid, benchmark, purecap — the
+/// paper's comma convention; NA printed for missing cells).
+pub fn fig3_table4_topdown(rows: &[SuiteRow]) -> Table {
+    let mut t = Table::new(&[
+        "Metric",
+        "hybrid",
+        "benchmark",
+        "purecap",
+        "Benchmark",
+    ]);
+    for r in rows {
+        let cell = |f: &dyn Fn(&morello_sim::RunReport) -> String, abi: Abi| -> String {
+            r.get(abi).map_or("NA".into(), f)
+        };
+        type MetricFn = Box<dyn Fn(&morello_sim::RunReport) -> String>;
+        let metrics: Vec<(&str, MetricFn)> = vec![
+            ("Execution Time (s)", Box::new(|r| format!("{:.4}", r.seconds))),
+            ("Speedup", Box::new(|r| format!("{:.3}", r.seconds))),
+            ("IPC", Box::new(|r| fmt_metric(r.derived.ipc))),
+            ("Retiring", Box::new(|r| fmt_metric(r.topdown.retiring))),
+            ("Bad Spec", Box::new(|r| fmt_metric(r.topdown.bad_speculation))),
+            ("Frontend Bound", Box::new(|r| fmt_metric(r.topdown.frontend_bound))),
+            ("Backend Bound", Box::new(|r| fmt_metric(r.topdown.backend_bound))),
+            ("+ Memory Bound", Box::new(|r| fmt_metric(r.topdown.memory_bound))),
+            ("--- L1 Bound", Box::new(|r| fmt_metric(r.topdown.l1_bound))),
+            ("--- L2 Bound", Box::new(|r| fmt_metric(r.topdown.l2_bound))),
+            ("--- ExtMem Bound", Box::new(|r| fmt_metric(r.topdown.ext_mem_bound))),
+            ("+ Core Bound", Box::new(|r| fmt_metric(r.topdown.core_bound))),
+        ];
+        for (name, f) in &metrics {
+            // Speedup row: normalised to hybrid, like the paper.
+            if *name == "Speedup" {
+                let h = r.get(Abi::Hybrid).map(|x| x.seconds);
+                let s = |abi: Abi| -> String {
+                    match (h, r.get(abi)) {
+                        (Some(h), Some(rep)) => format!("{:.3}", h / rep.seconds),
+                        _ => "NA".into(),
+                    }
+                };
+                t.row(&[
+                    (*name).to_owned(),
+                    s(Abi::Hybrid),
+                    s(Abi::Benchmark),
+                    s(Abi::Purecap),
+                    r.name.clone(),
+                ]);
+                continue;
+            }
+            t.row(&[
+                (*name).to_owned(),
+                cell(&|rep| f(rep), Abi::Hybrid),
+                cell(&|rep| f(rep), Abi::Benchmark),
+                cell(&|rep| f(rep), Abi::Purecap),
+                r.name.clone(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 4: core-bound vs memory-bound percentages per workload and ABI.
+pub fn fig4_bounds(rows: &[SuiteRow]) -> Table {
+    let mut t = Table::new(&["Benchmark", "ABI", "Memory Bound %", "Core Bound %"]);
+    for r in rows {
+        for abi in Abi::ALL {
+            if let Some(rep) = r.get(abi) {
+                t.row(&[
+                    r.name.clone(),
+                    abi.to_string(),
+                    pct(rep.topdown.memory_bound),
+                    pct(rep.topdown.core_bound),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 5: speculative-instruction-mix distribution per ABI, plus the
+/// paper's headline deltas (DP_SPEC growth, LD/ST stability).
+pub fn fig5_instmix(rows: &[SuiteRow]) -> Table {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "ABI",
+        "DP %",
+        "LD %",
+        "ST %",
+        "VFP %",
+        "ASE %",
+        "BR %",
+    ]);
+    for r in rows {
+        for abi in Abi::ALL {
+            if let Some(rep) = r.get(abi) {
+                let s = &rep.stats;
+                let tot = s.inst_spec.max(1) as f64;
+                let br = s.br_immed_spec + s.br_indirect_spec + s.br_return_spec;
+                t.row(&[
+                    r.name.clone(),
+                    abi.to_string(),
+                    pct(s.dp_spec as f64 / tot),
+                    pct(s.ld_spec as f64 / tot),
+                    pct(s.st_spec as f64 / tot),
+                    pct(s.vfp_spec as f64 / tot),
+                    pct(s.ase_spec as f64 / tot),
+                    pct(br as f64 / tot),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Summary statistics for Figure 5's headline claim: the DP_SPEC share
+/// grows under purecap while LD/ST shares stay stable.
+#[derive(Clone, Debug, Serialize)]
+pub struct InstMixShift {
+    /// Minimum DP-share growth (percentage points) across workloads.
+    pub dp_growth_min: f64,
+    /// Maximum DP-share growth.
+    pub dp_growth_max: f64,
+    /// Standard deviation of the LD-share delta.
+    pub ld_delta_std: f64,
+    /// Standard deviation of the ST-share delta.
+    pub st_delta_std: f64,
+}
+
+/// Computes the instruction-mix-shift summary.
+pub fn fig5_shift_summary(rows: &[SuiteRow]) -> InstMixShift {
+    let mut dp_growth = Vec::new();
+    let mut ld_delta = Vec::new();
+    let mut st_delta = Vec::new();
+    for r in rows {
+        let (Some(h), Some(p)) = (r.get(Abi::Hybrid), r.get(Abi::Purecap)) else {
+            continue;
+        };
+        let share = |s: &morello_uarch::UarchStats, v: u64| v as f64 / s.inst_spec.max(1) as f64;
+        dp_growth.push((share(&p.stats, p.stats.dp_spec) - share(&h.stats, h.stats.dp_spec)) * 100.0);
+        ld_delta.push((share(&p.stats, p.stats.ld_spec) - share(&h.stats, h.stats.ld_spec)) * 100.0);
+        st_delta.push((share(&p.stats, p.stats.st_spec) - share(&h.stats, h.stats.st_spec)) * 100.0);
+    }
+    let std = |v: &[f64]| {
+        let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64).sqrt()
+    };
+    InstMixShift {
+        dp_growth_min: dp_growth.iter().copied().fold(f64::INFINITY, f64::min),
+        dp_growth_max: dp_growth.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        ld_delta_std: std(&ld_delta),
+        st_delta_std: std(&st_delta),
+    }
+}
+
+/// Figure 6: memory-bound analysis — which level of the hierarchy the
+/// backend-memory stalls come from.
+pub fn fig6_membound(rows: &[SuiteRow]) -> Table {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "ABI",
+        "L1 %",
+        "L2 %",
+        "ExtMem %",
+        "of total cycles %",
+    ]);
+    for r in rows {
+        for abi in Abi::ALL {
+            if let Some(rep) = r.get(abi) {
+                let m = rep.topdown.memory_bound.max(1e-12);
+                t.row(&[
+                    r.name.clone(),
+                    abi.to_string(),
+                    pct(rep.topdown.l1_bound / m),
+                    pct(rep.topdown.l2_bound / m),
+                    pct(rep.topdown.ext_mem_bound / m),
+                    pct(rep.topdown.memory_bound),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Figure 7: Pearson correlation matrix across derived metrics, computed
+/// over the workload population for one ABI.
+pub fn fig7_correlation(rows: &[SuiteRow], abi: Abi) -> (Table, Vec<Vec<f64>>) {
+    let mut labels: Vec<&'static str> = Vec::new();
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for r in rows {
+        if let Some(rep) = r.get(abi) {
+            let lv = rep.derived.labelled();
+            if labels.is_empty() {
+                labels = lv.iter().map(|(l, _)| *l).collect();
+                series = vec![Vec::new(); labels.len()];
+            }
+            for (i, (_, v)) in lv.iter().enumerate() {
+                series[i].push(*v);
+            }
+        }
+    }
+    let m = correlation_matrix(&series);
+    let mut headers = vec!["metric"];
+    headers.extend(labels.iter().copied());
+    let mut t = Table::new(&headers);
+    for (i, l) in labels.iter().enumerate() {
+        let mut row = vec![l.to_string()];
+        row.extend(m[i].iter().map(|v| format!("{v:+.2}")));
+        t.row(&row);
+    }
+    (t, m)
+}
+
+/// Table 2: memory-intensity classification, with the paper's value for
+/// comparison.
+pub fn table2_memory_intensity(rows: &[SuiteRow]) -> Table {
+    let mut t = Table::new(&["Benchmark", "MI (measured)", "MI (paper)", "class"]);
+    for r in rows {
+        if let Some(h) = r.get(Abi::Hybrid) {
+            let paper = by_key(&r.key)
+                .and_then(|w| w.table2_mi)
+                .map_or("-".to_owned(), |v| format!("{v:.3}"));
+            t.row(&[
+                r.name.clone(),
+                format!("{:.3}", h.derived.memory_intensity),
+                paper,
+                h.derived.intensity_class().to_owned(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 3: aggregated key metrics for the representative workloads. Each
+/// metric prints three lines (hybrid, benchmark, purecap), like the
+/// paper's stacked cells.
+pub fn table3_key_metrics(rows: &[SuiteRow]) -> Table {
+    let mut headers: Vec<String> = vec!["Metric".into(), "ABI".into()];
+    headers.extend(rows.iter().map(|r| r.name.clone()));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr_refs);
+
+    type Getter = fn(&morello_sim::RunReport) -> f64;
+    let metrics: [(&str, Getter); 11] = [
+        ("Execution Time (s)", |r| r.seconds),
+        ("IPC", |r| r.derived.ipc),
+        ("Branch MR (%)", |r| r.derived.branch_mispredict_rate * 100.0),
+        ("L1I MR (%)", |r| r.derived.l1i_miss_rate * 100.0),
+        ("L1D MR (%)", |r| r.derived.l1d_miss_rate * 100.0),
+        ("L2D MR (%)", |r| r.derived.l2_miss_rate * 100.0),
+        ("LLC Read MR (%)", |r| r.derived.llc_read_miss_rate * 100.0),
+        ("Cap Load Density (%)", |r| r.derived.cap_load_density * 100.0),
+        ("Cap Store Density (%)", |r| r.derived.cap_store_density * 100.0),
+        ("Cap Traffic Share (%)", |r| r.derived.cap_traffic_share * 100.0),
+        ("Cap Tag Overhead (%)", |r| r.derived.cap_tag_overhead * 100.0),
+    ];
+    for (name, get) in metrics {
+        for abi in Abi::ALL {
+            let mut cells = vec![name.to_owned(), abi.to_string()];
+            for r in rows {
+                cells.push(r.get(abi).map_or("NA".into(), |rep| fmt_metric(get(rep))));
+            }
+            t.row(&cells);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_workloads::Scale;
+    use morello_sim::suite::{run_suite, select};
+    use morello_sim::{Platform, Runner};
+
+    fn tiny_rows() -> Vec<SuiteRow> {
+        let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
+        run_suite(&runner, &select(&["lbm_519", "omnetpp_520", "quickjs"])).unwrap()
+    }
+
+    #[test]
+    fn every_generator_renders() {
+        let rows = tiny_rows();
+        let (t1, d1) = fig1_overall(&rows);
+        assert_eq!(t1.len(), 3);
+        assert_eq!(d1.len(), 3);
+        let (t2, d2) = fig2_binsize(&rows);
+        assert!(t2.len() >= 10);
+        assert_eq!(d2.last().unwrap().section, "total");
+        let t3 = fig3_table4_topdown(&rows);
+        assert!(t3.len() >= 12 * 3);
+        assert!(fig4_bounds(&rows).len() >= 8);
+        assert!(fig5_instmix(&rows).len() >= 8);
+        assert!(fig6_membound(&rows).len() >= 8);
+        let (t7, m) = fig7_correlation(&rows, Abi::Purecap);
+        assert_eq!(m.len(), 15);
+        assert!(!t7.is_empty());
+        assert_eq!(table2_memory_intensity(&rows).len(), 3);
+        assert!(table3_key_metrics(&rows).len() == 11 * 3);
+    }
+
+    #[test]
+    fn fig1_marks_na() {
+        let rows = tiny_rows();
+        let quickjs = d1_for(&rows, "QuickJS");
+        assert!(quickjs.benchmark_norm.is_none());
+        assert!(quickjs.purecap_norm.is_some());
+    }
+
+    fn d1_for(rows: &[SuiteRow], name: &str) -> Fig1Row {
+        fig1_overall(rows)
+            .1
+            .into_iter()
+            .find(|r| r.name == name)
+            .expect("row present")
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(vec![]), 0.0);
+    }
+
+    #[test]
+    fn fig5_summary_shows_dp_growth() {
+        let rows = tiny_rows();
+        let s = fig5_shift_summary(&rows);
+        assert!(s.dp_growth_max > 0.0, "purecap must add DP work");
+    }
+}

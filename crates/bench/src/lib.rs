@@ -1,0 +1,51 @@
+//! # morello-bench
+//!
+//! The experiment harness: one function per table/figure of the paper,
+//! shared by the `fig*`/`table*` binaries and the criterion benches.
+//!
+//! Every generator takes the already-computed suite results so the
+//! expensive simulation runs exactly once per binary; binaries print the
+//! paper-style text table and drop a machine-readable JSON file next to
+//! it (like the paper's published artefact data).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use cheri_workloads::Scale;
+use morello_sim::{Platform, Runner};
+
+/// Reads the harness scale from `MORELLO_SCALE` (`test`, `small`, or
+/// `default`). Binaries default to the full (`default`) size; set
+/// `MORELLO_SCALE=small` for a quick look.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("MORELLO_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        Ok("small") => Scale::Small,
+        _ => Scale::Default,
+    }
+}
+
+/// The standard harness runner at the environment-selected scale.
+pub fn harness_runner() -> Runner {
+    Runner::new(Platform::morello().with_scale(scale_from_env()))
+}
+
+/// Writes an experiment's JSON artefact under `target/experiments/`.
+pub fn write_json(name: &str, value: &impl serde::Serialize) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(json artefact: {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}

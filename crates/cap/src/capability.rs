@@ -1,0 +1,721 @@
+//! The architectural capability type.
+
+use crate::compress::{self, CompressedCap};
+use crate::{CapFault, FaultKind, Otype, Perms};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A CHERI capability: a tagged, bounded, permissioned fat pointer.
+///
+/// This is the *architectural* (uncompressed) view. Invariants maintained by
+/// every public constructor and derivation method:
+///
+/// * `base <= top <= 2^64`;
+/// * the `(base, top)` pair is exactly representable in the compressed
+///   encoding (constructors round, or fault in `_exact` variants);
+/// * derivation is monotonic — bounds only shrink, permissions only drop;
+/// * a sealed capability cannot be dereferenced or modified.
+///
+/// The cursor [`address`](Capability::address) may legally move out of
+/// bounds (C idioms rely on one-past-the-end and transient out-of-bounds
+/// pointers); moving it far enough that the compressed bounds can no longer
+/// be reconstructed clears the tag instead
+/// ([`set_address`](Capability::set_address)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Capability {
+    tag: bool,
+    base: u64,
+    top: u128,
+    addr: u64,
+    perms: Perms,
+    otype: Otype,
+}
+
+impl Capability {
+    /// The null capability: untagged, zero bounds, no permissions.
+    pub fn null() -> Capability {
+        Capability {
+            tag: false,
+            base: 0,
+            top: 0,
+            addr: 0,
+            perms: Perms::NONE,
+            otype: Otype::UNSEALED,
+        }
+    }
+
+    /// The root read/write data capability covering the whole address space
+    /// (what CheriBSD installs as the initial heap/stack authority).
+    pub fn root_rw() -> Capability {
+        Capability {
+            tag: true,
+            base: 0,
+            top: 1u128 << 64,
+            addr: 0,
+            perms: Perms::DATA_RW,
+            otype: Otype::UNSEALED,
+        }
+    }
+
+    /// The root executable capability (the initial PCC authority).
+    pub fn root_exec() -> Capability {
+        Capability {
+            tag: true,
+            base: 0,
+            top: 1u128 << 64,
+            addr: 0,
+            perms: Perms::CODE,
+            otype: Otype::UNSEALED,
+        }
+    }
+
+    /// The omnipotent root capability (all permissions).
+    pub fn root_all() -> Capability {
+        Capability {
+            tag: true,
+            base: 0,
+            top: 1u128 << 64,
+            addr: 0,
+            perms: Perms::ALL,
+            otype: Otype::UNSEALED,
+        }
+    }
+
+    /// Reassembles a capability from raw parts without any representability
+    /// normalisation. Used by the compressed decoder, which by construction
+    /// produces representable bounds.
+    pub(crate) fn from_raw_parts(
+        tag: bool,
+        base: u64,
+        top: u128,
+        addr: u64,
+        perms: Perms,
+        otype: Otype,
+    ) -> Capability {
+        Capability {
+            tag,
+            base,
+            top,
+            addr,
+            perms,
+            otype,
+        }
+    }
+
+    // --- Getters ---------------------------------------------------------
+
+    /// The validity tag. Untagged capabilities authorise nothing.
+    #[inline]
+    pub fn tag(&self) -> bool {
+        self.tag
+    }
+
+    /// The inclusive lower bound.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The exclusive upper bound (up to `2^64`).
+    #[inline]
+    pub fn top(&self) -> u128 {
+        self.top
+    }
+
+    /// `top - base` in bytes (saturating at 0 for malformed decodes).
+    #[inline]
+    pub fn length(&self) -> u64 {
+        self.top.saturating_sub(self.base as u128).min(u64::MAX as u128) as u64
+    }
+
+    /// The cursor address the capability currently points at.
+    #[inline]
+    pub fn address(&self) -> u64 {
+        self.addr
+    }
+
+    /// The cursor's offset from base.
+    #[inline]
+    pub fn offset(&self) -> u64 {
+        self.addr.wrapping_sub(self.base)
+    }
+
+    /// The permission set.
+    #[inline]
+    pub fn perms(&self) -> Perms {
+        self.perms
+    }
+
+    /// The object type.
+    #[inline]
+    pub fn otype(&self) -> Otype {
+        self.otype
+    }
+
+    /// Is the capability sealed (non-dereferenceable until unsealed)?
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        !self.otype.is_unsealed()
+    }
+
+    /// Is `[addr, addr + size)` within bounds?
+    #[inline]
+    pub fn is_in_bounds(&self, addr: u64, size: u64) -> bool {
+        addr >= self.base && (addr as u128) + (size as u128) <= self.top
+    }
+
+    // --- Checks ----------------------------------------------------------
+
+    /// Checks that this capability authorises an access of `size` bytes at
+    /// `addr` with the given required permissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the precise [`CapFault`] the hardware would raise: tag, seal,
+    /// permission, or bounds violation — checked in that order, matching the
+    /// Morello fault priority.
+    pub fn check_access(&self, addr: u64, size: u64, required: Perms) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault {
+                kind: FaultKind::TagViolation,
+                address: addr,
+                size,
+            });
+        }
+        if self.is_sealed() {
+            return Err(CapFault {
+                kind: FaultKind::SealViolation,
+                address: addr,
+                size,
+            });
+        }
+        if !self.perms.contains(required) {
+            return Err(CapFault {
+                kind: FaultKind::PermissionViolation { required },
+                address: addr,
+                size,
+            });
+        }
+        if !self.is_in_bounds(addr, size) {
+            return Err(CapFault {
+                kind: FaultKind::BoundsViolation,
+                address: addr,
+                size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks a load/store at the capability's own cursor.
+    ///
+    /// # Errors
+    ///
+    /// As [`check_access`](Capability::check_access).
+    pub fn check_cursor_access(&self, size: u64, required: Perms) -> Result<(), CapFault> {
+        self.check_access(self.addr, size, required)
+    }
+
+    /// Checks that the capability may be used as a jump target (PCC
+    /// install): tagged, executable, cursor in bounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`check_access`](Capability::check_access); sentry capabilities
+    /// pass (they are unsealed by the branch), other sealed types fault.
+    pub fn check_branch(&self) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault::op(FaultKind::TagViolation, self.addr));
+        }
+        if self.is_sealed() && !self.otype.is_sentry() {
+            return Err(CapFault::op(FaultKind::SealViolation, self.addr));
+        }
+        if !self.perms.contains(Perms::EXECUTE) {
+            return Err(CapFault::op(
+                FaultKind::PermissionViolation {
+                    required: Perms::EXECUTE,
+                },
+                self.addr,
+            ));
+        }
+        if !self.is_in_bounds(self.addr, 4) {
+            return Err(CapFault::op(FaultKind::BoundsViolation, self.addr));
+        }
+        Ok(())
+    }
+
+    // --- Derivation (monotonic) ------------------------------------------
+
+    /// Narrows the bounds to `[base, base + len)`, rounding outward to the
+    /// nearest representable bounds (Morello `SCBNDS`).
+    ///
+    /// The cursor moves to the new `base`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on an untagged or sealed source, or when even the *rounded*
+    /// bounds would escape the source bounds (monotonicity).
+    pub fn set_bounds(&self, base: u64, len: u64) -> Result<Capability, CapFault> {
+        self.set_bounds_impl(base, len, false)
+    }
+
+    /// Narrows the bounds to exactly `[base, base + len)` (Morello
+    /// `SCBNDSE`).
+    ///
+    /// # Errors
+    ///
+    /// As [`set_bounds`](Capability::set_bounds), plus
+    /// [`FaultKind::RepresentabilityLoss`] when the requested bounds cannot
+    /// be encoded exactly. Use
+    /// [`representable_alignment_mask`](crate::representable_alignment_mask)
+    /// and
+    /// [`round_representable_length`](crate::round_representable_length) to
+    /// pre-align requests.
+    pub fn set_bounds_exact(&self, base: u64, len: u64) -> Result<Capability, CapFault> {
+        self.set_bounds_impl(base, len, true)
+    }
+
+    fn set_bounds_impl(&self, base: u64, len: u64, exact: bool) -> Result<Capability, CapFault> {
+        if !self.tag {
+            return Err(CapFault::op(FaultKind::TagViolation, base));
+        }
+        if self.is_sealed() {
+            return Err(CapFault::op(FaultKind::SealViolation, base));
+        }
+        let req_top = base as u128 + len as u128;
+        let (new_base, new_top) = match compress::exact_fields(base, req_top) {
+            Some(_) => (base, req_top),
+            None if exact => {
+                return Err(CapFault::op(FaultKind::RepresentabilityLoss, base));
+            }
+            None => {
+                // Round outward to representable bounds. Rounding the base
+                // down and the top up can itself cross an exponent
+                // boundary, so widen the granule until the result encodes.
+                let mut mask = crate::representable_alignment_mask(len);
+                loop {
+                    let granule = (!mask as u128) + 1;
+                    let b = base & mask;
+                    let t = ((req_top + granule - 1) & !(granule - 1)).min(1u128 << 64);
+                    if compress::exact_fields(b, t).is_some() {
+                        break (b, t);
+                    }
+                    mask <<= 1;
+                }
+            }
+        };
+        if new_base < self.base || new_top > self.top {
+            return Err(CapFault::op(FaultKind::MonotonicityViolation, base));
+        }
+        let mut out = *self;
+        out.base = new_base;
+        out.top = new_top;
+        out.addr = base;
+        debug_assert!(compress::exact_fields(out.base, out.top).is_some());
+        Ok(out)
+    }
+
+    /// Moves the cursor to `addr`. If the new cursor is so far out of
+    /// bounds that the compressed bounds could no longer be reconstructed,
+    /// the tag is cleared (the CHERI representability rule) — no fault is
+    /// raised, mirroring the hardware's `SCVALUE` behaviour.
+    #[must_use]
+    pub fn set_address(&self, addr: u64) -> Capability {
+        let mut out = *self;
+        out.addr = addr;
+        if self.tag && !compress::cursor_representable(self.base, self.top, addr) {
+            out.tag = false;
+        }
+        out
+    }
+
+    /// Adds a signed displacement to the cursor (pointer arithmetic).
+    /// Subject to the same representability rule as
+    /// [`set_address`](Capability::set_address).
+    #[must_use]
+    pub fn inc_address(&self, delta: i64) -> Capability {
+        self.set_address(self.addr.wrapping_add(delta as u64))
+    }
+
+    /// Drops permissions to the intersection with `mask` (Morello
+    /// `CLRPERM`-style monotonic restriction).
+    ///
+    /// # Errors
+    ///
+    /// Faults on an untagged or sealed source.
+    pub fn and_perms(&self, mask: Perms) -> Result<Capability, CapFault> {
+        if !self.tag {
+            return Err(CapFault::op(FaultKind::TagViolation, self.addr));
+        }
+        if self.is_sealed() {
+            return Err(CapFault::op(FaultKind::SealViolation, self.addr));
+        }
+        let mut out = *self;
+        out.perms = self.perms.intersection(mask);
+        Ok(out)
+    }
+
+    /// Seals this capability with the otype designated by `auth`'s cursor.
+    ///
+    /// # Errors
+    ///
+    /// Faults when either capability is untagged or sealed, when `auth`
+    /// lacks [`Perms::SEAL`], or when `auth`'s cursor is not a valid otype
+    /// within `auth`'s bounds.
+    pub fn seal(&self, auth: &Capability) -> Result<Capability, CapFault> {
+        if !self.tag || !auth.tag {
+            return Err(CapFault::op(FaultKind::TagViolation, self.addr));
+        }
+        if self.is_sealed() || auth.is_sealed() {
+            return Err(CapFault::op(FaultKind::SealViolation, self.addr));
+        }
+        if !auth.perms.contains(Perms::SEAL) {
+            return Err(CapFault::op(
+                FaultKind::PermissionViolation {
+                    required: Perms::SEAL,
+                },
+                self.addr,
+            ));
+        }
+        if !auth.is_in_bounds(auth.addr, 1) || auth.addr > u64::from(Otype::MAX) {
+            return Err(CapFault::op(FaultKind::BoundsViolation, auth.addr));
+        }
+        let mut out = *self;
+        out.otype = Otype::from_raw(auth.addr as u16);
+        Ok(out)
+    }
+
+    /// Seals this capability as a sentry (sealed entry), the form used for
+    /// return addresses and function pointers in the purecap ABI.
+    ///
+    /// # Errors
+    ///
+    /// Faults on an untagged or already-sealed source.
+    pub fn seal_sentry(&self) -> Result<Capability, CapFault> {
+        if !self.tag {
+            return Err(CapFault::op(FaultKind::TagViolation, self.addr));
+        }
+        if self.is_sealed() {
+            return Err(CapFault::op(FaultKind::SealViolation, self.addr));
+        }
+        let mut out = *self;
+        out.otype = Otype::SENTRY;
+        Ok(out)
+    }
+
+    /// Unseals a sealed capability using `auth`, whose cursor must match
+    /// the sealed otype and which must carry [`Perms::UNSEAL`].
+    ///
+    /// # Errors
+    ///
+    /// Faults on tag/seal/permission violations or otype mismatch.
+    pub fn unseal(&self, auth: &Capability) -> Result<Capability, CapFault> {
+        if !self.tag || !auth.tag {
+            return Err(CapFault::op(FaultKind::TagViolation, self.addr));
+        }
+        if !self.is_sealed() || auth.is_sealed() {
+            return Err(CapFault::op(FaultKind::SealViolation, self.addr));
+        }
+        if !auth.perms.contains(Perms::UNSEAL) {
+            return Err(CapFault::op(
+                FaultKind::PermissionViolation {
+                    required: Perms::UNSEAL,
+                },
+                self.addr,
+            ));
+        }
+        if u64::from(self.otype.raw()) != auth.addr {
+            return Err(CapFault::op(FaultKind::OtypeMismatch, self.addr));
+        }
+        let mut out = *self;
+        out.otype = Otype::UNSEALED;
+        Ok(out)
+    }
+
+    /// Unseals a sentry capability during a branch (`BLRS`-style implicit
+    /// unseal). Returns `self` unchanged if not a sentry.
+    #[must_use]
+    pub fn unseal_sentry(&self) -> Capability {
+        let mut out = *self;
+        if out.otype.is_sentry() {
+            out.otype = Otype::UNSEALED;
+        }
+        out
+    }
+
+    /// Returns a copy with the tag cleared (e.g. after a plain-data
+    /// overwrite of part of the capability's memory granule).
+    #[must_use]
+    pub fn clear_tag(&self) -> Capability {
+        let mut out = *self;
+        out.tag = false;
+        out
+    }
+
+    /// `CTESTSUBSET`: is this capability's authority entirely contained
+    /// in `other`'s (bounds within bounds, permissions within
+    /// permissions, both tagged, matching seal state)? The primitive
+    /// revocation sweeps use to decide whether a stored capability was
+    /// derived from a freed region.
+    pub fn is_subset_of(&self, other: &Capability) -> bool {
+        self.tag
+            && other.tag
+            && self.otype == other.otype
+            && self.base >= other.base
+            && self.top <= other.top
+            && other.perms.contains(self.perms)
+    }
+
+    // --- Compression ------------------------------------------------------
+
+    /// Packs into the in-memory 128-bit format. Lossless for every
+    /// architecturally constructed capability.
+    pub fn to_compressed(&self) -> CompressedCap {
+        compress::pack(self)
+    }
+
+    /// Unpacks a 128-bit memory image (any bit pattern) with the given tag.
+    pub fn from_compressed(cc: CompressedCap, tag: bool) -> Capability {
+        compress::unpack(cc, tag)
+    }
+}
+
+impl Default for Capability {
+    fn default() -> Capability {
+        Capability::null()
+    }
+}
+
+impl fmt::Debug for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cap{{{} {:#x} [{:#x},{:#x}) {} {:?}}}",
+            if self.tag { "v" } else { "-" },
+            self.addr,
+            self.base,
+            self.top,
+            self.perms,
+            self.otype
+        )
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap_cap(base: u64, len: u64) -> Capability {
+        Capability::root_rw().set_bounds_exact(base, len).unwrap()
+    }
+
+    #[test]
+    fn null_is_inert() {
+        let n = Capability::null();
+        assert!(!n.tag());
+        assert_eq!(n.length(), 0);
+        assert!(n.check_access(0, 1, Perms::LOAD).is_err());
+        assert_eq!(Capability::default(), n);
+    }
+
+    #[test]
+    fn root_covers_everything() {
+        let r = Capability::root_rw();
+        assert_eq!(r.base(), 0);
+        assert_eq!(r.top(), 1u128 << 64);
+        assert!(r.check_access(u64::MAX, 1, Perms::LOAD | Perms::STORE).is_ok());
+        assert!(r.check_access(0, 1, Perms::EXECUTE).is_err());
+    }
+
+    #[test]
+    fn bounds_check_edges() {
+        let c = heap_cap(0x1000, 64);
+        assert!(c.check_access(0x1000, 64, Perms::LOAD).is_ok());
+        assert!(c.check_access(0x103f, 1, Perms::LOAD).is_ok());
+        assert_eq!(
+            c.check_access(0x1040, 1, Perms::LOAD).unwrap_err().kind,
+            FaultKind::BoundsViolation
+        );
+        assert_eq!(
+            c.check_access(0xfff, 1, Perms::LOAD).unwrap_err().kind,
+            FaultKind::BoundsViolation
+        );
+        assert_eq!(
+            c.check_access(0x1000, 65, Perms::LOAD).unwrap_err().kind,
+            FaultKind::BoundsViolation
+        );
+    }
+
+    #[test]
+    fn fault_priority_tag_seal_perm_bounds() {
+        let c = heap_cap(0x1000, 64);
+        let sealed = c.seal_sentry().unwrap();
+        assert_eq!(
+            sealed.check_access(0x1000, 8, Perms::LOAD).unwrap_err().kind,
+            FaultKind::SealViolation
+        );
+        let untagged = sealed.clear_tag();
+        assert_eq!(
+            untagged.check_access(0x1000, 8, Perms::LOAD).unwrap_err().kind,
+            FaultKind::TagViolation
+        );
+        assert!(matches!(
+            c.check_access(0x2000, 8, Perms::EXECUTE).unwrap_err().kind,
+            FaultKind::PermissionViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn set_bounds_monotonic() {
+        let c = heap_cap(0x1000, 4096);
+        let inner = c.set_bounds_exact(0x1100, 64).unwrap();
+        assert_eq!(inner.base(), 0x1100);
+        assert_eq!(inner.length(), 64);
+        // Escaping the parent faults.
+        assert_eq!(
+            c.set_bounds_exact(0x0800, 64).unwrap_err().kind,
+            FaultKind::MonotonicityViolation
+        );
+        assert_eq!(
+            c.set_bounds_exact(0x1000, 8192).unwrap_err().kind,
+            FaultKind::MonotonicityViolation
+        );
+        // Derived caps can't regrow.
+        assert_eq!(
+            inner.set_bounds_exact(0x1000, 4096).unwrap_err().kind,
+            FaultKind::MonotonicityViolation
+        );
+    }
+
+    #[test]
+    fn set_bounds_rounds_outward() {
+        // An unrepresentable large request rounds, staying inside a
+        // generous parent.
+        let parent = heap_cap(0, 1 << 30);
+        let c = parent.set_bounds(0x10_0001, (1 << 20) + 1).unwrap();
+        assert!(c.base() <= 0x10_0001);
+        assert!(c.top() > 0x10_0001 + (1 << 20));
+        // Exact variant refuses.
+        assert_eq!(
+            parent.set_bounds_exact(0x10_0001, (1 << 20) + 1).unwrap_err().kind,
+            FaultKind::RepresentabilityLoss
+        );
+    }
+
+    #[test]
+    fn set_address_in_bounds_keeps_tag() {
+        let c = heap_cap(0x1000, 64);
+        let moved = c.set_address(0x1030);
+        assert!(moved.tag());
+        assert_eq!(moved.address(), 0x1030);
+        assert_eq!(moved.base(), c.base());
+    }
+
+    #[test]
+    fn wild_set_address_clears_tag() {
+        let c = heap_cap(0x1000, 64);
+        let wild = c.set_address(0x8000_0000);
+        assert!(!wild.tag());
+        // but bounds fields were preserved in the struct for diagnostics
+        assert_eq!(wild.address(), 0x8000_0000);
+    }
+
+    #[test]
+    fn inc_address_pointer_arithmetic() {
+        let c = heap_cap(0x1000, 64);
+        let p = c.inc_address(16).inc_address(-8);
+        assert!(p.tag());
+        assert_eq!(p.address(), 0x1008);
+        // One-past-the-end stays tagged (C idiom).
+        let end = c.inc_address(64);
+        assert!(end.tag());
+        assert!(end.check_cursor_access(1, Perms::LOAD).is_err());
+    }
+
+    #[test]
+    fn and_perms_drops_only() {
+        let c = heap_cap(0x1000, 64);
+        let ro = c.and_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::EXECUTE).unwrap();
+        assert!(ro.perms().contains(Perms::LOAD));
+        assert!(!ro.perms().contains(Perms::STORE));
+        // EXECUTE wasn't in the source, so it can't appear.
+        assert!(!ro.perms().contains(Perms::EXECUTE));
+    }
+
+    #[test]
+    fn seal_unseal_cycle() {
+        let c = heap_cap(0x1000, 64);
+        let sealer = Capability::root_all()
+            .set_bounds_exact(100, 16)
+            .unwrap()
+            .set_address(104);
+        let sealed = c.seal(&sealer).unwrap();
+        assert!(sealed.is_sealed());
+        assert_eq!(sealed.otype().raw(), 104);
+        // Sealed caps are frozen.
+        assert!(sealed.set_bounds(0x1000, 32).is_err());
+        assert!(sealed.and_perms(Perms::LOAD).is_err());
+        // Wrong otype fails.
+        let wrong = sealer.set_address(105);
+        assert_eq!(
+            sealed.unseal(&wrong).unwrap_err().kind,
+            FaultKind::OtypeMismatch
+        );
+        let back = sealed.unseal(&sealer).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn sentry_branch_semantics() {
+        let f = Capability::root_exec()
+            .set_bounds_exact(0x4000, 1024)
+            .unwrap()
+            .seal_sentry()
+            .unwrap();
+        assert!(f.is_sealed());
+        // A sentry may be branched to...
+        assert!(f.check_branch().is_ok());
+        // ...and is implicitly unsealed by the branch.
+        assert!(!f.unseal_sentry().is_sealed());
+        // A data capability cannot be branched to.
+        assert!(heap_cap(0x1000, 64).check_branch().is_err());
+    }
+
+    #[test]
+    fn subset_testing_matches_derivation() {
+        let parent = heap_cap(0x1000, 4096);
+        let child = parent.set_bounds_exact(0x1100, 64).unwrap();
+        assert!(child.is_subset_of(&parent));
+        assert!(!parent.is_subset_of(&child));
+        assert!(parent.is_subset_of(&parent));
+        // Dropping permissions keeps subset-ness; a sibling region is not
+        // a subset.
+        let ro = child.and_perms(Perms::LOAD).unwrap();
+        assert!(ro.is_subset_of(&parent));
+        let sibling = heap_cap(0x9000, 64);
+        assert!(!sibling.is_subset_of(&parent));
+        // Untagged or seal-mismatched capabilities are never subsets.
+        assert!(!child.clear_tag().is_subset_of(&parent));
+        assert!(!child.seal_sentry().unwrap().is_subset_of(&parent));
+    }
+
+    #[test]
+    fn compressed_roundtrip_preserves_everything() {
+        let c = heap_cap(0x1000, 64)
+            .set_address(0x1020)
+            .and_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::GLOBAL)
+            .unwrap();
+        let rt = Capability::from_compressed(c.to_compressed(), true);
+        assert_eq!(rt, c);
+        let sealed = heap_cap(0x2000, 4096).seal_sentry().unwrap();
+        assert_eq!(
+            Capability::from_compressed(sealed.to_compressed(), true),
+            sealed
+        );
+    }
+}

@@ -1,0 +1,410 @@
+//! CHERI-Concentrate-style 128-bit compressed capability encoding.
+//!
+//! The bounds of a capability are stored as a floating-point-like pair of
+//! truncated mantissas (`B`, `T`) relative to the 64-bit cursor address,
+//! plus a shared exponent `E`. Small objects (< 4 KiB) are encoded exactly
+//! with `E = 0`; larger objects steal the low bits of `B`/`T` for an
+//! *internal exponent* and consequently require their bounds to be aligned
+//! to `2^(E+3)` bytes. This alignment contract — exposed through
+//! [`representable_alignment_mask`] and [`round_representable_length`] — is
+//! what forces CHERI-aware allocators to pad large allocations, one of the
+//! second-order effects the paper measures.
+//!
+//! The layout modelled here follows the published CHERI-Concentrate scheme
+//! with a 14-bit bottom mantissa (the Morello configuration); see the CHERI
+//! ISA specification (UCAM-CL-TR-987) for the silicon encoding.
+
+use crate::{Capability, Otype, Perms};
+use serde::{Deserialize, Serialize};
+
+/// Width of the bottom-bound mantissa field in bits.
+pub const BOT_WIDTH: u32 = 14;
+/// Width of the explicitly stored top-bound mantissa field in bits.
+pub const TOP_WIDTH: u32 = BOT_WIDTH - 2;
+/// Exponent bits stolen from each of the `B` and `T` fields when the
+/// internal exponent is in use.
+pub const EXP_LOW_BITS: u32 = 3;
+/// Largest encodable exponent: a length of `2^64` has its most significant
+/// bit at position 64 and needs `E = 64 - (BOT_WIDTH - 2) = 52`.
+pub const MAX_EXPONENT: u32 = 64 - (BOT_WIDTH - 2);
+
+const MASK_BOT: u64 = (1 << BOT_WIDTH) - 1;
+const MASK_TOP: u64 = (1 << TOP_WIDTH) - 1;
+const MASK_64: u128 = u64::MAX as u128;
+const MASK_65: u128 = (1u128 << 65) - 1;
+
+// Metadata word layout (bit offsets within the high 64 bits).
+const SHIFT_B: u32 = 0; // [13:0]
+const SHIFT_T: u32 = 14; // [25:14]
+const SHIFT_IE: u32 = 26; // [26]
+const SHIFT_OTYPE: u32 = 27; // [41:27]
+const SHIFT_PERMS: u32 = 48; // [59:48]
+
+/// The in-memory form of a capability: 128 bits of data plus the
+/// out-of-band validity tag.
+///
+/// This is exactly what the `cheri-mem` crate's tagged memory
+/// stores: the two data words live in the 16-byte granule, the tag lives in
+/// the tag table. Round-tripping through this type is lossless for any
+/// capability whose bounds are representable (which every architecturally
+/// constructed [`Capability`] guarantees).
+///
+/// ```
+/// use cheri_cap::Capability;
+/// let c = Capability::root_rw().set_bounds_exact(0x4000, 128).unwrap();
+/// let cc = c.to_compressed();
+/// assert_eq!(Capability::from_compressed(cc, true), c);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompressedCap {
+    /// Metadata word: permissions, otype, and compressed bounds.
+    pub meta: u64,
+    /// The 64-bit cursor address.
+    pub addr: u64,
+}
+
+impl CompressedCap {
+    /// A compressed null capability (all bits zero).
+    pub const NULL: CompressedCap = CompressedCap { meta: 0, addr: 0 };
+
+    /// Reassembles the two data words into a little-endian 16-byte image
+    /// (address word first, matching Morello's memory layout).
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.addr.to_le_bytes());
+        out[8..].copy_from_slice(&self.meta.to_le_bytes());
+        out
+    }
+
+    /// Parses a 16-byte little-endian memory image.
+    pub fn from_bytes(bytes: [u8; 16]) -> CompressedCap {
+        let addr = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let meta = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+        CompressedCap { meta, addr }
+    }
+}
+
+/// The unpacked bounds fields of the compressed format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct BoundsFields {
+    /// Exponent (0 ..= [`MAX_EXPONENT`]).
+    pub e: u32,
+    /// Internal-exponent flag.
+    pub ie: bool,
+    /// Bottom mantissa, `BOT_WIDTH` bits (low [`EXP_LOW_BITS`] zero if `ie`).
+    pub b: u64,
+    /// Top mantissa, `BOT_WIDTH` bits with the top two bits reconstructed.
+    pub t: u64,
+}
+
+fn msb_index(v: u128) -> u32 {
+    debug_assert!(v != 0);
+    127 - v.leading_zeros()
+}
+
+/// Computes the bounds fields for `(base, top)`, if exactly representable.
+pub(crate) fn exact_fields(base: u64, top: u128) -> Option<BoundsFields> {
+    debug_assert!(top <= 1u128 << 64);
+    let length = top.checked_sub(base as u128)?;
+    if length < 1u128 << (BOT_WIDTH - 2) {
+        // Small object: E = 0, no alignment requirement.
+        return Some(BoundsFields {
+            e: 0,
+            ie: false,
+            b: base & MASK_BOT,
+            t: (top as u64) & MASK_BOT,
+        });
+    }
+    let e = msb_index(length) - (BOT_WIDTH - 2);
+    debug_assert!(e <= MAX_EXPONENT);
+    let align = 1u128 << (e + EXP_LOW_BITS);
+    if !(base as u128).is_multiple_of(align) || !top.is_multiple_of(align) {
+        return None;
+    }
+    Some(BoundsFields {
+        e,
+        ie: true,
+        b: (base >> e) & MASK_BOT,
+        t: ((top >> e) as u64) & MASK_BOT,
+    })
+}
+
+/// Decodes `(base, top)` from bounds fields and a cursor address.
+pub(crate) fn decode_bounds(f: BoundsFields, addr: u64) -> (u64, u128) {
+    let e = f.e.min(MAX_EXPONENT);
+    let shift = e + BOT_WIDTH; // <= 66
+    let a_mid = ((addr >> e) & MASK_BOT) as i128;
+    let b = f.b as i128;
+    let t = f.t as i128;
+    // The representable region boundary: one quarter-span below B.
+    let r = (f.b.wrapping_sub(1 << (BOT_WIDTH - 2)) & MASK_BOT) as i128;
+    let reg = |x: i128| -> i128 { i128::from(x < r) };
+    let c_b = reg(b) - reg(a_mid);
+    let c_t = reg(t) - reg(a_mid);
+    let a_top: i128 = if shift >= 64 {
+        0
+    } else {
+        (addr >> shift) as i128
+    };
+    let base_i = ((a_top + c_b) << shift) + (b << e);
+    let top_i = ((a_top + c_t) << shift) + (t << e);
+    let base = (base_i as u128 & MASK_64) as u64;
+    let top = top_i as u128 & MASK_65;
+    (base, top)
+}
+
+/// Reconstructs the full 14-bit top mantissa from its stored 12 bits.
+fn infer_top(b: u64, t_low: u64, ie: bool) -> u64 {
+    let carry = u64::from((t_low & MASK_TOP) < (b & MASK_TOP));
+    let t_hi = ((b >> TOP_WIDTH) + carry + u64::from(ie)) & 0b11;
+    (t_hi << TOP_WIDTH) | (t_low & MASK_TOP)
+}
+
+/// Packs an architectural capability into the 128-bit format.
+///
+/// The capability's bounds must be exactly representable; every
+/// [`Capability`] constructed through the public API maintains that
+/// invariant.
+pub(crate) fn pack(cap: &Capability) -> CompressedCap {
+    let f = exact_fields(cap.base(), cap.top())
+        .expect("architectural capabilities always have representable bounds");
+    let (b_field, t_field) = if f.ie {
+        let e = f.e as u64;
+        (
+            (f.b & !((1 << EXP_LOW_BITS) - 1)) | (e & 0b111),
+            ((f.t & MASK_TOP) & !((1 << EXP_LOW_BITS) - 1)) | ((e >> EXP_LOW_BITS) & 0b111),
+        )
+    } else {
+        (f.b, f.t & MASK_TOP)
+    };
+    let meta = (b_field << SHIFT_B)
+        | (t_field << SHIFT_T)
+        | (u64::from(f.ie) << SHIFT_IE)
+        | (u64::from(cap.otype().raw()) << SHIFT_OTYPE)
+        | (u64::from(cap.perms().bits()) << SHIFT_PERMS);
+    CompressedCap {
+        meta,
+        addr: cap.address(),
+    }
+}
+
+/// Unpacks a 128-bit image (any bit pattern) into an architectural
+/// capability with the given tag.
+pub(crate) fn unpack(cc: CompressedCap, tag: bool) -> Capability {
+    let ie = (cc.meta >> SHIFT_IE) & 1 == 1;
+    let b_field = (cc.meta >> SHIFT_B) & MASK_BOT;
+    let t_field = (cc.meta >> SHIFT_T) & MASK_TOP;
+    let (e, b, t_low) = if ie {
+        let e = (((t_field & 0b111) << EXP_LOW_BITS) | (b_field & 0b111)) as u32;
+        (
+            e.min(MAX_EXPONENT),
+            b_field & !0b111,
+            t_field & !0b111,
+        )
+    } else {
+        (0, b_field, t_field)
+    };
+    let t = infer_top(b, t_low, ie);
+    let (base, top) = decode_bounds(BoundsFields { e, ie, b, t }, cc.addr);
+    let perms = Perms::from_bits_truncate(((cc.meta >> SHIFT_PERMS) & 0xFFF) as u32);
+    let otype = Otype::from_raw(((cc.meta >> SHIFT_OTYPE) & 0x7FFF) as u16);
+    Capability::from_raw_parts(tag, base, top, cc.addr, perms, otype)
+}
+
+/// Returns `true` when the cursor `addr` can be installed in a capability
+/// with the given bounds without losing the ability to reconstruct them.
+pub(crate) fn cursor_representable(base: u64, top: u128, addr: u64) -> bool {
+    match exact_fields(base, top) {
+        Some(f) => decode_bounds(f, addr) == (base, top),
+        None => false,
+    }
+}
+
+/// Rounds a requested region length up to the next representable length
+/// (Morello's `CRRL` instruction).
+///
+/// Lengths below 4 KiB are always exact. Above that, the result is aligned
+/// to the `2^(E+3)` granule implied by the internal exponent.
+///
+/// Like the hardware instruction, the result is a 64-bit register value:
+/// a request that rounds up to the full `2^64` address space wraps to 0.
+///
+/// ```
+/// use cheri_cap::round_representable_length;
+/// assert_eq!(round_representable_length(100), 100);
+/// assert_eq!(round_representable_length(1 << 20), 1 << 20);
+/// // 1 MiB + 1 needs E = 8, so a 2 KiB granule:
+/// assert_eq!(round_representable_length((1 << 20) + 1) % 2048, 0);
+/// ```
+pub fn round_representable_length(len: u64) -> u64 {
+    if len < 1 << (BOT_WIDTH - 2) {
+        return len;
+    }
+    let mut e = msb_index(len as u128) - (BOT_WIDTH - 2);
+    loop {
+        let align = 1u128 << (e + EXP_LOW_BITS);
+        let rounded = ((len as u128) + align - 1) & !(align - 1);
+        if msb_index(rounded) - (BOT_WIDTH - 2) == e {
+            return rounded as u64;
+        }
+        e += 1;
+    }
+}
+
+/// Returns the base-alignment mask required for a region of the given
+/// length to be representable (Morello's `CRAM` instruction).
+///
+/// A CHERI-aware allocator aligns the allocation base with
+/// `base & mask == base` and pads the size with
+/// [`round_representable_length`].
+///
+/// ```
+/// use cheri_cap::representable_alignment_mask;
+/// assert_eq!(representable_alignment_mask(64), u64::MAX);
+/// let m = representable_alignment_mask(1 << 20); // E = 8 -> 2 KiB granule
+/// assert_eq!(!m + 1, 2048);
+/// ```
+pub fn representable_alignment_mask(len: u64) -> u64 {
+    if len < 1 << (BOT_WIDTH - 2) {
+        return u64::MAX;
+    }
+    let mut e = msb_index(len as u128) - (BOT_WIDTH - 2);
+    // Rounding the length may carry into the next exponent; the mask must
+    // cover the post-rounding exponent.
+    let align = 1u128 << (e + EXP_LOW_BITS);
+    let rounded = ((len as u128) + align - 1) & !(align - 1);
+    if msb_index(rounded) - (BOT_WIDTH - 2) != e {
+        e += 1;
+    }
+    !((1u64 << (e + EXP_LOW_BITS)) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(base: u64, top: u128, addr: u64) {
+        let f = exact_fields(base, top).expect("representable");
+        assert_eq!(
+            decode_bounds(f, addr),
+            (base, top),
+            "decode mismatch for base={base:#x} top={top:#x} addr={addr:#x}"
+        );
+    }
+
+    #[test]
+    fn small_object_roundtrip() {
+        roundtrip(0x1000, 0x1040, 0x1000);
+        roundtrip(0x1000, 0x1040, 0x103f);
+        roundtrip(0xffff_ffff_ffff_f000, 0xffff_ffff_ffff_ffff, 0xffff_ffff_ffff_f800);
+        roundtrip(0, 0, 0); // zero-length at zero
+        roundtrip(0x7fff, 0x7fff, 0x7fff); // zero-length
+    }
+
+    #[test]
+    fn cross_region_small_object() {
+        // Object straddling a 2^14 boundary: corrections kick in.
+        roundtrip(0x3ff0, 0x4010, 0x3ff0);
+        roundtrip(0x3ff0, 0x4010, 0x400f);
+    }
+
+    #[test]
+    fn full_address_space_root() {
+        roundtrip(0, 1u128 << 64, 0);
+        roundtrip(0, 1u128 << 64, u64::MAX);
+        roundtrip(0, 1u128 << 64, 0xdead_beef_0000);
+    }
+
+    #[test]
+    fn large_aligned_regions() {
+        // 1 MiB at 1 MiB alignment: E = 8, granule 2 KiB.
+        roundtrip(0x10_0000, 0x20_0000, 0x18_0000);
+        // 1 GiB region.
+        roundtrip(0x4000_0000, 0x8000_0000, 0x5000_0000);
+    }
+
+    #[test]
+    fn unaligned_large_region_not_exact() {
+        // 1 MiB length at an odd base: not representable exactly.
+        assert!(exact_fields(0x10_0001, 0x20_0001).is_none());
+    }
+
+    #[test]
+    fn round_length_monotonic_and_minimal() {
+        assert_eq!(round_representable_length(0), 0);
+        assert_eq!(round_representable_length(4095), 4095);
+        assert_eq!(round_representable_length(4096), 4096);
+        // 4097: E = 0 (ie), granule 8 -> rounds to 4104.
+        assert_eq!(round_representable_length(4097), 4104);
+        // Rounding past the top of the address space wraps to 0, matching
+        // the 64-bit CRRL register semantics.
+        assert_eq!(round_representable_length(u64::MAX), 0);
+    }
+
+    #[test]
+    fn round_length_carry_into_next_exponent() {
+        // A length just below a power of two whose rounding carries.
+        let len = (1u64 << 20) - 1; // E = 7 granule 1024; rounds to 2^20 (msb stays 19? no: 2^20 has msb 20)
+        let r = round_representable_length(len);
+        assert!(r >= len);
+        // The result must itself be exactly representable at base 0.
+        assert!(exact_fields(0, r as u128).is_some());
+    }
+
+    #[test]
+    fn alignment_mask_matches_roundtrip() {
+        for len in [64u64, 4096, 5000, 1 << 16, (1 << 20) + 123, 1 << 30] {
+            let mask = representable_alignment_mask(len);
+            let rlen = round_representable_length(len);
+            let base = 0x1234_5678_9abc_0000 & mask;
+            assert!(
+                exact_fields(base, base as u128 + rlen as u128).is_some(),
+                "len={len} base={base:#x} rlen={rlen}"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_byte_image_roundtrip() {
+        let cc = CompressedCap {
+            meta: 0x0123_4567_89ab_cdef,
+            addr: 0xfedc_ba98_7654_3210,
+        };
+        assert_eq!(CompressedCap::from_bytes(cc.to_bytes()), cc);
+        assert_eq!(CompressedCap::NULL.to_bytes(), [0u8; 16]);
+    }
+
+    #[test]
+    fn unpack_arbitrary_bits_never_panics() {
+        // Any 128-bit pattern must decode to *something* (untagged).
+        for meta in [0u64, u64::MAX, 0x5555_5555_5555_5555, 0xaaaa_aaaa_aaaa_aaaa] {
+            for addr in [0u64, u64::MAX, 0x8000_0000_0000_0000] {
+                let c = unpack(CompressedCap { meta, addr }, false);
+                assert!(!c.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn in_bounds_cursor_always_representable() {
+        let cases: &[(u64, u128)] = &[
+            (0x1000, 0x1000 + 64),
+            (0x10_0000, 0x20_0000),
+            (0, 1u128 << 64),
+            (0x4000_0000, 0x4000_0000 + (1 << 16)),
+        ];
+        for &(base, top) in cases {
+            for addr in [base, base + ((top as u64).wrapping_sub(base)) / 2, (top - 1) as u64] {
+                assert!(
+                    cursor_representable(base, top, addr),
+                    "base={base:#x} top={top:#x} addr={addr:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn far_cursor_not_representable_for_small_object() {
+        assert!(!cursor_representable(0x1000, 0x1040, 0x80_0000));
+    }
+}

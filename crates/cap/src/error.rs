@@ -1,0 +1,110 @@
+//! Capability fault types.
+
+use crate::Perms;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The reason a capability check failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The capability's validity tag is clear (forged, corrupted, or
+    /// overwritten by plain data).
+    TagViolation,
+    /// The capability is sealed and the operation requires an unsealed one.
+    SealViolation,
+    /// A required permission bit is missing.
+    PermissionViolation {
+        /// The permissions the operation required.
+        required: Perms,
+    },
+    /// The access fell outside the capability's bounds.
+    BoundsViolation,
+    /// An exact-bounds request was not representable in the compressed
+    /// encoding.
+    RepresentabilityLoss,
+    /// A monotonicity violation: the derived capability would have wider
+    /// bounds or more permissions than its parent.
+    MonotonicityViolation,
+    /// The object types did not match during seal/unseal.
+    OtypeMismatch,
+}
+
+/// A capability violation fault, as raised by Morello hardware when a
+/// checked operation fails.
+///
+/// Carries the faulting cursor address and access footprint so the
+/// simulator's trap path (and tests) can report precisely what happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapFault {
+    /// Why the check failed.
+    pub kind: FaultKind,
+    /// The address the faulting operation targeted.
+    pub address: u64,
+    /// The footprint of the faulting access in bytes (0 for non-memory ops).
+    pub size: u64,
+}
+
+impl CapFault {
+    /// Creates a fault for a non-memory operation (seal, bounds-set, …).
+    pub fn op(kind: FaultKind, address: u64) -> CapFault {
+        CapFault {
+            kind,
+            address,
+            size: 0,
+        }
+    }
+}
+
+impl fmt::Display for CapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::TagViolation => write!(f, "tag violation at {:#x}", self.address),
+            FaultKind::SealViolation => write!(f, "seal violation at {:#x}", self.address),
+            FaultKind::PermissionViolation { required } => {
+                write!(
+                    f,
+                    "permission violation at {:#x} (requires {required})",
+                    self.address
+                )
+            }
+            FaultKind::BoundsViolation => write!(
+                f,
+                "bounds violation at {:#x} (+{} bytes)",
+                self.address, self.size
+            ),
+            FaultKind::RepresentabilityLoss => {
+                write!(f, "unrepresentable bounds at {:#x}", self.address)
+            }
+            FaultKind::MonotonicityViolation => {
+                write!(f, "monotonicity violation at {:#x}", self.address)
+            }
+            FaultKind::OtypeMismatch => write!(f, "otype mismatch at {:#x}", self.address),
+        }
+    }
+}
+
+impl std::error::Error for CapFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let f = CapFault {
+            kind: FaultKind::BoundsViolation,
+            address: 0x1000,
+            size: 8,
+        };
+        assert_eq!(f.to_string(), "bounds violation at 0x1000 (+8 bytes)");
+        let f = CapFault::op(FaultKind::TagViolation, 0x20);
+        assert_eq!(f.to_string(), "tag violation at 0x20");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let f: Box<dyn std::error::Error> =
+            Box::new(CapFault::op(FaultKind::SealViolation, 0));
+        assert!(f.to_string().contains("seal"));
+    }
+}

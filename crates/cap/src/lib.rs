@@ -1,0 +1,51 @@
+//! # cheri-cap
+//!
+//! An architectural model of CHERI capabilities as implemented by the Arm
+//! Morello platform, including a CHERI-Concentrate-style 128-bit compressed
+//! encoding.
+//!
+//! A [`Capability`] is an unforgeable, bounded, permissioned fat pointer:
+//! it carries a 64-bit cursor address, a `[base, top)` bounds pair (with
+//! `top` up to `2^64`), a permission set, an object type for sealing, and a
+//! one-bit validity tag. All derivation operations are *monotonic*: bounds
+//! can only shrink and permissions can only be dropped.
+//!
+//! Capabilities are stored in memory in a 128-bit compressed format
+//! ([`CompressedCap`]) with a floating-point-like bounds encoding. Not every
+//! `(base, top)` pair is representable; large regions must be aligned, and
+//! [`representable_alignment_mask`] / [`round_representable_length`] expose
+//! the alignment contract that CHERI-aware allocators must follow (this is
+//! the mechanism behind the allocation-padding effects measured in the
+//! paper).
+//!
+//! ## Example
+//!
+//! ```
+//! use cheri_cap::{Capability, Perms};
+//!
+//! // Derive a 64-byte heap capability from the root read/write capability.
+//! let root = Capability::root_rw();
+//! let obj = root.set_bounds_exact(0x1000, 64).unwrap();
+//! assert_eq!(obj.base(), 0x1000);
+//! assert_eq!(obj.length(), 64);
+//! assert!(obj.check_access(0x1000, 8, Perms::LOAD).is_ok());
+//! assert!(obj.check_access(0x1040, 1, Perms::LOAD).is_err()); // out of bounds
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capability;
+mod compress;
+mod error;
+mod otype;
+mod perms;
+
+pub use capability::Capability;
+pub use compress::{
+    representable_alignment_mask, round_representable_length, CompressedCap, BOT_WIDTH,
+    EXP_LOW_BITS, MAX_EXPONENT,
+};
+pub use error::{CapFault, FaultKind};
+pub use otype::Otype;
+pub use perms::Perms;

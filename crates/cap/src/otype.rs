@@ -1,0 +1,111 @@
+//! Object types and sealing.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A capability object type.
+///
+/// Sealed capabilities are immutable and non-dereferenceable until unsealed
+/// with an authorising capability of matching object type. Morello reserves
+/// a handful of low otypes for hardware sealing forms ("sentries", used for
+/// return addresses and inter-compartment entry points); we model the
+/// unsealed state, the sentry, and user otypes.
+///
+/// ```
+/// use cheri_cap::Otype;
+/// assert!(Otype::UNSEALED.is_unsealed());
+/// assert!(Otype::SENTRY.is_sentry());
+/// let user = Otype::user(42).unwrap();
+/// assert_eq!(user.raw(), 42 + Otype::FIRST_USER);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Otype(u16);
+
+impl Otype {
+    /// The unsealed object type (Morello encodes this as otype 0).
+    pub const UNSEALED: Otype = Otype(0);
+    /// The sealed-entry ("sentry") object type used for return addresses and
+    /// function entry capabilities.
+    pub const SENTRY: Otype = Otype(1);
+    /// First otype available to software sealing.
+    pub const FIRST_USER: u16 = 4;
+    /// Largest encodable otype (15-bit field in the compressed format).
+    pub const MAX: u16 = (1 << 15) - 1;
+
+    /// Creates a user (software) object type. Returns `None` when the otype
+    /// does not fit the 15-bit field.
+    pub fn user(index: u16) -> Option<Otype> {
+        let raw = index.checked_add(Self::FIRST_USER)?;
+        (raw <= Self::MAX).then_some(Otype(raw))
+    }
+
+    /// Rebuilds an otype from its raw 15-bit encoding, truncating to the
+    /// field width.
+    pub const fn from_raw(raw: u16) -> Otype {
+        Otype(raw & Self::MAX)
+    }
+
+    /// The raw 15-bit encoding.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Is this the unsealed state?
+    pub const fn is_unsealed(self) -> bool {
+        self.0 == Self::UNSEALED.0
+    }
+
+    /// Is this a hardware sentry type?
+    pub const fn is_sentry(self) -> bool {
+        self.0 == Self::SENTRY.0
+    }
+
+    /// Is this a software (user) sealing type?
+    pub const fn is_user(self) -> bool {
+        self.0 >= Self::FIRST_USER
+    }
+}
+
+impl fmt::Debug for Otype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unsealed() {
+            write!(f, "Otype(unsealed)")
+        } else if self.is_sentry() {
+            write!(f, "Otype(sentry)")
+        } else {
+            write!(f, "Otype({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Otype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_otype_range() {
+        assert!(Otype::user(0).unwrap().is_user());
+        assert!(Otype::user(Otype::MAX).is_none());
+        let top = Otype::user(Otype::MAX - Otype::FIRST_USER).unwrap();
+        assert_eq!(top.raw(), Otype::MAX);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Otype::UNSEALED.is_unsealed());
+        assert!(!Otype::UNSEALED.is_sentry());
+        assert!(Otype::SENTRY.is_sentry());
+        assert!(!Otype::SENTRY.is_user());
+    }
+
+    #[test]
+    fn from_raw_truncates() {
+        assert_eq!(Otype::from_raw(u16::MAX).raw(), Otype::MAX);
+    }
+}

@@ -1,0 +1,209 @@
+//! Capability permission bits.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, Not};
+use serde::{Deserialize, Serialize};
+
+/// A set of capability permissions.
+///
+/// Permissions govern which operations a capability authorises. They are
+/// monotonic: derived capabilities may only clear bits, never set them
+/// (see [`Capability::and_perms`](crate::Capability::and_perms)).
+///
+/// The set mirrors the architecturally significant Morello permissions used
+/// by the paper's workloads; system/compartment permissions that never
+/// affect the measured behaviour are collapsed into [`Perms::SYSTEM`].
+///
+/// ```
+/// use cheri_cap::Perms;
+/// let rw = Perms::LOAD | Perms::STORE;
+/// assert!(rw.contains(Perms::LOAD));
+/// assert!(!rw.contains(Perms::EXECUTE));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Perms(u32);
+
+impl Perms {
+    /// The empty permission set.
+    pub const NONE: Perms = Perms(0);
+    /// Permission to load (read) data.
+    pub const LOAD: Perms = Perms(1 << 0);
+    /// Permission to store (write) data.
+    pub const STORE: Perms = Perms(1 << 1);
+    /// Permission to execute (fetch instructions through this capability).
+    pub const EXECUTE: Perms = Perms(1 << 2);
+    /// Permission to load capabilities (with their tags) from memory.
+    pub const LOAD_CAP: Perms = Perms(1 << 3);
+    /// Permission to store capabilities (with their tags) to memory.
+    pub const STORE_CAP: Perms = Perms(1 << 4);
+    /// Permission to store local (non-global) capabilities.
+    pub const STORE_LOCAL_CAP: Perms = Perms(1 << 5);
+    /// Permission to seal other capabilities with this capability's otype.
+    pub const SEAL: Perms = Perms(1 << 6);
+    /// Permission to unseal capabilities sealed with this capability's otype.
+    pub const UNSEAL: Perms = Perms(1 << 7);
+    /// The global bit: capability may be stored anywhere.
+    pub const GLOBAL: Perms = Perms(1 << 8);
+    /// Permission to branch to a sealed entry (sentry) capability.
+    pub const BRANCH_SEALED_PAIR: Perms = Perms(1 << 9);
+    /// Collapsed system/compartment permissions.
+    pub const SYSTEM: Perms = Perms(1 << 10);
+    /// The mutable-load permission (Morello: LoadMutable).
+    pub const MUTABLE_LOAD: Perms = Perms(1 << 11);
+
+    /// Every permission bit set (the root permission set).
+    pub const ALL: Perms = Perms((1 << 12) - 1);
+
+    /// Read/write/load-cap/store-cap data permissions (a typical heap root).
+    pub const DATA_RW: Perms = Perms(
+        Perms::LOAD.0
+            | Perms::STORE.0
+            | Perms::LOAD_CAP.0
+            | Perms::STORE_CAP.0
+            | Perms::STORE_LOCAL_CAP.0
+            | Perms::GLOBAL.0
+            | Perms::MUTABLE_LOAD.0,
+    );
+
+    /// Execute + load permissions (a typical PCC permission set).
+    pub const CODE: Perms =
+        Perms(Perms::LOAD.0 | Perms::EXECUTE.0 | Perms::GLOBAL.0 | Perms::BRANCH_SEALED_PAIR.0);
+
+    /// Returns `true` when every bit of `other` is present in `self`.
+    #[inline]
+    pub const fn contains(self, other: Perms) -> bool {
+        (self.0 & other.0) == other.0
+    }
+
+    /// Returns `true` when no permission bits are set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the intersection of the two permission sets.
+    #[inline]
+    pub const fn intersection(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// The raw bit representation (used by the compressed encoding).
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a permission set from raw bits, ignoring undefined bits.
+    #[inline]
+    pub const fn from_bits_truncate(bits: u32) -> Perms {
+        Perms(bits & Perms::ALL.0)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    #[inline]
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    #[inline]
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    #[inline]
+    fn not(self) -> Perms {
+        Perms(!self.0 & Perms::ALL.0)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(Perms, &str); 12] = [
+            (Perms::LOAD, "r"),
+            (Perms::STORE, "w"),
+            (Perms::EXECUTE, "x"),
+            (Perms::LOAD_CAP, "R"),
+            (Perms::STORE_CAP, "W"),
+            (Perms::STORE_LOCAL_CAP, "L"),
+            (Perms::SEAL, "s"),
+            (Perms::UNSEAL, "u"),
+            (Perms::GLOBAL, "g"),
+            (Perms::BRANCH_SEALED_PAIR, "b"),
+            (Perms::SYSTEM, "S"),
+            (Perms::MUTABLE_LOAD, "m"),
+        ];
+        write!(f, "Perms(")?;
+        for (p, n) in NAMES {
+            if self.contains(p) {
+                write!(f, "{n}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_ops() {
+        let rw = Perms::LOAD | Perms::STORE;
+        assert!(rw.contains(Perms::LOAD));
+        assert!(rw.contains(Perms::STORE));
+        assert!(!rw.contains(Perms::EXECUTE));
+        assert!(rw.contains(Perms::NONE));
+        assert!(Perms::ALL.contains(rw));
+    }
+
+    #[test]
+    fn intersection_is_monotonic() {
+        let a = Perms::DATA_RW;
+        let b = Perms::LOAD | Perms::EXECUTE;
+        let i = a.intersection(b);
+        assert!(a.contains(i));
+        assert!(b.contains(i));
+        assert_eq!(i, Perms::LOAD);
+    }
+
+    #[test]
+    fn not_stays_within_defined_bits() {
+        let inv = !Perms::NONE;
+        assert_eq!(inv, Perms::ALL);
+        assert_eq!(!Perms::ALL, Perms::NONE);
+    }
+
+    #[test]
+    fn from_bits_truncate_masks_undefined() {
+        let p = Perms::from_bits_truncate(u32::MAX);
+        assert_eq!(p, Perms::ALL);
+    }
+
+    #[test]
+    fn debug_render() {
+        let s = format!("{:?}", Perms::LOAD | Perms::EXECUTE);
+        assert_eq!(s, "Perms(rx)");
+    }
+
+    #[test]
+    fn presets_are_sensible() {
+        assert!(Perms::DATA_RW.contains(Perms::LOAD | Perms::STORE));
+        assert!(!Perms::DATA_RW.contains(Perms::EXECUTE));
+        assert!(Perms::CODE.contains(Perms::EXECUTE));
+        assert!(!Perms::CODE.contains(Perms::STORE));
+    }
+}

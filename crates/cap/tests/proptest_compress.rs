@@ -1,0 +1,134 @@
+//! Property-based tests for the compressed capability encoding and the
+//! monotonicity invariants of capability derivation.
+
+use cheri_cap::{
+    representable_alignment_mask, round_representable_length, Capability, Perms,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Any rounded length is itself exactly representable at any base that
+    /// satisfies the alignment mask.
+    #[test]
+    fn rounded_length_is_representable(len in 0u64..=(1 << 48), base_seed in any::<u64>()) {
+        let rlen = round_representable_length(len);
+        prop_assume!(rlen >= len); // skip the 2^64-wrap corner
+        let mask = representable_alignment_mask(len);
+        let base = (base_seed & mask) & ((1 << 50) - 1) & mask;
+        let cap = Capability::root_rw().set_bounds_exact(base, rlen);
+        prop_assert!(cap.is_ok(), "base={base:#x} rlen={rlen:#x}: {cap:?}");
+    }
+
+    /// Rounding never shrinks and is idempotent.
+    #[test]
+    fn rounding_is_idempotent(len in 0u64..=(1 << 60)) {
+        let r = round_representable_length(len);
+        prop_assume!(r != 0 || len == 0);
+        prop_assert!(r >= len);
+        prop_assert_eq!(round_representable_length(r), r);
+    }
+
+    /// Compressed round-trip is lossless for architecturally derived
+    /// capabilities, wherever the cursor sits within bounds.
+    #[test]
+    fn compressed_roundtrip(
+        base in 0u64..(1 << 40),
+        len in 1u64..(1 << 30),
+        cursor_frac in 0.0f64..1.0,
+    ) {
+        let mask = representable_alignment_mask(len);
+        let base = base & mask;
+        let len = round_representable_length(len);
+        let cap = Capability::root_rw().set_bounds_exact(base, len).unwrap();
+        let addr = base + ((len as f64 * cursor_frac) as u64).min(len - 1);
+        let cap = cap.set_address(addr);
+        prop_assert!(cap.tag(), "in-bounds cursor must stay representable");
+        let rt = Capability::from_compressed(cap.to_compressed(), cap.tag());
+        prop_assert_eq!(rt, cap);
+    }
+
+    /// In-bounds cursors never clear the tag (the CHERI representability
+    /// guarantee), including one-past-the-end.
+    #[test]
+    fn in_bounds_cursor_keeps_tag(
+        base in 0u64..(1 << 40),
+        len in 1u64..(1 << 30),
+        off_seed in any::<u64>(),
+    ) {
+        let mask = representable_alignment_mask(len);
+        let base = base & mask;
+        let len = round_representable_length(len);
+        let cap = Capability::root_rw().set_bounds_exact(base, len).unwrap();
+        let off = off_seed % (len + 1); // includes one-past-the-end
+        prop_assert!(cap.set_address(base + off).tag());
+    }
+
+    /// Derivation is monotonic: a child's bounds and permissions are always
+    /// contained in the parent's.
+    #[test]
+    fn derivation_monotonic(
+        pbase in 0u64..(1 << 30),
+        plen in 4096u64..(1 << 24),
+        cbase_off in any::<u64>(),
+        clen in 1u64..(1 << 20),
+        perm_bits in any::<u32>(),
+    ) {
+        let pmask = representable_alignment_mask(plen);
+        let pbase = pbase & pmask;
+        let plen = round_representable_length(plen);
+        let parent = Capability::root_rw().set_bounds_exact(pbase, plen).unwrap();
+        let cbase = pbase + (cbase_off % plen);
+        match parent.set_bounds(cbase, clen) {
+            Ok(child) => {
+                prop_assert!(child.base() >= parent.base());
+                prop_assert!(child.top() <= parent.top());
+                prop_assert!(child.base() <= cbase);
+                prop_assert!(child.top() >= cbase as u128 + clen as u128
+                    || child.top() == parent.top());
+                let restricted = child.and_perms(Perms::from_bits_truncate(perm_bits)).unwrap();
+                prop_assert!(child.perms().contains(restricted.perms()));
+            }
+            Err(fault) => {
+                // The only legal failure is monotonicity: the request (after
+                // outward rounding, which may widen beyond the simple mask
+                // estimate) escaped the parent. It must never fail for an
+                // exactly-contained, exactly-representable request.
+                prop_assert_eq!(fault.kind, cheri_cap::FaultKind::MonotonicityViolation);
+                let exact_fits = (cbase as u128 + clen as u128) <= parent.top()
+                    && Capability::root_rw().set_bounds_exact(cbase, clen).is_ok();
+                prop_assert!(!exact_fits, "exactly representable contained request must succeed");
+            }
+        }
+    }
+
+    /// A plain-data overwrite model: any 128-bit pattern decodes without
+    /// panicking and the result is untagged when told so.
+    #[test]
+    fn arbitrary_patterns_decode_total(meta in any::<u64>(), addr in any::<u64>()) {
+        let cc = cheri_cap::CompressedCap { meta, addr };
+        let cap = Capability::from_compressed(cc, false);
+        prop_assert!(!cap.tag());
+        prop_assert_eq!(cap.address(), addr);
+        // base <= top may be violated by garbage patterns; such caps must
+        // simply fail all checks.
+        if cap.top() < cap.base() as u128 {
+            prop_assert!(cap.check_access(cap.address(), 1, Perms::NONE).is_err());
+        }
+    }
+
+    /// Sealing freezes a capability and unsealing with the right authority
+    /// restores it exactly.
+    #[test]
+    fn seal_unseal_roundtrip(base in 0u64..(1 << 30), len in 16u64..4096, ot in 4u16..1000) {
+        let cap = Capability::root_rw().set_bounds_exact(base & !15, len).unwrap();
+        let auth = Capability::root_all()
+            .set_bounds_exact(0, 4096).unwrap()
+            .set_address(u64::from(ot));
+        let sealed = cap.seal(&auth).unwrap();
+        prop_assert!(sealed.is_sealed());
+        prop_assert!(sealed.set_bounds(base & !15, 8).is_err());
+        prop_assert_eq!(sealed.unseal(&auth).unwrap(), cap);
+    }
+}

@@ -1,0 +1,34 @@
+//! # morello-sim
+//!
+//! The top of the reproduction stack: configure a [`Platform`], pick a
+//! workload from [`cheri_workloads::registry`], and run it under any of the
+//! three CHERI ABIs to get a full [`RunReport`] — PMU event counts, the
+//! derived metrics of the paper's Table 1, top-down bucket shares,
+//! simulated execution time, heap/footprint statistics, and the modelled
+//! binary layout.
+//!
+//! ```no_run
+//! use morello_sim::{Platform, Runner};
+//! use cheri_isa::Abi;
+//! use cheri_workloads::{by_key, Scale};
+//!
+//! let runner = Runner::new(Platform::morello().with_scale(Scale::Small));
+//! let w = by_key("omnetpp_520").unwrap();
+//! let hybrid = runner.run(&w, Abi::Hybrid)?;
+//! let purecap = runner.run(&w, Abi::Purecap)?;
+//! let slowdown = purecap.seconds / hybrid.seconds;
+//! println!("purecap slowdown: {slowdown:.2}x");
+//! # Ok::<(), morello_sim::RunError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod projection;
+mod report;
+mod runner;
+pub mod suite;
+
+pub use projection::{project, ProjectionRow};
+pub use report::{HeapSummary, RunReport, TopDown};
+pub use runner::{Platform, RunError, Runner};

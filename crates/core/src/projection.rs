@@ -1,0 +1,122 @@
+//! The paper's §5 projection: how much of the purecap overhead would a
+//! CHERI-native microarchitecture remove?
+
+use crate::runner::{Platform, RunError, Runner};
+use cheri_isa::Abi;
+use cheri_workloads::Workload;
+use morello_uarch::UarchConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-workload projection comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProjectionRow {
+    /// Workload name.
+    pub name: String,
+    /// Purecap slowdown on the Morello prototype (paper's measurement).
+    pub morello_slowdown: f64,
+    /// Purecap slowdown with only a PCC-aware branch predictor.
+    pub pcc_aware_slowdown: f64,
+    /// Purecap slowdown with only a capability-wide store buffer.
+    pub wide_sb_slowdown: f64,
+    /// Purecap slowdown with only capability-MADD fusion.
+    pub cap_madd_slowdown: f64,
+    /// Purecap slowdown with all three improvements (the projected
+    /// CHERI-native design).
+    pub projected_slowdown: f64,
+}
+
+impl ProjectionRow {
+    /// Fraction of the prototype's overhead removed by the full
+    /// projection (0 when the prototype shows no overhead).
+    pub fn overhead_removed(&self) -> f64 {
+        let base = self.morello_slowdown - 1.0;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        ((self.morello_slowdown - self.projected_slowdown) / base).clamp(0.0, 1.0)
+    }
+}
+
+fn slowdown(platform: Platform, w: &Workload) -> Result<f64, RunError> {
+    let runner = Runner::new(platform);
+    let h = runner.run(w, Abi::Hybrid)?;
+    let p = runner.run(w, Abi::Purecap)?;
+    Ok(p.seconds / h.seconds)
+}
+
+/// Runs the ablation ladder for one workload: prototype, each single
+/// improvement, and the combined projection. The hybrid baseline is
+/// re-measured per configuration so each slowdown is internally
+/// consistent.
+///
+/// # Errors
+///
+/// Fails if any run fails.
+pub fn project(base: Platform, w: &Workload) -> Result<ProjectionRow, RunError> {
+    let morello = UarchConfig {
+        pcc_aware_branch_predictor: false,
+        wide_cap_store_buffer: false,
+        cap_madd_fusion: false,
+        ..base.uarch
+    };
+    Ok(ProjectionRow {
+        name: w.name.to_owned(),
+        morello_slowdown: slowdown(base.with_uarch(morello), w)?,
+        pcc_aware_slowdown: slowdown(
+            base.with_uarch(morello.with_pcc_aware_bp(true)),
+            w,
+        )?,
+        wide_sb_slowdown: slowdown(
+            base.with_uarch(morello.with_wide_cap_store_buffer(true)),
+            w,
+        )?,
+        cap_madd_slowdown: slowdown(
+            base.with_uarch(morello.with_cap_madd_fusion(true)),
+            w,
+        )?,
+        projected_slowdown: slowdown(
+            base.with_uarch(UarchConfig {
+                pcc_aware_branch_predictor: true,
+                wide_cap_store_buffer: true,
+                cap_madd_fusion: true,
+                cap_manip_core_cost: 0.10,
+                ..morello
+            }),
+            w,
+        )?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_workloads::{by_key, Scale};
+
+    #[test]
+    fn projection_reduces_pcc_heavy_overhead() {
+        let base = Platform::morello().with_scale(Scale::Test);
+        let w = by_key("xalancbmk_523").unwrap();
+        let row = project(base, &w).unwrap();
+        assert!(
+            row.pcc_aware_slowdown < row.morello_slowdown,
+            "PCC-aware predictor must help xalancbmk ({} vs {})",
+            row.pcc_aware_slowdown,
+            row.morello_slowdown
+        );
+        assert!(row.projected_slowdown <= row.pcc_aware_slowdown + 0.02);
+        assert!(row.overhead_removed() > 0.0);
+    }
+
+    #[test]
+    fn overhead_removed_handles_speedups() {
+        let row = ProjectionRow {
+            name: "x".into(),
+            morello_slowdown: 0.95,
+            pcc_aware_slowdown: 0.95,
+            wide_sb_slowdown: 0.95,
+            cap_madd_slowdown: 0.95,
+            projected_slowdown: 0.94,
+        };
+        assert_eq!(row.overhead_removed(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The per-run report.
+
+use cheri_isa::{Abi, SectionSizes};
+use morello_pmu::{DerivedMetrics, EventCounts};
+use morello_uarch::UarchStats;
+use serde::{Deserialize, Serialize};
+
+/// Top-down pipeline-slot shares (the paper's Figure 3 / Table 4 rows).
+///
+/// `retiring`, `bad_speculation`, `frontend_bound` and `backend_bound`
+/// follow the paper's Table 1 formulas; the backend is further split into
+/// the memory levels and core-bound shares of total cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopDown {
+    /// `INST_SPEC / SUM(*_SPEC)`.
+    pub retiring: f64,
+    /// `1 - retiring - frontend - backend` (clamped at zero).
+    pub bad_speculation: f64,
+    /// `STALL_FRONTEND / CPU_CYCLES`.
+    pub frontend_bound: f64,
+    /// `STALL_BACKEND / CPU_CYCLES`.
+    pub backend_bound: f64,
+    /// Memory-bound share of cycles.
+    pub memory_bound: f64,
+    /// ... of which L1.
+    pub l1_bound: f64,
+    /// ... of which L2.
+    pub l2_bound: f64,
+    /// ... of which external memory (LLC + DRAM + TLB walks).
+    pub ext_mem_bound: f64,
+    /// Core-bound share of cycles (execution resources, store buffer).
+    pub core_bound: f64,
+    /// Share of cycles lost to PCC-bounds resteers (subset of frontend).
+    pub pcc_stall: f64,
+}
+
+impl TopDown {
+    /// Derives the breakdown from raw statistics.
+    pub fn from_stats(s: &UarchStats, derived: &DerivedMetrics) -> TopDown {
+        let cyc = s.cpu_cycles.max(1) as f64;
+        TopDown {
+            retiring: derived.retiring,
+            bad_speculation: derived.bad_speculation,
+            frontend_bound: derived.frontend_bound,
+            backend_bound: derived.backend_bound,
+            memory_bound: (s.bound_mem_l1 + s.bound_mem_l2 + s.bound_mem_ext) as f64 / cyc,
+            l1_bound: s.bound_mem_l1 as f64 / cyc,
+            l2_bound: s.bound_mem_l2 as f64 / cyc,
+            ext_mem_bound: s.bound_mem_ext as f64 / cyc,
+            core_bound: s.bound_core as f64 / cyc,
+            pcc_stall: s.pcc_stall_cycles as f64 / cyc,
+        }
+    }
+}
+
+/// Heap and footprint accounting for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapSummary {
+    /// `malloc` calls.
+    pub allocs: u64,
+    /// `free` calls.
+    pub frees: u64,
+    /// Peak live heap bytes ("utilized memory").
+    pub peak_live_bytes: u64,
+    /// Bytes reserved purely for capability representability.
+    pub padding_bytes: u64,
+    /// Distinct 4 KiB pages touched ("memory footprint").
+    pub pages_touched: u64,
+}
+
+/// Everything measured about one (workload, ABI) execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The paper's workload name (e.g. `520.omnetpp_r`).
+    pub workload: String,
+    /// Stable workload key (e.g. `omnetpp_520`).
+    pub key: String,
+    /// The ABI the binary was lowered for.
+    pub abi: Abi,
+    /// Raw simulator statistics (superset of the PMU events).
+    pub stats: UarchStats,
+    /// The PMU event counts (full Table 1 set).
+    pub counts: EventCounts,
+    /// Derived metrics (Table 1 formulas).
+    pub derived: DerivedMetrics,
+    /// Top-down breakdown (Figure 3 / Table 4).
+    pub topdown: TopDown,
+    /// Simulated execution time in seconds at the platform clock.
+    pub seconds: f64,
+    /// Retired instruction count.
+    pub retired: u64,
+    /// The program's exit code (architectural checksum).
+    pub exit_code: u64,
+    /// Heap and footprint summary.
+    pub heap: HeapSummary,
+    /// Modelled on-disk binary sections (Figure 2).
+    pub binary: SectionSizes,
+}
+
+impl RunReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.derived.ipc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topdown_from_stats_shares() {
+        let s = UarchStats {
+            cpu_cycles: 1000,
+            bound_mem_l1: 10,
+            bound_mem_l2: 40,
+            bound_mem_ext: 250,
+            bound_core: 100,
+            pcc_stall_cycles: 30,
+            ..UarchStats::default()
+        };
+        let d = DerivedMetrics {
+            retiring: 0.5,
+            frontend_bound: 0.1,
+            backend_bound: 0.4,
+            bad_speculation: 0.0,
+            ..DerivedMetrics::default()
+        };
+        let t = TopDown::from_stats(&s, &d);
+        assert!((t.memory_bound - 0.3).abs() < 1e-12);
+        assert!((t.ext_mem_bound - 0.25).abs() < 1e-12);
+        assert!((t.core_bound - 0.1).abs() < 1e-12);
+        assert!((t.pcc_stall - 0.03).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! Platform configuration and the experiment runner.
+
+use crate::report::{HeapSummary, RunReport, TopDown};
+use cheri_isa::{lower, Abi, BinaryLayout, Interp, InterpConfig, InterpError};
+use cheri_workloads::{Scale, Workload};
+use core::fmt;
+use morello_pmu::{DerivedMetrics, EventCounts, MultiplexedSession};
+use morello_uarch::{TimingCore, UarchConfig, UarchStats};
+use serde::{Deserialize, Serialize};
+
+/// A simulated evaluation platform: microarchitecture + interpreter limits
+/// + workload scale.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Platform {
+    /// The timing-model configuration.
+    pub uarch: UarchConfig,
+    /// Interpreter limits (fuel, call depth, dependence window).
+    #[serde(skip, default)]
+    pub interp: InterpConfig,
+    /// Problem scale for workload builders.
+    pub scale: Scale,
+}
+
+impl Platform {
+    /// The paper's platform: Morello (Neoverse N1 + prototype CHERI
+    /// artefacts) at the default harness scale.
+    pub fn morello() -> Platform {
+        Platform {
+            uarch: UarchConfig::neoverse_n1_morello(),
+            interp: InterpConfig::default(),
+            scale: Scale::Default,
+        }
+    }
+
+    /// The §5 projection: CHERI-native microarchitecture.
+    pub fn projected() -> Platform {
+        Platform {
+            uarch: UarchConfig::projected_cheri_native(),
+            ..Platform::morello()
+        }
+    }
+
+    /// Returns a copy at a different workload scale.
+    #[must_use]
+    pub fn with_scale(mut self, scale: Scale) -> Platform {
+        self.scale = scale;
+        self
+    }
+
+    /// Returns a copy with a different microarchitecture.
+    #[must_use]
+    pub fn with_uarch(mut self, uarch: UarchConfig) -> Platform {
+        self.uarch = uarch;
+        self
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Platform {
+        Platform::morello()
+    }
+}
+
+/// Why a run could not produce a report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The workload does not support the requested ABI (the paper's NA
+    /// cells, e.g. QuickJS under the benchmark ABI).
+    UnsupportedAbi {
+        /// Workload name.
+        workload: String,
+        /// The ABI that is not supported.
+        abi: Abi,
+    },
+    /// The architectural execution failed.
+    Interp(InterpError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnsupportedAbi { workload, abi } => {
+                write!(f, "{workload} does not run under the {abi} ABI (NA)")
+            }
+            RunError::Interp(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<InterpError> for RunError {
+    fn from(e: InterpError) -> RunError {
+        RunError::Interp(e)
+    }
+}
+
+/// Runs workloads on a platform and assembles [`RunReport`]s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Runner {
+    platform: Platform,
+}
+
+impl Runner {
+    /// Creates a runner for the platform.
+    pub fn new(platform: Platform) -> Runner {
+        Runner { platform }
+    }
+
+    /// The platform in force.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Runs one workload under one ABI and reports everything.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnsupportedAbi`] for the paper's NA cells;
+    /// [`RunError::Interp`] if execution faults (which, for the shipped
+    /// workloads, indicates a bug — capability faults are tested for
+    /// separately).
+    pub fn run(&self, workload: &Workload, abi: Abi) -> Result<RunReport, RunError> {
+        if !workload.supports(abi) {
+            return Err(RunError::UnsupportedAbi {
+                workload: workload.name.to_owned(),
+                abi,
+            });
+        }
+        let generic = workload.build(abi, self.platform.scale);
+        let prog = lower(&generic);
+        let mut core = TimingCore::new(self.platform.uarch);
+        let result = Interp::new(self.platform.interp).run(&prog, &mut core)?;
+        let stats = core.finish();
+        Ok(self.assemble(workload, abi, stats, &prog, result))
+    }
+
+    /// Runs one workload the way the paper measured it: a
+    /// [`MultiplexedSession`] over the full Table 1 event set, re-running
+    /// the (deterministic) workload once per six-counter group. Returns
+    /// the merged counts and the number of runs used.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Runner::run).
+    pub fn run_multiplexed(
+        &self,
+        workload: &Workload,
+        abi: Abi,
+    ) -> Result<(EventCounts, usize), RunError> {
+        if !workload.supports(abi) {
+            return Err(RunError::UnsupportedAbi {
+                workload: workload.name.to_owned(),
+                abi,
+            });
+        }
+        let generic = workload.build(abi, self.platform.scale);
+        let prog = lower(&generic);
+        let session = MultiplexedSession::plan_full();
+        let counts = session.collect(|_group| {
+            let mut core = TimingCore::new(self.platform.uarch);
+            Interp::new(self.platform.interp)
+                .run(&prog, &mut core)
+                .map(|_| core.finish())
+        })?;
+        Ok((counts, session.required_runs()))
+    }
+
+    /// Runs a workload under every ABI it supports, in parallel threads.
+    /// Unsupported cells come back as `None` (the paper's NA).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any supported cell fails.
+    pub fn run_all_abis(
+        &self,
+        workload: &Workload,
+    ) -> Result<[Option<RunReport>; 3], RunError> {
+        let mut out = [None, None, None];
+        std::thread::scope(|scope| -> Result<(), RunError> {
+            let mut handles = Vec::new();
+            for (i, abi) in Abi::ALL.iter().enumerate() {
+                if !workload.supports(*abi) {
+                    continue;
+                }
+                let w = workload.clone();
+                handles.push((i, scope.spawn(move || self.run(&w, *abi))));
+            }
+            for (i, h) in handles {
+                out[i] = Some(h.join().expect("runner thread panicked")?);
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    fn assemble(
+        &self,
+        workload: &Workload,
+        abi: Abi,
+        stats: UarchStats,
+        prog: &cheri_isa::Program,
+        result: cheri_isa::RunResult,
+    ) -> RunReport {
+        let counts = EventCounts::from_uarch(&stats);
+        let derived = DerivedMetrics::from_counts(&counts);
+        let topdown = TopDown::from_stats(&stats, &derived);
+        RunReport {
+            workload: workload.name.to_owned(),
+            key: workload.key.to_owned(),
+            abi,
+            seconds: self.platform.uarch.cycles_to_seconds(stats.cpu_cycles),
+            retired: stats.inst_retired,
+            exit_code: result.exit_code,
+            heap: HeapSummary {
+                allocs: result.heap_stats.total_allocs,
+                frees: result.heap_stats.total_frees,
+                peak_live_bytes: result.heap_stats.peak_live_bytes,
+                padding_bytes: result.heap_stats.padding_bytes,
+                pages_touched: result.pages_touched,
+            },
+            binary: BinaryLayout::of(prog),
+            stats,
+            counts,
+            derived,
+            topdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_workloads::by_key;
+    use morello_pmu::PmuEvent;
+
+    fn test_runner() -> Runner {
+        Runner::new(Platform::morello().with_scale(Scale::Test))
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let r = test_runner();
+        let w = by_key("lbm_519").unwrap();
+        let rep = r.run(&w, Abi::Hybrid).unwrap();
+        assert!(rep.seconds > 0.0);
+        assert!(rep.retired > 0);
+        assert_eq!(rep.stats.inst_retired, rep.retired);
+        assert!(rep.ipc() > 0.0 && rep.ipc() <= 4.0);
+        // Top-down shares are sane.
+        let t = rep.topdown;
+        assert!(t.frontend_bound >= 0.0 && t.frontend_bound < 1.0);
+        assert!(t.backend_bound >= 0.0 && t.backend_bound < 1.0);
+        assert!((t.l1_bound + t.l2_bound + t.ext_mem_bound - t.memory_bound).abs() < 1e-6);
+    }
+
+    #[test]
+    fn na_cell_is_reported() {
+        let r = test_runner();
+        let q = by_key("quickjs").unwrap();
+        assert!(matches!(
+            r.run(&q, Abi::Benchmark),
+            Err(RunError::UnsupportedAbi { .. })
+        ));
+    }
+
+    #[test]
+    fn multiplexed_session_matches_single_run() {
+        let r = test_runner();
+        let w = by_key("deepsjeng_531").unwrap();
+        let single = r.run(&w, Abi::Purecap).unwrap();
+        let (multi, runs) = r.run_multiplexed(&w, Abi::Purecap).unwrap();
+        assert!(runs >= 7, "full event set needs several runs, got {runs}");
+        for (e, v) in single.counts.iter() {
+            assert_eq!(multi.get(e), v, "mismatch on {e}");
+        }
+        assert!(multi.get(PmuEvent::CapMemAccessRd) > 0);
+    }
+
+    #[test]
+    fn run_all_abis_handles_na() {
+        let r = test_runner();
+        let q = by_key("quickjs").unwrap();
+        let cells = r.run_all_abis(&q).unwrap();
+        assert!(cells[0].is_some()); // hybrid
+        assert!(cells[1].is_none()); // benchmark: NA
+        assert!(cells[2].is_some()); // purecap
+    }
+
+    #[test]
+    fn purecap_is_slower_for_pointer_heavy_workload() {
+        let r = test_runner();
+        let w = by_key("omnetpp_520").unwrap();
+        let h = r.run(&w, Abi::Hybrid).unwrap();
+        let p = r.run(&w, Abi::Purecap).unwrap();
+        assert!(
+            p.seconds > h.seconds,
+            "omnetpp purecap ({}) must be slower than hybrid ({})",
+            p.seconds,
+            h.seconds
+        );
+        assert!(p.derived.cap_traffic_share > 0.2);
+        assert!(h.derived.cap_traffic_share < 0.05);
+    }
+}

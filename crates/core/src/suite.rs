@@ -1,0 +1,134 @@
+//! Whole-suite execution helpers for the experiment harness.
+
+use crate::report::RunReport;
+use crate::runner::{RunError, Runner};
+use cheri_isa::Abi;
+use cheri_workloads::{registry, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One workload's results across the three ABIs (`None` = NA).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SuiteRow {
+    /// The workload name.
+    pub name: String,
+    /// Stable key.
+    pub key: String,
+    /// Reports indexed as `[hybrid, benchmark, purecap]` (the order of
+    /// [`Abi::ALL`]).
+    pub reports: [Option<RunReport>; 3],
+}
+
+impl SuiteRow {
+    /// The report for an ABI, if the cell ran.
+    pub fn get(&self, abi: Abi) -> Option<&RunReport> {
+        let idx = Abi::ALL.iter().position(|a| *a == abi).expect("known abi");
+        self.reports[idx].as_ref()
+    }
+
+    /// Execution time normalised to hybrid (`None` when NA). This is the
+    /// paper's Figure 1 quantity.
+    pub fn normalized_time(&self, abi: Abi) -> Option<f64> {
+        let h = self.get(Abi::Hybrid)?.seconds;
+        Some(self.get(abi)?.seconds / h)
+    }
+
+    /// The purecap slowdown factor.
+    pub fn purecap_slowdown(&self) -> Option<f64> {
+        self.normalized_time(Abi::Purecap)
+    }
+}
+
+/// Runs a set of workloads across all ABIs.
+///
+/// Workloads run sequentially; within each workload the ABIs run in
+/// parallel (see [`Runner::run_all_abis`]).
+///
+/// # Errors
+///
+/// Fails on the first workload whose supported cell fails.
+pub fn run_suite(runner: &Runner, workloads: &[Workload]) -> Result<Vec<SuiteRow>, RunError> {
+    workloads
+        .iter()
+        .map(|w| {
+            let reports = runner.run_all_abis(w)?;
+            Ok(SuiteRow {
+                name: w.name.to_owned(),
+                key: w.key.to_owned(),
+                reports,
+            })
+        })
+        .collect()
+}
+
+/// Runs the full 21-workload registry.
+///
+/// # Errors
+///
+/// As [`run_suite`].
+pub fn run_full_suite(runner: &Runner) -> Result<Vec<SuiteRow>, RunError> {
+    run_suite(runner, &registry())
+}
+
+/// The 12 representative workloads of the paper's Table 3/4, in column
+/// order.
+pub const TABLE3_KEYS: [&str; 12] = [
+    "parest_510",
+    "lbm_519",
+    "omnetpp_520",
+    "xalancbmk_523",
+    "deepsjeng_531",
+    "leela_541",
+    "nab_544",
+    "xz_557",
+    "llama_inference",
+    "llama_matmul",
+    "sqlite",
+    "quickjs",
+];
+
+/// The 6 workloads of the paper's Table 4 top-down breakdown.
+pub const TABLE4_KEYS: [&str; 6] = [
+    "lbm_519",
+    "omnetpp_520",
+    "leela_541",
+    "llama_inference",
+    "sqlite",
+    "quickjs",
+];
+
+/// Selects registry workloads by key, preserving order.
+///
+/// # Panics
+///
+/// Panics on an unknown key (the constants above are tested).
+pub fn select(keys: &[&str]) -> Vec<Workload> {
+    keys.iter()
+        .map(|k| cheri_workloads::by_key(k).unwrap_or_else(|| panic!("unknown workload {k}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Platform;
+    use cheri_workloads::Scale;
+
+    #[test]
+    fn table_keys_resolve() {
+        assert_eq!(select(&TABLE3_KEYS).len(), 12);
+        assert_eq!(select(&TABLE4_KEYS).len(), 6);
+    }
+
+    #[test]
+    fn small_suite_runs_and_normalizes() {
+        let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
+        let rows = run_suite(&runner, &select(&["lbm_519", "quickjs"])).unwrap();
+        assert_eq!(rows.len(), 2);
+        let lbm = &rows[0];
+        assert!((lbm.normalized_time(Abi::Hybrid).unwrap() - 1.0).abs() < 1e-12);
+        assert!(lbm.purecap_slowdown().unwrap() > 0.5);
+        let quickjs = &rows[1];
+        assert!(quickjs.normalized_time(Abi::Benchmark).is_none(), "NA cell");
+        assert!(quickjs.purecap_slowdown().is_some());
+    }
+}

@@ -1,0 +1,48 @@
+//! Reports are the harness's machine-readable artefacts: they must
+//! serialise to JSON and survive a round-trip, and the platform
+//! configuration must be storable alongside (the paper publishes its data
+//! as an artefact; so do we).
+
+use cheri_isa::Abi;
+use cheri_workloads::{by_key, Scale};
+use morello_sim::{Platform, RunReport, Runner};
+
+fn sample_report() -> RunReport {
+    let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
+    runner
+        .run(&by_key("xz_557").unwrap(), Abi::Purecap)
+        .expect("runs")
+}
+
+#[test]
+fn run_report_json_roundtrip() {
+    let rep = sample_report();
+    let json = serde_json::to_string_pretty(&rep).expect("serialises");
+    assert!(json.contains("\"abi\""));
+    assert!(json.contains("cap_mem_access_rd"));
+    let back: RunReport = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(back.workload, rep.workload);
+    assert_eq!(back.abi, rep.abi);
+    assert_eq!(back.stats, rep.stats);
+    assert_eq!(back.counts, rep.counts);
+    assert_eq!(back.binary, rep.binary);
+    assert!((back.seconds - rep.seconds).abs() < 1e-15);
+}
+
+#[test]
+fn platform_json_roundtrip() {
+    let p = Platform::projected().with_scale(Scale::Small);
+    let json = serde_json::to_string(&p).expect("serialises");
+    let back: Platform = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(back.uarch, p.uarch);
+    assert_eq!(back.scale, p.scale);
+}
+
+#[test]
+fn event_counts_survive_json() {
+    let rep = sample_report();
+    let json = serde_json::to_string(&rep.counts).expect("serialises");
+    let back: morello_pmu::EventCounts = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(back, rep.counts);
+    assert_eq!(back.len(), morello_pmu::PmuEvent::ALL.len());
+}

@@ -1,0 +1,94 @@
+//! The three CHERI ABIs of CheriBSD on Morello.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A CheriBSD Application Binary Interface (§2.4 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Abi {
+    /// Plain AArch64: 64-bit integer pointers, no capability checks.
+    /// The paper's performance baseline.
+    Hybrid,
+    /// Pure-capability: every pointer — language-level and sub-language
+    /// (stack pointer, return addresses, GOT entries) — is a 128-bit
+    /// capability; every access is checked; function calls use capability
+    /// branches that update PCC bounds.
+    Purecap,
+    /// Purecap-benchmark: identical data/memory profile to purecap, but
+    /// function calls and returns use integer jumps under a single global
+    /// PCC, sidestepping Morello's PCC-unaware branch predictor.
+    Benchmark,
+}
+
+impl Abi {
+    /// All three ABIs, in the paper's presentation order.
+    pub const ALL: [Abi; 3] = [Abi::Hybrid, Abi::Benchmark, Abi::Purecap];
+
+    /// The size of a pointer in bytes under this ABI.
+    pub const fn pointer_size(self) -> u64 {
+        match self {
+            Abi::Hybrid => 8,
+            Abi::Purecap | Abi::Benchmark => 16,
+        }
+    }
+
+    /// The alignment of a pointer in bytes under this ABI.
+    pub const fn pointer_align(self) -> u64 {
+        self.pointer_size()
+    }
+
+    /// Do pointers carry capabilities (tags, bounds, permissions)?
+    pub const fn is_capability(self) -> bool {
+        matches!(self, Abi::Purecap | Abi::Benchmark)
+    }
+
+    /// Do calls/returns use capability branches that change PCC bounds?
+    /// Only true for purecap; the benchmark ABI exists precisely to turn
+    /// this off while keeping everything else.
+    pub const fn capability_branches(self) -> bool {
+        matches!(self, Abi::Purecap)
+    }
+
+    /// Short lowercase name as used in the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Abi::Hybrid => "hybrid",
+            Abi::Purecap => "purecap",
+            Abi::Benchmark => "benchmark",
+        }
+    }
+}
+
+impl fmt::Display for Abi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_sizes() {
+        assert_eq!(Abi::Hybrid.pointer_size(), 8);
+        assert_eq!(Abi::Purecap.pointer_size(), 16);
+        assert_eq!(Abi::Benchmark.pointer_size(), 16);
+    }
+
+    #[test]
+    fn capability_properties() {
+        assert!(!Abi::Hybrid.is_capability());
+        assert!(Abi::Purecap.is_capability());
+        assert!(Abi::Benchmark.is_capability());
+        assert!(Abi::Purecap.capability_branches());
+        assert!(!Abi::Benchmark.capability_branches());
+        assert!(!Abi::Hybrid.capability_branches());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Abi::Hybrid.to_string(), "hybrid");
+        assert_eq!(Abi::ALL.len(), 3);
+    }
+}

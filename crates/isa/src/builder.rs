@@ -1,0 +1,872 @@
+//! Ergonomic construction of portable programs.
+//!
+//! Workloads write against [`FunctionBuilder`]'s pointer-aware API; the
+//! builder records pointer-generic instructions which
+//! [`lower`](crate::lower) later specialises per ABI.
+
+use crate::inst::{CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, IntOp, Label, LoadKind, MemSize, Operand, VecKind};
+use crate::program::{
+    FuncId, Function, GenericProgram, GlobalDef, GlobalId, ModuleId, PtrInit, VReg,
+};
+use crate::{lower, Abi, Program};
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v as i64)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Operand {
+        Operand::Imm(v as i64)
+    }
+}
+
+/// Builds a [`GenericProgram`] function by function.
+///
+/// The builder is constructed for a specific [`Abi`] so that workload code
+/// can compute ABI-correct struct layouts (pointer fields double in size
+/// under capability ABIs — the very effect the paper measures).
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    abi: Abi,
+    funcs: Vec<Option<Function>>,
+    func_names: Vec<(String, ModuleId, u16)>,
+    globals: Vec<GlobalDef>,
+    modules: Vec<String>,
+    entry: Option<FuncId>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program named `name`, targeting `abi`.
+    /// Module 0 (`"app"`) exists from the start.
+    pub fn new(name: impl Into<String>, abi: Abi) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            abi,
+            funcs: Vec::new(),
+            func_names: Vec::new(),
+            globals: Vec::new(),
+            modules: vec!["app".to_owned()],
+            entry: None,
+        }
+    }
+
+    /// The target ABI.
+    pub fn abi(&self) -> Abi {
+        self.abi
+    }
+
+    /// The pointer size for this ABI, for struct-layout computation.
+    pub fn ptr_size(&self) -> u64 {
+        self.abi.pointer_size()
+    }
+
+    /// Registers an additional module (shared object / library). Calls
+    /// crossing modules change PCC bounds under purecap.
+    pub fn module(&mut self, name: impl Into<String>) -> ModuleId {
+        self.modules.push(name.into());
+        ModuleId((self.modules.len() - 1) as u16)
+    }
+
+    /// Adds a zero-initialised mutable global of `size` bytes.
+    pub fn global_zero(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        self.add_global(GlobalDef {
+            name: name.into(),
+            size,
+            init: Vec::new(),
+            ptr_inits: Vec::new(),
+            is_const: false,
+            align: 16,
+        })
+    }
+
+    /// Adds an initialised mutable global.
+    pub fn global_data(&mut self, name: impl Into<String>, init: Vec<u8>) -> GlobalId {
+        self.add_global(GlobalDef {
+            name: name.into(),
+            size: init.len() as u64,
+            init,
+            ptr_inits: Vec::new(),
+            is_const: false,
+            align: 16,
+        })
+    }
+
+    /// Adds an initialised constant global (`.rodata`).
+    pub fn global_const(&mut self, name: impl Into<String>, init: Vec<u8>) -> GlobalId {
+        self.add_global(GlobalDef {
+            name: name.into(),
+            size: init.len() as u64,
+            init,
+            ptr_inits: Vec::new(),
+            is_const: true,
+            align: 16,
+        })
+    }
+
+    /// Adds a fully specified global.
+    pub fn add_global(&mut self, def: GlobalDef) -> GlobalId {
+        assert!(def.align.is_power_of_two() && def.align >= 8);
+        assert!(def.init.len() as u64 <= def.size);
+        self.globals.push(def);
+        GlobalId((self.globals.len() - 1) as u32)
+    }
+
+    /// Builds a table-of-pointers constant global: one pointer slot per
+    /// entry (sized per ABI), each pointing at a function. Used for
+    /// dispatch tables and vtables.
+    pub fn func_table(&mut self, name: impl Into<String>, funcs: &[FuncId]) -> GlobalId {
+        let ps = self.ptr_size();
+        let ptr_inits = funcs
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (i as u64 * ps, PtrInit::Func(f)))
+            .collect();
+        self.add_global(GlobalDef {
+            name: name.into(),
+            size: funcs.len() as u64 * ps,
+            init: Vec::new(),
+            ptr_inits,
+            is_const: true,
+            align: 16,
+        })
+    }
+
+    /// Declares a function (in module 0) for forward references; define it
+    /// later with [`define`](ProgramBuilder::define).
+    pub fn declare(&mut self, name: impl Into<String>, params: u16) -> FuncId {
+        self.declare_in(ModuleId(0), name, params)
+    }
+
+    /// Declares a function in a specific module.
+    pub fn declare_in(
+        &mut self,
+        module: ModuleId,
+        name: impl Into<String>,
+        params: u16,
+    ) -> FuncId {
+        assert!((module.0 as usize) < self.modules.len(), "unknown module");
+        self.funcs.push(None);
+        self.func_names.push((name.into(), module, params));
+        FuncId((self.funcs.len() - 1) as u32)
+    }
+
+    /// Defines a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double definition or an unbound label.
+    pub fn define(&mut self, id: FuncId, body: impl FnOnce(&mut FunctionBuilder)) {
+        assert!(
+            self.funcs[id.0 as usize].is_none(),
+            "function {:?} defined twice",
+            id
+        );
+        let (name, module, params) = self.func_names[id.0 as usize].clone();
+        let mut fb = FunctionBuilder::new(params);
+        body(&mut fb);
+        self.funcs[id.0 as usize] = Some(fb.finish(name, module, params));
+    }
+
+    /// Declares and defines a function (in module 0) in one step.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        params: u16,
+        body: impl FnOnce(&mut FunctionBuilder),
+    ) -> FuncId {
+        let id = self.declare(name, params);
+        self.define(id, body);
+        id
+    }
+
+    /// Declares and defines a function in a specific module.
+    pub fn function_in(
+        &mut self,
+        module: ModuleId,
+        name: impl Into<String>,
+        params: u16,
+        body: impl FnOnce(&mut FunctionBuilder),
+    ) -> FuncId {
+        let id = self.declare_in(module, name, params);
+        self.define(id, body);
+        id
+    }
+
+    /// Sets the entry function.
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.entry = Some(id);
+    }
+
+    /// Finalises the portable program.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the entry is unset or any declared function is
+    /// undefined.
+    pub fn build(self) -> GenericProgram {
+        let entry = self.entry.expect("entry function not set");
+        let funcs: Vec<Function> = self
+            .funcs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function #{i} declared but not defined")))
+            .collect();
+        GenericProgram {
+            name: self.name,
+            abi: self.abi,
+            funcs,
+            globals: self.globals,
+            modules: self.modules,
+            entry,
+        }
+    }
+
+    /// Builds and lowers in one step.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](ProgramBuilder::build).
+    pub fn lower(self) -> Program {
+        let gp = self.build();
+        lower(&gp)
+    }
+}
+
+/// Emits the body of one function.
+///
+/// Register 0 is the stack pointer; arguments arrive in registers
+/// `1..=params`. Fresh registers come from [`vreg`](FunctionBuilder::vreg);
+/// stack locals from [`local`](FunctionBuilder::local).
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    insts: Vec<Inst>,
+    labels: Vec<u32>,
+    next_vreg: u16,
+    frame_size: u64,
+}
+
+const UNBOUND: u32 = u32::MAX;
+
+impl FunctionBuilder {
+    fn new(params: u16) -> FunctionBuilder {
+        FunctionBuilder {
+            insts: Vec::new(),
+            labels: Vec::new(),
+            next_vreg: params + 1,
+            frame_size: 0,
+        }
+    }
+
+    fn finish(self, name: String, module: ModuleId, params: u16) -> Function {
+        for (i, &target) in self.labels.iter().enumerate() {
+            assert!(target != UNBOUND, "label {i} in {name} never bound");
+        }
+        Function {
+            name,
+            module,
+            params,
+            frame_size: (self.frame_size + 15) & !15,
+            insts: self.insts,
+            labels: self.labels,
+            vregs: self.next_vreg,
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        let r = self.next_vreg;
+        self.next_vreg = self
+            .next_vreg
+            .checked_add(1)
+            .expect("virtual register overflow");
+        r
+    }
+
+    /// The stack-pointer register (pointer-typed, frame base).
+    pub fn sp(&self) -> VReg {
+        0
+    }
+
+    /// The register holding argument `i` (0-based).
+    pub fn arg(&self, i: u16) -> VReg {
+        i + 1
+    }
+
+    /// Reserves `size` bytes of stack frame, returning the byte offset of
+    /// the new local relative to [`sp`](FunctionBuilder::sp).
+    pub fn local(&mut self, size: u64) -> i64 {
+        let off = self.frame_size;
+        self.frame_size += (size + 7) & !7;
+        off as i64
+    }
+
+    /// Creates a forward label; bind it later with
+    /// [`bind`](FunctionBuilder::bind).
+    pub fn label(&mut self) -> Label {
+        self.labels.push(UNBOUND);
+        Label((self.labels.len() - 1) as u32)
+    }
+
+    /// Binds a forward label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, l: Label) {
+        assert_eq!(self.labels[l.0 as usize], UNBOUND, "label bound twice");
+        self.labels[l.0 as usize] = self.insts.len() as u32;
+    }
+
+    /// Creates a label bound to the current position (loop heads).
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    fn push(&mut self, i: Inst) {
+        self.insts.push(i);
+    }
+
+    // ---- Constants and moves ---------------------------------------------
+
+    /// `dst = imm`.
+    pub fn mov_imm(&mut self, dst: VReg, imm: u64) {
+        self.push(Inst::MovImm { dst, imm });
+    }
+
+    /// `dst = imm` (float).
+    pub fn mov_f64(&mut self, dst: VReg, imm: f64) {
+        self.push(Inst::MovF64 { dst, imm });
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: VReg, src: VReg) {
+        self.push(Inst::Mov { dst, src });
+    }
+
+    // ---- Integer ops -------------------------------------------------------
+
+    /// `dst = op(a, b)`.
+    pub fn int_op(&mut self, op: IntOp, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.push(Inst::IntOp {
+            op,
+            dst,
+            a,
+            b: b.into(),
+        });
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::Add, dst, a, b);
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::Sub, dst, a, b);
+    }
+
+    /// `dst = a * b`.
+    pub fn mul(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::Mul, dst, a, b);
+    }
+
+    /// `dst = a / b` (unsigned; division by zero yields 0).
+    pub fn udiv(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::UDiv, dst, a, b);
+    }
+
+    /// `dst = a % b` (unsigned; modulo zero yields `a`).
+    pub fn urem(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::URem, dst, a, b);
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::And, dst, a, b);
+    }
+
+    /// `dst = a | b`.
+    pub fn orr(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::Orr, dst, a, b);
+    }
+
+    /// `dst = a ^ b`.
+    pub fn eor(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::Eor, dst, a, b);
+    }
+
+    /// `dst = a << b`.
+    pub fn lsl(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::Lsl, dst, a, b);
+    }
+
+    /// `dst = a >> b` (logical).
+    pub fn lsr(&mut self, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.int_op(IntOp::Lsr, dst, a, b);
+    }
+
+    /// `dst = a * b + c` (single fused instruction everywhere).
+    pub fn madd(&mut self, dst: VReg, a: VReg, b: VReg, c: VReg) {
+        self.push(Inst::Madd {
+            dst,
+            a,
+            b,
+            c,
+            addr_gen: false,
+        });
+    }
+
+    /// `dst = a * b + c` used for address generation: capability ABIs
+    /// split this into `mul` + pointer add (Morello has no capability
+    /// MADD).
+    pub fn madd_addr(&mut self, dst: VReg, a: VReg, b: VReg, c: VReg) {
+        self.push(Inst::Madd {
+            dst,
+            a,
+            b,
+            c,
+            addr_gen: true,
+        });
+    }
+
+    // ---- Float / SIMD ------------------------------------------------------
+
+    /// `dst = op(a, b)` (float).
+    pub fn float_op(&mut self, op: FloatOp, dst: VReg, a: VReg, b: VReg) {
+        self.push(Inst::FloatOp { op, dst, a, b });
+    }
+
+    /// `dst = a + b` (float).
+    pub fn fadd(&mut self, dst: VReg, a: VReg, b: VReg) {
+        self.float_op(FloatOp::FAdd, dst, a, b);
+    }
+
+    /// `dst = a - b` (float).
+    pub fn fsub(&mut self, dst: VReg, a: VReg, b: VReg) {
+        self.float_op(FloatOp::FSub, dst, a, b);
+    }
+
+    /// `dst = a * b` (float).
+    pub fn fmul(&mut self, dst: VReg, a: VReg, b: VReg) {
+        self.float_op(FloatOp::FMul, dst, a, b);
+    }
+
+    /// `dst = a / b` (float).
+    pub fn fdiv(&mut self, dst: VReg, a: VReg, b: VReg) {
+        self.float_op(FloatOp::FDiv, dst, a, b);
+    }
+
+    /// `dst = a * b + c` (float, fused).
+    pub fn fmadd(&mut self, dst: VReg, a: VReg, b: VReg, c: VReg) {
+        self.push(Inst::FMadd { dst, a, b, c });
+    }
+
+    /// `dst = (a cond b) ? 1 : 0` over floats.
+    pub fn fcmp(&mut self, cond: Cond, dst: VReg, a: VReg, b: VReg) {
+        self.push(Inst::FCmp { cond, dst, a, b });
+    }
+
+    /// SIMD op (`ASE_SPEC`).
+    pub fn vec_op(&mut self, op: VecKind, dst: VReg, a: VReg, b: VReg) {
+        self.push(Inst::VecOp { op, dst, a, b });
+    }
+
+    /// `dst = (f64) src`.
+    pub fn int_to_f64(&mut self, dst: VReg, src: VReg) {
+        self.push(Inst::Cvt {
+            dst,
+            src,
+            to_int: false,
+        });
+    }
+
+    /// `dst = (u64) src`.
+    pub fn f64_to_int(&mut self, dst: VReg, src: VReg) {
+        self.push(Inst::Cvt {
+            dst,
+            src,
+            to_int: true,
+        });
+    }
+
+    // ---- Pointers ----------------------------------------------------------
+
+    /// `dst = &global + off`.
+    pub fn lea_global(&mut self, dst: VReg, global: GlobalId, off: i64) {
+        self.push(Inst::LeaGlobal { dst, global, off });
+    }
+
+    /// `dst = &func` (a function pointer).
+    pub fn lea_func(&mut self, dst: VReg, func: FuncId) {
+        self.push(Inst::LeaFunc { dst, func });
+    }
+
+    /// `dst = NULL` (a valid pointer value under every ABI; dereferencing
+    /// it faults under capability ABIs and reads page zero under hybrid).
+    pub fn mov_null_ptr(&mut self, dst: VReg) {
+        self.push(Inst::MovNullPtr { dst });
+    }
+
+    /// `dst = base + off` (pointer arithmetic, bytes).
+    pub fn ptr_add(&mut self, dst: VReg, base: VReg, off: impl Into<Operand>) {
+        self.push(Inst::PtrAdd {
+            dst,
+            base,
+            off: off.into(),
+        });
+    }
+
+    /// `dst = (u64) ptr`.
+    pub fn ptr_to_int(&mut self, dst: VReg, src: VReg) {
+        self.push(Inst::PtrToInt { dst, src });
+    }
+
+    // ---- Memory ------------------------------------------------------------
+
+    /// `dst = *(base + off)` (integer, zero-extended).
+    pub fn load_int(&mut self, dst: VReg, base: VReg, off: impl Into<Operand>, size: MemSize) {
+        self.push(Inst::Load {
+            dst,
+            base,
+            off: off.into(),
+            size,
+            kind: LoadKind::Int,
+            scaled: false,
+        });
+    }
+
+    /// `dst = base[idx]` (integer array, scaled register-offset
+    /// addressing: one instruction, as on AArch64).
+    pub fn load_int_idx(&mut self, dst: VReg, base: VReg, idx: VReg, size: MemSize) {
+        self.push(Inst::Load {
+            dst,
+            base,
+            off: Operand::Reg(idx),
+            size,
+            kind: LoadKind::Int,
+            scaled: true,
+        });
+    }
+
+    /// `*(base + off) = src` (integer).
+    pub fn store_int(&mut self, src: VReg, base: VReg, off: impl Into<Operand>, size: MemSize) {
+        self.push(Inst::Store {
+            src,
+            base,
+            off: off.into(),
+            size,
+            kind: LoadKind::Int,
+            scaled: false,
+        });
+    }
+
+    /// `base[idx] = src` (integer array, scaled addressing).
+    pub fn store_int_idx(&mut self, src: VReg, base: VReg, idx: VReg, size: MemSize) {
+        self.push(Inst::Store {
+            src,
+            base,
+            off: Operand::Reg(idx),
+            size,
+            kind: LoadKind::Int,
+            scaled: true,
+        });
+    }
+
+    /// `dst = *(f64*)(base + off)`.
+    pub fn load_f64(&mut self, dst: VReg, base: VReg, off: impl Into<Operand>) {
+        self.push(Inst::Load {
+            dst,
+            base,
+            off: off.into(),
+            size: MemSize::S8,
+            kind: LoadKind::F64,
+            scaled: false,
+        });
+    }
+
+    /// `dst = base[idx]` (f64 array, scaled addressing).
+    pub fn load_f64_idx(&mut self, dst: VReg, base: VReg, idx: VReg) {
+        self.push(Inst::Load {
+            dst,
+            base,
+            off: Operand::Reg(idx),
+            size: MemSize::S8,
+            kind: LoadKind::F64,
+            scaled: true,
+        });
+    }
+
+    /// `*(f64*)(base + off) = src`.
+    pub fn store_f64(&mut self, src: VReg, base: VReg, off: impl Into<Operand>) {
+        self.push(Inst::Store {
+            src,
+            base,
+            off: off.into(),
+            size: MemSize::S8,
+            kind: LoadKind::F64,
+            scaled: false,
+        });
+    }
+
+    /// `base[idx] = src` (f64 array, scaled addressing).
+    pub fn store_f64_idx(&mut self, src: VReg, base: VReg, idx: VReg) {
+        self.push(Inst::Store {
+            src,
+            base,
+            off: Operand::Reg(idx),
+            size: MemSize::S8,
+            kind: LoadKind::F64,
+            scaled: true,
+        });
+    }
+
+    /// `dst = *(void**)(base + off)` — a pointer-sized load (8 B hybrid,
+    /// 16 B capability).
+    pub fn load_ptr(&mut self, dst: VReg, base: VReg, off: i64) {
+        self.push(Inst::LoadPtr { dst, base, off });
+    }
+
+    /// `*(void**)(base + off) = src` — a pointer-sized store.
+    pub fn store_ptr(&mut self, src: VReg, base: VReg, off: i64) {
+        self.push(Inst::StorePtr { src, base, off });
+    }
+
+    /// `dst = base[idx]` of a pointer array (scaled addressing).
+    pub fn load_ptr_idx(&mut self, dst: VReg, base: VReg, idx: VReg) {
+        self.push(Inst::LoadPtrIdx { dst, base, idx });
+    }
+
+    /// `base[idx] = src` of a pointer array (scaled addressing).
+    pub fn store_ptr_idx(&mut self, src: VReg, base: VReg, idx: VReg) {
+        self.push(Inst::StorePtrIdx { src, base, idx });
+    }
+
+    // ---- Control flow -------------------------------------------------------
+
+    /// Unconditional branch.
+    pub fn jump(&mut self, target: Label) {
+        self.push(Inst::Jump { target });
+    }
+
+    /// Branch to `target` when `cond(a, b)`.
+    pub fn br(&mut self, cond: Cond, a: VReg, b: impl Into<Operand>, target: Label) {
+        self.push(Inst::CondBr {
+            cond,
+            a,
+            b: b.into(),
+            target,
+        });
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, func: FuncId, args: &[VReg], ret: Option<VReg>) {
+        self.push(Inst::Call {
+            func,
+            args: args.to_vec(),
+            ret,
+        });
+    }
+
+    /// Indirect call through a function pointer.
+    pub fn call_indirect(&mut self, target: VReg, args: &[VReg], ret: Option<VReg>) {
+        self.push(Inst::CallIndirect {
+            target,
+            args: args.to_vec(),
+            ret,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, val: Option<VReg>) {
+        self.push(Inst::Ret { val });
+    }
+
+    // ---- Runtime -------------------------------------------------------------
+
+    /// `dst = malloc(size)`.
+    pub fn malloc(&mut self, dst: VReg, size: impl Into<Operand>) {
+        self.push(Inst::Malloc {
+            dst,
+            size: size.into(),
+        });
+    }
+
+    /// `free(ptr)`.
+    pub fn free(&mut self, ptr: VReg) {
+        self.push(Inst::Free { ptr });
+    }
+
+    /// Capability manipulation (capability ABIs / playground programs):
+    /// `dst = op(a, b)`.
+    pub fn cap_op(&mut self, op: CapOpKind, dst: VReg, a: VReg, b: impl Into<Operand>) {
+        self.push(Inst::CapOp {
+            op,
+            dst,
+            a,
+            b: b.into(),
+        });
+    }
+
+    /// `dst = seal(a, auth)` — seal `a` with the otype at `auth`'s cursor.
+    pub fn seal(&mut self, dst: VReg, a: VReg, auth: VReg) {
+        self.push(Inst::CapOp2 {
+            op: CapOp2Kind::Seal,
+            a,
+            auth,
+            dst,
+        });
+    }
+
+    /// `dst = unseal(a, auth)` — unseal `a` under `auth`'s authority.
+    pub fn unseal(&mut self, dst: VReg, a: VReg, auth: VReg) {
+        self.push(Inst::CapOp2 {
+            op: CapOp2Kind::Unseal,
+            a,
+            auth,
+            dst,
+        });
+    }
+
+    /// Stop the program with exit code 0.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt { code: None });
+    }
+
+    /// Stop the program with the value of `code` as exit code.
+    pub fn halt_code(&mut self, code: VReg) {
+        self.push(Inst::Halt { code: Some(code) });
+    }
+
+    /// Emits a counted loop `for i in start..end` with the body provided by
+    /// `body(self, i_reg)`. `i` increments by `step`.
+    pub fn for_loop(
+        &mut self,
+        start: u64,
+        end: VReg,
+        step: u64,
+        body: impl FnOnce(&mut FunctionBuilder, VReg),
+    ) -> VReg {
+        let i = self.vreg();
+        self.mov_imm(i, start);
+        let head = self.here();
+        let done = self.label();
+        self.br(Cond::Geu, i, end, done);
+        body(self, i);
+        self.add(i, i, step as i64);
+        self.jump(head);
+        self.bind(done);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_minimal_program() {
+        let mut b = ProgramBuilder::new("t", Abi::Hybrid);
+        let f = b.function("main", 0, |f| {
+            let r = f.vreg();
+            f.mov_imm(r, 7);
+            f.halt_code(r);
+        });
+        b.set_entry(f);
+        let p = b.build();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].insts.len(), 2);
+        assert_eq!(p.entry, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry function not set")]
+    fn missing_entry_panics() {
+        let b = ProgramBuilder::new("t", Abi::Hybrid);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("t", Abi::Hybrid);
+        b.function("main", 0, |f| {
+            let l = f.label();
+            f.jump(l);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but not defined")]
+    fn undefined_function_panics() {
+        let mut b = ProgramBuilder::new("t", Abi::Hybrid);
+        let m = b.function("main", 0, |f| f.halt());
+        b.declare("ghost", 0);
+        b.set_entry(m);
+        b.build();
+    }
+
+    #[test]
+    fn locals_are_aligned_and_stacked() {
+        let mut b = ProgramBuilder::new("t", Abi::Purecap);
+        b.function("main", 0, |f| {
+            let a = f.local(4);
+            let c = f.local(8);
+            assert_eq!(a, 0);
+            assert_eq!(c, 8); // 4 rounded to 8
+            f.halt();
+        });
+    }
+
+    #[test]
+    fn labels_bind_and_loop_helper() {
+        let mut b = ProgramBuilder::new("t", Abi::Hybrid);
+        let f = b.function("main", 0, |f| {
+            let n = f.vreg();
+            f.mov_imm(n, 10);
+            let sum = f.vreg();
+            f.mov_imm(sum, 0);
+            f.for_loop(0, n, 1, |f, i| {
+                f.add(sum, sum, i);
+            });
+            f.halt_code(sum);
+        });
+        b.set_entry(f);
+        let p = b.build();
+        assert!(p.funcs[0].labels.iter().all(|&l| l != u32::MAX));
+    }
+
+    #[test]
+    fn ptr_size_tracks_abi() {
+        assert_eq!(ProgramBuilder::new("t", Abi::Hybrid).ptr_size(), 8);
+        assert_eq!(ProgramBuilder::new("t", Abi::Purecap).ptr_size(), 16);
+    }
+
+    #[test]
+    fn func_table_lays_out_pointer_slots() {
+        let mut b = ProgramBuilder::new("t", Abi::Purecap);
+        let f1 = b.function("a", 0, |f| f.ret(None));
+        let f2 = b.function("b", 0, |f| f.ret(None));
+        let t = b.func_table("table", &[f1, f2]);
+        let g = &b.globals[t.0 as usize];
+        assert_eq!(g.size, 32); // two 16-byte slots
+        assert_eq!(g.ptr_inits.len(), 2);
+        assert_eq!(g.ptr_inits[1].0, 16);
+    }
+}

@@ -1,0 +1,640 @@
+//! The instruction set.
+//!
+//! One enum serves both the portable (pre-lowering) and the executable
+//! (post-lowering) forms. The pointer-generic instructions ([`Inst::PtrAdd`],
+//! [`Inst::LoadPtr`], [`Inst::LeaGlobal`], …) only appear before lowering;
+//! the capability instructions ([`Inst::CapOp`], capability-kind loads)
+//! only appear after lowering to a capability ABI (or in hand-written
+//! capability playground programs).
+
+use crate::program::{FuncId, GlobalId, VReg};
+use serde::{Deserialize, Serialize};
+
+/// A branch-local label (index into the owning function's label table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+/// A register-or-immediate operand.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// A signed immediate.
+    Imm(i64),
+}
+
+/// Integer data-processing operations (counted as `DP_SPEC`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (`x / 0 == 0`, the AArch64 rule).
+    UDiv,
+    /// Unsigned remainder (`x % 0 == x`).
+    URem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Orr,
+    /// Bitwise XOR.
+    Eor,
+    /// Logical shift left (mod 64).
+    Lsl,
+    /// Logical shift right (mod 64).
+    Lsr,
+    /// Arithmetic shift right (mod 64).
+    Asr,
+}
+
+/// Floating-point operations (counted as `VFP_SPEC`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FloatOp {
+    /// Addition.
+    FAdd,
+    /// Subtraction.
+    FSub,
+    /// Multiplication.
+    FMul,
+    /// Division.
+    FDiv,
+    /// Minimum.
+    FMin,
+    /// Maximum.
+    FMax,
+    /// Square root of the first operand (second ignored).
+    FSqrt,
+}
+
+/// SIMD operations (counted as `ASE_SPEC`). Architecturally modelled as a
+/// scalar `f64` operation standing in for a 128-bit vector op; only the
+/// instruction-mix accounting depends on the distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VecKind {
+    /// Vector add.
+    VAdd,
+    /// Vector multiply.
+    VMul,
+    /// Vector fused multiply-add (`dst += a * b`).
+    VFma,
+    /// Sum of absolute differences (video workloads).
+    VSad,
+}
+
+/// Branch conditions over two integer values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned less-or-equal.
+    Leu,
+    /// Unsigned greater-than.
+    Gtu,
+    /// Unsigned greater-or-equal.
+    Geu,
+    /// Signed less-than.
+    Lts,
+    /// Signed greater-than.
+    Gts,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Ltu => a < b,
+            Cond::Leu => a <= b,
+            Cond::Gtu => a > b,
+            Cond::Geu => a >= b,
+            Cond::Lts => (a as i64) < (b as i64),
+            Cond::Gts => (a as i64) > (b as i64),
+        }
+    }
+}
+
+/// Access sizes for scalar memory operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemSize {
+    /// 1 byte.
+    S1,
+    /// 2 bytes.
+    S2,
+    /// 4 bytes.
+    S4,
+    /// 8 bytes.
+    S8,
+}
+
+impl MemSize {
+    /// The size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemSize::S1 => 1,
+            MemSize::S2 => 2,
+            MemSize::S4 => 4,
+            MemSize::S8 => 8,
+        }
+    }
+}
+
+/// What a scalar load/store moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadKind {
+    /// Integer data (zero-extended to 64 bits).
+    Int,
+    /// An 8-byte `f64`.
+    F64,
+    /// A 16-byte capability with its tag (post-lowering only).
+    Cap,
+}
+
+/// Two-capability-register operations (sealing with an authority
+/// capability — the CHERI compartmentalisation primitives).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapOp2Kind {
+    /// `dst = seal(a, auth)`: seal `a` with the otype designated by
+    /// `auth`'s cursor.
+    Seal,
+    /// `dst = unseal(a, auth)`: unseal `a`; `auth`'s cursor must match
+    /// `a`'s otype and carry the UNSEAL permission.
+    Unseal,
+}
+
+/// Capability-manipulation operations (counted as `DP_SPEC`; these are the
+/// extra data-processing µops the paper attributes CHERI's instruction-mix
+/// shift to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapOpKind {
+    /// `dst = a` with cursor advanced by `b` bytes.
+    IncOffset,
+    /// `dst = a` with cursor set to `b`.
+    SetAddr,
+    /// `dst = a` bounded to `[cursor, cursor + b)`, rounding outward.
+    SetBounds,
+    /// As `SetBounds` but faulting if rounding would be needed.
+    SetBoundsExact,
+    /// `dst = a`'s cursor address (integer result).
+    GetAddr,
+    /// `dst = a`'s length (integer result).
+    GetLen,
+    /// `dst = a`'s base (integer result).
+    GetBase,
+    /// `dst = a`'s tag (0 or 1).
+    GetTag,
+    /// `dst = a` with permissions intersected with the mask `b`.
+    AndPerm,
+    /// `dst = a` sealed as a sentry.
+    SealEntry,
+    /// `dst = a` with the tag cleared.
+    ClearTag,
+}
+
+/// Branch kinds as retired, for branch-predictor modelling and the
+/// `BR_*_SPEC` counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional or unconditional direct branch.
+    Immediate,
+    /// Indirect branch through a register (virtual dispatch, interpreter
+    /// dispatch tables).
+    Indirect,
+    /// Direct call.
+    Call,
+    /// Indirect call.
+    IndirectCall,
+    /// Function return.
+    Return,
+}
+
+/// One instruction.
+///
+/// See the module docs for which variants are pre- vs post-lowering.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = imm`.
+    MovImm {
+        /// Destination register.
+        dst: VReg,
+        /// The immediate value.
+        imm: u64,
+    },
+    /// `dst = imm` (floating point).
+    MovF64 {
+        /// Destination register.
+        dst: VReg,
+        /// The immediate value.
+        imm: f64,
+    },
+    /// `dst = src` (any value kind).
+    Mov {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// Integer data processing: `dst = op(a, b)`.
+    IntOp {
+        /// The operation.
+        op: IntOp,
+        /// Destination register.
+        dst: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: Operand,
+    },
+    /// Fused multiply-add: `dst = a * b + c`. When the result feeds
+    /// address generation, set `addr_gen` so capability lowerings can
+    /// split it (Morello has no capability-aware MADD).
+    Madd {
+        /// Destination register.
+        dst: VReg,
+        /// Multiplicand.
+        a: VReg,
+        /// Multiplier.
+        b: VReg,
+        /// Addend.
+        c: VReg,
+        /// Whether the result is used as (part of) an address.
+        addr_gen: bool,
+    },
+    /// Floating-point data processing: `dst = op(a, b)`.
+    FloatOp {
+        /// The operation.
+        op: FloatOp,
+        /// Destination register.
+        dst: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: VReg,
+    },
+    /// Floating-point fused multiply-add: `dst = a * b + c`.
+    FMadd {
+        /// Destination register.
+        dst: VReg,
+        /// Multiplicand.
+        a: VReg,
+        /// Multiplier.
+        b: VReg,
+        /// Addend.
+        c: VReg,
+    },
+    /// Float comparison producing 0/1: `dst = (a cond b)`.
+    FCmp {
+        /// The condition (interpreted over floats).
+        cond: Cond,
+        /// Destination (integer 0/1).
+        dst: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: VReg,
+    },
+    /// SIMD operation (counts as `ASE_SPEC`): `dst = op(a, b)` with
+    /// [`VecKind::VFma`]/[`VecKind::VSad`] also reading `dst`.
+    VecOp {
+        /// The operation.
+        op: VecKind,
+        /// Destination register.
+        dst: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: VReg,
+    },
+    /// Conversion between integer and `f64`.
+    Cvt {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+        /// `true`: f64 -> int; `false`: int -> f64.
+        to_int: bool,
+    },
+
+    // ---- Pointer-generic (pre-lowering) ----------------------------------
+    /// Materialise the address of a global (+offset) as a pointer.
+    LeaGlobal {
+        /// Destination pointer register.
+        dst: VReg,
+        /// The global.
+        global: GlobalId,
+        /// Byte offset within the global.
+        off: i64,
+    },
+    /// Materialise a null pointer (integer 0 under hybrid, the untagged
+    /// null capability under capability ABIs).
+    MovNullPtr {
+        /// Destination pointer register.
+        dst: VReg,
+    },
+    /// Materialise a function pointer.
+    LeaFunc {
+        /// Destination pointer register.
+        dst: VReg,
+        /// The function.
+        func: FuncId,
+    },
+    /// Pointer arithmetic: `dst = base + off` (bytes).
+    PtrAdd {
+        /// Destination pointer register.
+        dst: VReg,
+        /// Base pointer.
+        base: VReg,
+        /// Byte displacement.
+        off: Operand,
+    },
+    /// Extract the integer address of a pointer.
+    PtrToInt {
+        /// Destination integer register.
+        dst: VReg,
+        /// Source pointer.
+        src: VReg,
+    },
+    /// Load a pointer-sized value (8 bytes hybrid / 16-byte capability).
+    LoadPtr {
+        /// Destination pointer register.
+        dst: VReg,
+        /// Base pointer.
+        base: VReg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Store a pointer-sized value.
+    StorePtr {
+        /// Source pointer register.
+        src: VReg,
+        /// Base pointer.
+        base: VReg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Load `base[idx]` from a pointer array: scaled register-offset
+    /// addressing (`ldr x, [x0, x1, lsl #3]` / `ldr c, [c0, x1, lsl #4]`).
+    LoadPtrIdx {
+        /// Destination pointer register.
+        dst: VReg,
+        /// Base pointer.
+        base: VReg,
+        /// Element index register (scaled by the pointer size).
+        idx: VReg,
+    },
+    /// Store `src` to `base[idx]` of a pointer array.
+    StorePtrIdx {
+        /// Source pointer register.
+        src: VReg,
+        /// Base pointer.
+        base: VReg,
+        /// Element index register (scaled by the pointer size).
+        idx: VReg,
+    },
+
+    // ---- Memory ----------------------------------------------------------
+    /// Scalar load: `dst = *(base + off)`.
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// Base pointer.
+        base: VReg,
+        /// Byte offset (register or immediate).
+        off: Operand,
+        /// Access size (ignored for `kind != Int`).
+        size: MemSize,
+        /// What is loaded.
+        kind: LoadKind,
+        /// Scaled register-offset addressing: a register `off` is an
+        /// *element index*, multiplied by the access size (16 for
+        /// capabilities) — AArch64's `lsl #n` addressing mode.
+        scaled: bool,
+    },
+    /// Scalar store: `*(base + off) = src`.
+    Store {
+        /// Source register.
+        src: VReg,
+        /// Base pointer.
+        base: VReg,
+        /// Byte offset (register or immediate).
+        off: Operand,
+        /// Access size (ignored for `kind != Int`).
+        size: MemSize,
+        /// What is stored.
+        kind: LoadKind,
+        /// Scaled register-offset addressing (see [`Inst::Load`]).
+        scaled: bool,
+    },
+
+    // ---- Control flow ----------------------------------------------------
+    /// Unconditional branch to a label.
+    Jump {
+        /// The target label.
+        target: Label,
+    },
+    /// Conditional branch: taken when `cond(a, b)`.
+    CondBr {
+        /// The condition.
+        cond: Cond,
+        /// First comparison source.
+        a: VReg,
+        /// Second comparison source.
+        b: Operand,
+        /// Target when taken (falls through otherwise).
+        target: Label,
+    },
+    /// Direct call.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument registers (copied to callee v1..vN).
+        args: Vec<VReg>,
+        /// Where to put the return value, if any.
+        ret: Option<VReg>,
+    },
+    /// Indirect call through a function pointer.
+    CallIndirect {
+        /// Register holding the function pointer.
+        target: VReg,
+        /// Argument registers.
+        args: Vec<VReg>,
+        /// Where to put the return value, if any.
+        ret: Option<VReg>,
+    },
+    /// Return from the current function.
+    Ret {
+        /// Optional return value register.
+        val: Option<VReg>,
+    },
+
+    // ---- Runtime intrinsics ----------------------------------------------
+    /// Heap allocation; `dst` receives the new pointer.
+    Malloc {
+        /// Destination pointer register.
+        dst: VReg,
+        /// Requested size in bytes.
+        size: Operand,
+    },
+    /// Heap release.
+    Free {
+        /// The pointer to release (must be an allocation base).
+        ptr: VReg,
+    },
+
+    /// Load a capability from the capability table (GOT): the purecap way
+    /// to materialise a global or function pointer. Post-lowering only.
+    LoadCapTable {
+        /// Destination pointer register.
+        dst: VReg,
+        /// Capability-table slot index.
+        slot: u32,
+        /// Extra byte offset applied to the loaded capability's cursor
+        /// (folded into the load; no extra instruction).
+        off: i64,
+    },
+
+    // ---- Capability operations (post-lowering / playground) ---------------
+    /// Two-capability sealing operation: `dst = op(a, auth)`.
+    CapOp2 {
+        /// The operation.
+        op: CapOp2Kind,
+        /// The capability being sealed/unsealed.
+        a: VReg,
+        /// The authorising capability.
+        auth: VReg,
+        /// Destination register.
+        dst: VReg,
+    },
+    /// Capability manipulation: `dst = op(a, b)`.
+    CapOp {
+        /// The operation.
+        op: CapOpKind,
+        /// Destination register.
+        dst: VReg,
+        /// Capability source.
+        a: VReg,
+        /// Scalar operand where applicable.
+        b: Operand,
+    },
+
+    /// Stop the program; the value of `code` becomes the exit value.
+    Halt {
+        /// Exit-code register (0 if `None`).
+        code: Option<VReg>,
+    },
+}
+
+/// Instruction classes for `*_SPEC` accounting (Table 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstClass {
+    /// Integer data processing (including capability manipulation).
+    Dp,
+    /// Floating point.
+    Vfp,
+    /// SIMD.
+    Ase,
+    /// Load.
+    Ld,
+    /// Store.
+    St,
+    /// Immediate branch.
+    BrImmed,
+    /// Indirect branch.
+    BrIndirect,
+    /// Return branch.
+    BrReturn,
+}
+
+impl Inst {
+    /// The `*_SPEC` class this instruction retires as. Pointer-generic
+    /// instructions report their hybrid class; lowering replaces them
+    /// before execution anyway.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::MovImm { .. }
+            | Inst::MovF64 { .. }
+            | Inst::Mov { .. }
+            | Inst::IntOp { .. }
+            | Inst::Madd { .. }
+            | Inst::Cvt { .. }
+            | Inst::LeaGlobal { .. }
+            | Inst::MovNullPtr { .. }
+            | Inst::LeaFunc { .. }
+            | Inst::PtrAdd { .. }
+            | Inst::PtrToInt { .. }
+            | Inst::CapOp { .. }
+            | Inst::CapOp2 { .. }
+            | Inst::Malloc { .. }
+            | Inst::Free { .. }
+            | Inst::Halt { .. } => InstClass::Dp,
+            Inst::FloatOp { .. } | Inst::FMadd { .. } | Inst::FCmp { .. } => InstClass::Vfp,
+            Inst::VecOp { .. } => InstClass::Ase,
+            Inst::LoadPtr { .. }
+            | Inst::LoadPtrIdx { .. }
+            | Inst::Load { .. }
+            | Inst::LoadCapTable { .. } => InstClass::Ld,
+            Inst::StorePtr { .. } | Inst::StorePtrIdx { .. } | Inst::Store { .. } => InstClass::St,
+            Inst::Jump { .. } | Inst::CondBr { .. } => InstClass::BrImmed,
+            Inst::Call { .. } => InstClass::BrImmed,
+            Inst::CallIndirect { .. } => InstClass::BrIndirect,
+            Inst::Ret { .. } => InstClass::BrReturn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_signed_vs_unsigned() {
+        let neg = (-1i64) as u64;
+        assert!(Cond::Gtu.eval(neg, 1));
+        assert!(Cond::Lts.eval(neg, 1));
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Leu.eval(5, 5));
+        assert!(Cond::Geu.eval(5, 5));
+        assert!(Cond::Gts.eval(1, -1i64 as u64));
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::S1.bytes(), 1);
+        assert_eq!(MemSize::S2.bytes(), 2);
+        assert_eq!(MemSize::S4.bytes(), 4);
+        assert_eq!(MemSize::S8.bytes(), 8);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Inst::MovImm { dst: 0, imm: 1 }.class(), InstClass::Dp);
+        assert_eq!(
+            Inst::VecOp {
+                op: VecKind::VAdd,
+                dst: 0,
+                a: 1,
+                b: 2
+            }
+            .class(),
+            InstClass::Ase
+        );
+        assert_eq!(Inst::Ret { val: None }.class(), InstClass::BrReturn);
+        assert_eq!(
+            Inst::CallIndirect {
+                target: 0,
+                args: vec![],
+                ret: None
+            }
+            .class(),
+            InstClass::BrIndirect
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Program structure: functions, globals, modules, and the lowered form.
+
+use crate::inst::Inst;
+use crate::Abi;
+use serde::{Deserialize, Serialize};
+
+/// A virtual register index (per function). Register 0 is the stack
+/// pointer; arguments arrive in registers 1..=N.
+pub type VReg = u16;
+
+/// Identifies a function within a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Identifies a global within a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+/// Identifies a "module" — a compilation unit / shared object. Control
+/// transfers that cross modules change PCC bounds under the purecap ABI,
+/// which is the branch-predictor artefact the benchmark ABI works around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub u16);
+
+/// How a pointer-sized slot inside a global's initial image is filled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PtrInit {
+    /// Points `off` bytes into another (or the same) global.
+    Global(GlobalId, u64),
+    /// Points at a function (a code pointer).
+    Func(FuncId),
+    /// A loader-provided sealing authority with its cursor at the given
+    /// object type (CheriBSD installs such a root for userspace sealing).
+    /// Under the hybrid ABI the slot holds the raw otype as an integer.
+    SealRoot(u16),
+}
+
+/// A global data object.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GlobalDef {
+    /// Symbol name (for reports).
+    pub name: String,
+    /// Total size in bytes (pointer slots sized per ABI are already
+    /// included — the builder computes this with the ABI's pointer size).
+    pub size: u64,
+    /// Non-zero initial data, written at offset 0 (may be shorter than
+    /// `size`; the rest is zero — i.e. `.bss`-like when empty).
+    pub init: Vec<u8>,
+    /// Pointer-slot initialisers: `(byte offset, target)`.
+    pub ptr_inits: Vec<(u64, PtrInit)>,
+    /// `const` data (lives in `.rodata`, or `.data.rel.ro` under purecap
+    /// when it contains pointer slots).
+    pub is_const: bool,
+    /// Required alignment (power of two, at least 8).
+    pub align: u64,
+}
+
+/// A function: a flat instruction list with label targets.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// The compilation unit / shared object this function belongs to.
+    pub module: ModuleId,
+    /// Number of declared arguments (arrive in v1..=vN).
+    pub params: u16,
+    /// Stack frame size in bytes for locals.
+    pub frame_size: u64,
+    /// The body.
+    pub insts: Vec<Inst>,
+    /// Label table: label index -> instruction index.
+    pub labels: Vec<u32>,
+    /// Number of virtual registers used (>= params + 1).
+    pub vregs: u16,
+}
+
+/// A portable (pre-lowering) program.
+///
+/// Produced by [`ProgramBuilder`](crate::ProgramBuilder); consumed by
+/// [`lower`](crate::lower). Struct layouts inside are already specialised
+/// to the target ABI's pointer size (the builder is constructed with an
+/// [`Abi`]), but instructions are still pointer-generic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GenericProgram {
+    /// Program name (for reports).
+    pub name: String,
+    /// The ABI this program's data layouts were computed for.
+    pub abi: Abi,
+    /// All functions.
+    pub funcs: Vec<Function>,
+    /// All globals.
+    pub globals: Vec<GlobalDef>,
+    /// Module names (index = `ModuleId`).
+    pub modules: Vec<String>,
+    /// The entry function.
+    pub entry: FuncId,
+}
+
+/// Where everything lives in the simulated address space after lowering.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AddressMap {
+    /// Code base address of each function.
+    pub func_base: Vec<u64>,
+    /// Code size of each function in bytes.
+    pub func_size: Vec<u64>,
+    /// Base address of each global.
+    pub global_base: Vec<u64>,
+    /// Capability table (GOT) base; slot `i` holds the capability for
+    /// captable entry `i`.
+    pub captable_base: u64,
+    /// Number of capability-table slots (functions + globals under
+    /// capability ABIs; external-only under hybrid).
+    pub captable_slots: u64,
+    /// Initial stack top (stacks grow down).
+    pub stack_top: u64,
+    /// Heap arena range.
+    pub heap: (u64, u64),
+}
+
+impl AddressMap {
+    /// Finds the function whose code region contains `addr`, if any.
+    pub fn func_at(&self, addr: u64) -> Option<FuncId> {
+        // Code regions are laid out in ascending order.
+        let idx = match self.func_base.binary_search(&addr) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let base = self.func_base[idx];
+        (addr < base + self.func_size[idx]).then_some(FuncId(idx as u32))
+    }
+}
+
+/// A lowered, executable program: ABI-specific instructions plus the
+/// address map used by the interpreter and the binary-layout model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The portable program this was lowered from (instructions replaced).
+    pub name: String,
+    /// The target ABI.
+    pub abi: Abi,
+    /// Lowered functions (same indices as the generic program).
+    pub funcs: Vec<Function>,
+    /// Globals (unchanged by lowering).
+    pub globals: Vec<GlobalDef>,
+    /// Module names.
+    pub modules: Vec<String>,
+    /// The entry function.
+    pub entry: FuncId,
+    /// The address map.
+    pub map: AddressMap,
+}
+
+impl Program {
+    /// Total lowered instruction count across all functions.
+    pub fn total_insts(&self) -> u64 {
+        self.funcs.iter().map(|f| f.insts.len() as u64).sum()
+    }
+
+    /// The code address of instruction `idx` of function `f` (4 bytes per
+    /// instruction, as on AArch64/Morello).
+    #[inline]
+    pub fn pc_of(&self, f: FuncId, idx: usize) -> u64 {
+        self.map.func_base[f.0 as usize] + (idx as u64) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_at_lookup() {
+        let map = AddressMap {
+            func_base: vec![0x1000, 0x2000, 0x8000],
+            func_size: vec![0x100, 0x40, 0x1000],
+            global_base: vec![],
+            captable_base: 0,
+            captable_slots: 0,
+            stack_top: 0,
+            heap: (0, 0),
+        };
+        assert_eq!(map.func_at(0x1000), Some(FuncId(0)));
+        assert_eq!(map.func_at(0x10ff), Some(FuncId(0)));
+        assert_eq!(map.func_at(0x1100), None);
+        assert_eq!(map.func_at(0x2010), Some(FuncId(1)));
+        assert_eq!(map.func_at(0x8fff), Some(FuncId(2)));
+        assert_eq!(map.func_at(0x0fff), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Architecture-independent trace analysis.
+//!
+//! [`TraceSummary`] is an [`EventSink`](crate::EventSink) that
+//! characterises a workload the way §3.3 of the paper does — instruction
+//! mix, memory intensity, pointer (capability) density, working-set size,
+//! access-pattern class — without running the timing model. Useful for
+//! validating a new workload against its target profile before measuring
+//! it.
+
+use crate::inst::{BranchKind, InstClass};
+use crate::interp::{EventSink, RetiredEvent, RetiredInfo};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Workload characterisation extracted from one architectural run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total retired instructions.
+    pub retired: u64,
+    /// Loads / stores / integer DP / FP / SIMD / branch counts.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Integer data processing (including capability manipulation).
+    pub dp: u64,
+    /// Floating point.
+    pub vfp: u64,
+    /// SIMD.
+    pub ase: u64,
+    /// Branches of any kind.
+    pub branches: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Indirect branches (dispatch, virtual calls).
+    pub indirect_branches: u64,
+    /// Calls.
+    pub calls: u64,
+    /// Capability-manipulation instructions.
+    pub cap_manip: u64,
+    /// Capability (16-byte, tagged) memory accesses.
+    pub cap_accesses: u64,
+    /// Loads whose address depended on a recent load (pointer chasing).
+    pub dependent_loads: u64,
+    /// Bytes moved by loads and stores.
+    pub bytes_accessed: u64,
+    /// PCC-bounds-changing branches.
+    pub pcc_changes: u64,
+    #[serde(skip)]
+    lines: HashSet<u64>,
+    #[serde(skip)]
+    pages: HashSet<u64>,
+    #[serde(skip)]
+    code_lines: HashSet<u64>,
+    /// Distinct 64-byte data lines touched (filled by [`finish`](TraceSummary::finish)).
+    pub data_lines: u64,
+    /// Distinct 4-KiB data pages touched.
+    pub data_pages: u64,
+    /// Distinct 64-byte code lines fetched.
+    pub code_footprint_lines: u64,
+}
+
+impl TraceSummary {
+    /// Creates an empty summary.
+    pub fn new() -> TraceSummary {
+        TraceSummary::default()
+    }
+
+    /// Seals the set-based statistics into plain counters. Call after the
+    /// run; safe to call repeatedly.
+    pub fn finish(&mut self) {
+        self.data_lines = self.lines.len() as u64;
+        self.data_pages = self.pages.len() as u64;
+        self.code_footprint_lines = self.code_lines.len() as u64;
+    }
+
+    /// The paper's memory-intensity metric:
+    /// `(loads + stores) / (dp + ase + vfp)`.
+    pub fn memory_intensity(&self) -> f64 {
+        (self.loads + self.stores) as f64 / (self.dp + self.ase + self.vfp).max(1) as f64
+    }
+
+    /// Fraction of memory accesses that move capabilities.
+    pub fn cap_traffic_share(&self) -> f64 {
+        self.cap_accesses as f64 / (self.loads + self.stores).max(1) as f64
+    }
+
+    /// Fraction of loads that chase pointers.
+    pub fn chase_fraction(&self) -> f64 {
+        self.dependent_loads as f64 / self.loads.max(1) as f64
+    }
+
+    /// Data working set in bytes (line-granular).
+    pub fn working_set_bytes(&self) -> u64 {
+        self.data_lines * 64
+    }
+
+    /// A coarse access-pattern class, in the vocabulary the paper uses.
+    pub fn access_pattern(&self) -> &'static str {
+        if self.chase_fraction() > 0.25 {
+            "pointer-chasing"
+        } else if self.memory_intensity() > 0.35 && self.chase_fraction() < 0.05 {
+            "streaming"
+        } else {
+            "mixed"
+        }
+    }
+}
+
+impl EventSink for TraceSummary {
+    fn retire(&mut self, ev: RetiredEvent) {
+        self.retired += 1;
+        self.code_lines.insert(ev.pc >> 6);
+        match ev.info {
+            RetiredInfo::Simple(class) | RetiredInfo::LongLatency { class, .. } => match class {
+                InstClass::Dp => self.dp += 1,
+                InstClass::Vfp => self.vfp += 1,
+                InstClass::Ase => self.ase += 1,
+                _ => {}
+            },
+            RetiredInfo::CapManip => {
+                self.dp += 1;
+                self.cap_manip += 1;
+            }
+            RetiredInfo::Load {
+                addr,
+                size,
+                is_cap,
+                dep_load,
+            } => {
+                self.loads += 1;
+                self.bytes_accessed += u64::from(size);
+                self.cap_accesses += u64::from(is_cap);
+                self.dependent_loads += u64::from(dep_load);
+                self.lines.insert(addr >> 6);
+                self.pages.insert(addr >> 12);
+            }
+            RetiredInfo::Store { addr, size, is_cap } => {
+                self.stores += 1;
+                self.bytes_accessed += u64::from(size);
+                self.cap_accesses += u64::from(is_cap);
+                self.lines.insert(addr >> 6);
+                self.pages.insert(addr >> 12);
+            }
+            RetiredInfo::Branch {
+                kind,
+                taken,
+                pcc_change,
+                ..
+            } => {
+                self.branches += 1;
+                self.taken_branches += u64::from(taken);
+                self.pcc_changes += u64::from(pcc_change);
+                match kind {
+                    BranchKind::Indirect | BranchKind::IndirectCall => {
+                        self.indirect_branches += 1;
+                        if kind == BranchKind::IndirectCall {
+                            self.calls += 1;
+                        }
+                    }
+                    BranchKind::Call => self.calls += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Abi, Interp, InterpConfig, MemSize, ProgramBuilder};
+
+    fn summarise(abi: Abi) -> TraceSummary {
+        let mut b = ProgramBuilder::new("t", abi);
+        let g = b.global_zero("arr", 8192);
+        let main = b.function("main", 0, |f| {
+            let p = f.vreg();
+            f.lea_global(p, g, 0);
+            let n = f.vreg();
+            f.mov_imm(n, 512);
+            let acc = f.vreg();
+            f.mov_imm(acc, 0);
+            f.for_loop(0, n, 1, |f, i| {
+                let v = f.vreg();
+                f.load_int_idx(v, p, i, MemSize::S8);
+                f.add(acc, acc, v);
+                f.store_int_idx(acc, p, i, MemSize::S8);
+            });
+            // A pointer store so capability ABIs show cap traffic.
+            f.store_ptr(p, p, 0);
+            f.halt_code(acc);
+        });
+        b.set_entry(main);
+        let prog = b.lower();
+        let mut t = TraceSummary::new();
+        Interp::new(InterpConfig::default()).run(&prog, &mut t).unwrap();
+        t.finish();
+        t
+    }
+
+    #[test]
+    fn counts_partition_and_derive() {
+        let t = summarise(Abi::Hybrid);
+        assert_eq!(
+            t.retired,
+            t.loads + t.stores + t.dp + t.vfp + t.ase + t.branches
+        );
+        assert!(t.loads >= 512);
+        assert!(t.stores >= 513);
+        assert!(t.memory_intensity() > 0.2);
+        assert_eq!(t.cap_accesses, 0);
+        // 4 KiB swept (512 x 8 B): 64 data lines plus stack noise.
+        assert!(t.data_lines >= 64, "{}", t.data_lines);
+        assert!(t.data_pages >= 1);
+        assert_eq!(t.access_pattern(), "streaming");
+    }
+
+    #[test]
+    fn capability_share_appears_under_purecap() {
+        let h = summarise(Abi::Hybrid);
+        let p = summarise(Abi::Purecap);
+        assert!(p.cap_accesses > 0);
+        assert!(p.cap_traffic_share() > h.cap_traffic_share());
+        assert!(p.cap_manip > 0);
+        assert!(p.code_footprint_lines > 0);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut t = summarise(Abi::Hybrid);
+        let lines = t.data_lines;
+        t.finish();
+        assert_eq!(t.data_lines, lines);
+    }
+}

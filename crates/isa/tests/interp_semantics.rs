@@ -1,0 +1,586 @@
+//! Architectural semantics tests: cross-ABI result equivalence, capability
+//! enforcement, event-stream sanity.
+
+use cheri_isa::{
+    Abi, BranchKind, Cond, EventSink, Interp, InterpConfig, InterpError, MemSize, NullSink,
+    ProgramBuilder, RetiredEvent, RetiredInfo,
+};
+
+/// Collects every retired event.
+#[derive(Default)]
+struct Collect {
+    events: Vec<RetiredEvent>,
+}
+
+impl EventSink for Collect {
+    fn retire(&mut self, ev: RetiredEvent) {
+        self.events.push(ev);
+    }
+}
+
+fn run_exit(abi: Abi, build: impl Fn(&mut ProgramBuilder)) -> u64 {
+    let mut b = ProgramBuilder::new("t", abi);
+    build(&mut b);
+    let prog = b.lower();
+    Interp::new(InterpConfig::default())
+        .run(&prog, &mut NullSink)
+        .unwrap()
+        .exit_code
+}
+
+/// A linked-list sum: allocates nodes, chains them, walks the chain.
+fn list_sum_program(b: &mut ProgramBuilder) {
+    let ps = b.ptr_size() as i64;
+    // node = { value: i64, next: ptr } — the pointer field must sit at a
+    // pointer-aligned offset (8 under hybrid, 16 under the capability
+    // ABIs), so the struct layout is ABI-specific, as in real CHERI C.
+    let next_off = ps;
+    let main = b.function("main", 0, |f| {
+        let n = f.vreg();
+        f.mov_imm(n, 50);
+        let head = f.vreg();
+        f.mov_imm(head, 0); // null
+        let head_is_null = f.vreg();
+        f.mov_imm(head_is_null, 1);
+        let node_size = next_off + ps;
+        f.for_loop(0, n, 1, |f, i| {
+            let node = f.vreg();
+            f.malloc(node, node_size);
+            f.store_int(i, node, 0, MemSize::S8);
+            let skip = f.label();
+            let done = f.label();
+            f.br(Cond::Eq, head_is_null, 1, skip);
+            f.store_ptr(head, node, next_off);
+            f.jump(done);
+            f.bind(skip);
+            // first node: next stays "null" (store a 0 int value in the
+            // value slot only; leave next untouched)
+            f.bind(done);
+            f.mov(head, node);
+            f.mov_imm(head_is_null, 0);
+        });
+        // Walk and sum.
+        let sum = f.vreg();
+        f.mov_imm(sum, 0);
+        let count = f.vreg();
+        f.mov_imm(count, 0);
+        let cur = f.vreg();
+        f.mov(cur, head);
+        let loop_head = f.here();
+        let out = f.label();
+        f.br(Cond::Geu, count, 50, out);
+        let v = f.vreg();
+        f.load_int(v, cur, 0, MemSize::S8);
+        f.add(sum, sum, v);
+        f.add(count, count, 1);
+        let more = f.label();
+        f.br(Cond::Ltu, count, 50, more);
+        f.jump(out);
+        f.bind(more);
+        f.load_ptr(cur, cur, next_off);
+        f.jump(loop_head);
+        f.bind(out);
+        f.halt_code(sum);
+    });
+    b.set_entry(main);
+}
+
+#[test]
+fn same_result_across_all_abis() {
+    let expected: u64 = (0..50).sum();
+    for abi in Abi::ALL {
+        assert_eq!(
+            run_exit(abi, list_sum_program),
+            expected,
+            "wrong result under {abi}"
+        );
+    }
+}
+
+#[test]
+fn purecap_executes_more_instructions_than_hybrid() {
+    let count = |abi: Abi| {
+        let mut b = ProgramBuilder::new("t", abi);
+        list_sum_program(&mut b);
+        let prog = b.lower();
+        Interp::new(InterpConfig::default())
+            .run(&prog, &mut NullSink)
+            .unwrap()
+            .retired
+    };
+    let h = count(Abi::Hybrid);
+    let p = count(Abi::Purecap);
+    let bm = count(Abi::Benchmark);
+    assert!(p > h, "purecap {p} must retire more than hybrid {h}");
+    assert_eq!(p, bm, "benchmark matches purecap instruction stream");
+}
+
+#[test]
+fn out_of_bounds_faults_in_purecap_but_not_hybrid() {
+    let build = |b: &mut ProgramBuilder| {
+        let main = b.function("main", 0, |f| {
+            let p = f.vreg();
+            f.malloc(p, 32);
+            let v = f.vreg();
+            f.mov_imm(v, 1);
+            // One element past the end.
+            f.store_int(v, p, 32, MemSize::S8);
+            f.halt();
+        });
+        b.set_entry(main);
+    };
+    // Hybrid: silent buffer overflow (the C bug CHERI exists to catch).
+    assert_eq!(run_exit(Abi::Hybrid, build), 0);
+    // Purecap: bounds violation.
+    let mut b = ProgramBuilder::new("t", Abi::Purecap);
+    build(&mut b);
+    let prog = b.lower();
+    let err = Interp::new(InterpConfig::default())
+        .run(&prog, &mut NullSink)
+        .unwrap_err();
+    assert!(
+        matches!(err, InterpError::Fault { .. }),
+        "expected a capability fault, got {err}"
+    );
+}
+
+#[test]
+fn use_after_free_type_is_still_bounded() {
+    // Freed memory reuse: the stale capability still has its original
+    // bounds, so a *larger* overflow through it faults.
+    let mut b = ProgramBuilder::new("t", Abi::Purecap);
+    let main = b.function("main", 0, |f| {
+        let p = f.vreg();
+        f.malloc(p, 32);
+        f.free(p);
+        let v = f.vreg();
+        f.mov_imm(v, 7);
+        f.store_int(v, p, 4096, MemSize::S8);
+        f.halt();
+    });
+    b.set_entry(main);
+    let prog = b.lower();
+    let err = Interp::new(InterpConfig::default())
+        .run(&prog, &mut NullSink)
+        .unwrap_err();
+    assert!(matches!(err, InterpError::Fault { .. }));
+}
+
+#[test]
+fn wild_pointer_arithmetic_clears_tag_then_faults() {
+    let mut b = ProgramBuilder::new("t", Abi::Purecap);
+    let main = b.function("main", 0, |f| {
+        let p = f.vreg();
+        f.malloc(p, 32);
+        // Jump megabytes away: unrepresentable for a 32-byte object.
+        let q = f.vreg();
+        f.ptr_add(q, p, 0x40_0000);
+        let v = f.vreg();
+        f.load_int(v, q, 0, MemSize::S8);
+        f.halt();
+    });
+    b.set_entry(main);
+    let prog = b.lower();
+    let err = Interp::new(InterpConfig::default())
+        .run(&prog, &mut NullSink)
+        .unwrap_err();
+    match err {
+        InterpError::Fault { fault, .. } => {
+            assert_eq!(fault.kind, cheri_cap::FaultKind::TagViolation);
+        }
+        other => panic!("expected tag violation, got {other}"),
+    }
+}
+
+#[test]
+fn indirect_calls_work_across_abis() {
+    let build = |b: &mut ProgramBuilder| {
+        let double = b.function("double", 1, |f| {
+            let r = f.vreg();
+            f.add(r, f.arg(0), f.arg(0));
+            f.ret(Some(r));
+        });
+        let triple = b.function("triple", 1, |f| {
+            let r = f.vreg();
+            let t = f.vreg();
+            f.add(t, f.arg(0), f.arg(0));
+            f.add(r, t, f.arg(0));
+            f.ret(Some(r));
+        });
+        let table = b.func_table("ops", &[double, triple]);
+        let ps = b.ptr_size() as i64;
+        let main = b.function("main", 0, |f| {
+            let tbl = f.vreg();
+            f.lea_global(tbl, table, 0);
+            let x = f.vreg();
+            f.mov_imm(x, 10);
+            let fp = f.vreg();
+            let acc = f.vreg();
+            f.mov_imm(acc, 0);
+            // acc = double(10) + triple(10)
+            f.load_ptr(fp, tbl, 0);
+            let r1 = f.vreg();
+            f.call_indirect(fp, &[x], Some(r1));
+            f.add(acc, acc, r1);
+            f.load_ptr(fp, tbl, ps);
+            let r2 = f.vreg();
+            f.call_indirect(fp, &[x], Some(r2));
+            f.add(acc, acc, r2);
+            f.halt_code(acc);
+        });
+        b.set_entry(main);
+    };
+    for abi in Abi::ALL {
+        assert_eq!(run_exit(abi, build), 50, "under {abi}");
+    }
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let build = |b: &mut ProgramBuilder| {
+        let fib = b.declare("fib", 1);
+        b.define(fib, |f| {
+            let base = f.label();
+            f.br(Cond::Ltu, f.arg(0), 2, base);
+            let a = f.vreg();
+            f.sub(a, f.arg(0), 1);
+            let ra = f.vreg();
+            f.call(fib, &[a], Some(ra));
+            let bv = f.vreg();
+            f.sub(bv, f.arg(0), 2);
+            let rb = f.vreg();
+            f.call(fib, &[bv], Some(rb));
+            let s = f.vreg();
+            f.add(s, ra, rb);
+            f.ret(Some(s));
+            f.bind(base);
+            f.ret(Some(f.arg(0)));
+        });
+        let main = b.function("main", 0, |f| {
+            let n = f.vreg();
+            f.mov_imm(n, 15);
+            let r = f.vreg();
+            f.call(fib, &[n], Some(r));
+            f.halt_code(r);
+        });
+        b.set_entry(main);
+    };
+    for abi in Abi::ALL {
+        assert_eq!(run_exit(abi, build), 610, "fib(15) under {abi}");
+    }
+}
+
+#[test]
+fn pcc_change_only_under_purecap_and_only_cross_module() {
+    let mk = |abi: Abi| {
+        let mut b = ProgramBuilder::new("t", abi);
+        let lib = b.module("libxml");
+        let lib_fn = b.function_in(lib, "parse", 0, |f| {
+            let r = f.vreg();
+            f.mov_imm(r, 1);
+            f.ret(Some(r));
+        });
+        let local_fn = b.function("helper", 0, |f| {
+            let r = f.vreg();
+            f.mov_imm(r, 2);
+            f.ret(Some(r));
+        });
+        let main = b.function("main", 0, |f| {
+            let a = f.vreg();
+            f.call(local_fn, &[], Some(a));
+            let c = f.vreg();
+            f.call(lib_fn, &[], Some(c));
+            f.halt();
+        });
+        b.set_entry(main);
+        let prog = b.lower();
+        let mut sink = Collect::default();
+        Interp::new(InterpConfig::default())
+            .run(&prog, &mut sink)
+            .unwrap();
+        sink.events
+    };
+
+    let count_pcc = |evs: &[RetiredEvent]| {
+        evs.iter()
+            .filter(|e| matches!(e.info, RetiredInfo::Branch { pcc_change: true, .. }))
+            .count()
+    };
+
+    assert_eq!(count_pcc(&mk(Abi::Hybrid)), 0);
+    assert_eq!(count_pcc(&mk(Abi::Benchmark)), 0);
+    let purecap = mk(Abi::Purecap);
+    // Cross-module call + its return = 2 PCC changes (the local call has
+    // none). Note: no mallocs here.
+    assert_eq!(count_pcc(&purecap), 2);
+}
+
+#[test]
+fn dependent_load_hints_flag_pointer_chasing() {
+    // A pointer chase marks loads dependent; an array sweep does not.
+    let chase_events = {
+        let mut b = ProgramBuilder::new("chase", Abi::Hybrid);
+        list_sum_program(&mut b);
+        let prog = b.lower();
+        let mut sink = Collect::default();
+        Interp::new(InterpConfig::default())
+            .run(&prog, &mut sink)
+            .unwrap();
+        sink.events
+    };
+    let dep_loads = chase_events
+        .iter()
+        .filter(|e| matches!(e.info, RetiredInfo::Load { dep_load: true, .. }))
+        .count();
+    assert!(dep_loads > 40, "list walk must produce dependent loads, got {dep_loads}");
+
+    let sweep_events = {
+        let mut b = ProgramBuilder::new("sweep", Abi::Hybrid);
+        let g = b.global_zero("arr", 4096);
+        let main = b.function("main", 0, |f| {
+            let p = f.vreg();
+            f.lea_global(p, g, 0);
+            let n = f.vreg();
+            f.mov_imm(n, 512);
+            let sum = f.vreg();
+            f.mov_imm(sum, 0);
+            f.for_loop(0, n, 1, |f, i| {
+                let off = f.vreg();
+                f.lsl(off, i, 3);
+                let v = f.vreg();
+                f.load_int(v, p, off, MemSize::S8);
+                f.add(sum, sum, v);
+            });
+            f.halt_code(sum);
+        });
+        b.set_entry(main);
+        let prog = b.lower();
+        let mut sink = Collect::default();
+        Interp::new(InterpConfig::default())
+            .run(&prog, &mut sink)
+            .unwrap();
+        sink.events
+    };
+    let (dep, total): (usize, usize) = sweep_events.iter().fold((0, 0), |(d, t), e| match e.info {
+        RetiredInfo::Load { dep_load, .. } => (d + usize::from(dep_load), t + 1),
+        _ => (d, t),
+    });
+    assert!(
+        (dep as f64) < 0.1 * total as f64,
+        "array sweep should not be flagged as pointer chasing ({dep}/{total})"
+    );
+}
+
+#[test]
+fn branch_events_match_control_flow() {
+    let mut b = ProgramBuilder::new("t", Abi::Hybrid);
+    let main = b.function("main", 0, |f| {
+        let n = f.vreg();
+        f.mov_imm(n, 10);
+        f.for_loop(0, n, 1, |_, _| {});
+        f.halt();
+    });
+    b.set_entry(main);
+    let prog = b.lower();
+    let mut sink = Collect::default();
+    Interp::new(InterpConfig::default())
+        .run(&prog, &mut sink)
+        .unwrap();
+    let branches: Vec<_> = sink
+        .events
+        .iter()
+        .filter_map(|e| match e.info {
+            RetiredInfo::Branch { kind, taken, .. } => Some((kind, taken)),
+            _ => None,
+        })
+        .collect();
+    // 11 loop-condition branches (10 not taken + final taken) + 10
+    // back-edges, all Immediate.
+    let immediates = branches
+        .iter()
+        .filter(|(k, _)| *k == BranchKind::Immediate)
+        .count();
+    assert_eq!(immediates, 21);
+    let taken = branches
+        .iter()
+        .filter(|(k, t)| *k == BranchKind::Immediate && *t)
+        .count();
+    assert_eq!(taken, 11);
+}
+
+#[test]
+fn fuel_exhaustion_reports() {
+    let mut b = ProgramBuilder::new("t", Abi::Hybrid);
+    let main = b.function("main", 0, |f| {
+        let l = f.here();
+        f.jump(l); // infinite loop
+        f.halt();
+    });
+    b.set_entry(main);
+    let prog = b.lower();
+    let err = Interp::new(InterpConfig {
+        max_insts: 1000,
+        ..InterpConfig::default()
+    })
+    .run(&prog, &mut NullSink)
+    .unwrap_err();
+    assert!(matches!(err, InterpError::FuelExhausted { retired } if retired >= 1000));
+}
+
+#[test]
+fn globals_initialised_and_pointer_slots_resolve() {
+    let build = |b: &mut ProgramBuilder| {
+        let data = b.global_data("nums", vec![5, 0, 0, 0, 0, 0, 0, 0]); // u64 = 5
+        let holder = b.add_global(cheri_isa::GlobalDef {
+            name: "holder".into(),
+            size: b.abi().pointer_size(),
+            init: Vec::new(),
+            ptr_inits: vec![(0, cheri_isa::PtrInit::Global(data, 0))],
+            is_const: false,
+            align: 16,
+        });
+        let main = b.function("main", 0, |f| {
+            let h = f.vreg();
+            f.lea_global(h, holder, 0);
+            let p = f.vreg();
+            f.load_ptr(p, h, 0);
+            let v = f.vreg();
+            f.load_int(v, p, 0, MemSize::S8);
+            f.halt_code(v);
+        });
+        b.set_entry(main);
+    };
+    for abi in Abi::ALL {
+        assert_eq!(run_exit(abi, build), 5, "under {abi}");
+    }
+}
+
+#[test]
+fn memory_footprint_larger_under_purecap() {
+    let run = |abi: Abi| {
+        let mut b = ProgramBuilder::new("t", abi);
+        let ps = b.ptr_size() as i64;
+        let main = b.function("main", 0, |f| {
+            let n = f.vreg();
+            f.mov_imm(n, 2000);
+            // Allocate pointer-rich nodes: {ptr, ptr, ptr, i64}
+            f.for_loop(0, n, 1, |f, _| {
+                let node = f.vreg();
+                f.malloc(node, 3 * ps + 8);
+                f.store_ptr(node, node, 0);
+                f.store_ptr(node, node, ps);
+                f.store_ptr(node, node, 2 * ps);
+            });
+            f.halt();
+        });
+        b.set_entry(main);
+        let prog = b.lower();
+        Interp::new(InterpConfig::default())
+            .run(&prog, &mut NullSink)
+            .unwrap()
+    };
+    let h = run(Abi::Hybrid);
+    let p = run(Abi::Purecap);
+    assert!(
+        p.heap_stats.live_bytes > h.heap_stats.live_bytes,
+        "pointer-rich heap must be larger under purecap"
+    );
+    assert!(p.pages_touched > h.pages_touched);
+}
+
+#[test]
+fn isa_level_sealing_roundtrip_and_enforcement() {
+    use cheri_isa::{GlobalDef, PtrInit};
+    // seal -> opaque -> unseal -> usable; and using the sealed handle
+    // directly faults.
+    let build = |attack: bool| {
+        let mut b = ProgramBuilder::new("seal", Abi::Purecap);
+        let g_auth = b.add_global(GlobalDef {
+            name: "root".into(),
+            size: 16,
+            init: Vec::new(),
+            ptr_inits: vec![(0, PtrInit::SealRoot(42))],
+            is_const: false,
+            align: 16,
+        });
+        let main = b.function("main", 0, move |f| {
+            let obj = f.vreg();
+            f.malloc(obj, 32);
+            let v = f.vreg();
+            f.mov_imm(v, 99);
+            f.store_int(v, obj, 0, MemSize::S8);
+            let ap = f.vreg();
+            f.lea_global(ap, g_auth, 0);
+            let auth = f.vreg();
+            f.load_ptr(auth, ap, 0);
+            let sealed = f.vreg();
+            f.seal(sealed, obj, auth);
+            if attack {
+                let r = f.vreg();
+                f.load_int(r, sealed, 0, MemSize::S8);
+                f.halt_code(r);
+            } else {
+                let back = f.vreg();
+                f.unseal(back, sealed, auth);
+                let r = f.vreg();
+                f.load_int(r, back, 0, MemSize::S8);
+                f.halt_code(r);
+            }
+        });
+        b.set_entry(main);
+        cheri_isa::lower(&b.build())
+    };
+    let ok = Interp::new(InterpConfig::default())
+        .run(&build(false), &mut NullSink)
+        .unwrap();
+    assert_eq!(ok.exit_code, 99);
+    let err = Interp::new(InterpConfig::default())
+        .run(&build(true), &mut NullSink)
+        .unwrap_err();
+    match err {
+        InterpError::Fault { fault, .. } => {
+            assert_eq!(fault.kind, cheri_cap::FaultKind::SealViolation)
+        }
+        other => panic!("expected seal violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn unseal_with_wrong_authority_faults() {
+    use cheri_isa::{CapOpKind, GlobalDef, PtrInit};
+    let mut b = ProgramBuilder::new("wrong-auth", Abi::Purecap);
+    let g_auth = b.add_global(GlobalDef {
+        name: "root".into(),
+        size: 16,
+        init: Vec::new(),
+        ptr_inits: vec![(0, PtrInit::SealRoot(7))],
+        is_const: false,
+        align: 16,
+    });
+    let main = b.function("main", 0, |f| {
+        let obj = f.vreg();
+        f.malloc(obj, 32);
+        let ap = f.vreg();
+        f.lea_global(ap, g_auth, 0);
+        let auth = f.vreg();
+        f.load_ptr(auth, ap, 0);
+        let sealed = f.vreg();
+        f.seal(sealed, obj, auth);
+        // Move the authority cursor to a different otype.
+        let wrong = f.vreg();
+        f.cap_op(CapOpKind::SetAddr, wrong, auth, 8);
+        let back = f.vreg();
+        f.unseal(back, sealed, wrong);
+        f.halt();
+    });
+    b.set_entry(main);
+    let err = Interp::new(InterpConfig::default())
+        .run(&cheri_isa::lower(&b.build()), &mut NullSink)
+        .unwrap_err();
+    match err {
+        InterpError::Fault { fault, .. } => {
+            assert_eq!(fault.kind, cheri_cap::FaultKind::OtypeMismatch)
+        }
+        other => panic!("expected otype mismatch, got {other:?}"),
+    }
+}

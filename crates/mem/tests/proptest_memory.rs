@@ -1,0 +1,119 @@
+//! Property tests for tagged memory and the allocator: tag hygiene under
+//! arbitrary interleavings of data and capability traffic, and allocator
+//! safety invariants under arbitrary malloc/free sequences.
+
+use cheri_cap::Capability;
+use cheri_mem::{AllocMode, HeapAllocator, TaggedMemory, CAP_GRANULE};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Data written is data read back, across arbitrary offsets/lengths
+    /// (including page-straddling), against a mirror model.
+    #[test]
+    fn read_write_matches_mirror(
+        writes in proptest::collection::vec(
+            ((0u64..(1 << 16)), proptest::collection::vec(any::<u8>(), 1..64)),
+            1..64
+        )
+    ) {
+        let mut mem = TaggedMemory::new();
+        let mut mirror: HashMap<u64, u8> = HashMap::new();
+        for (addr, bytes) in &writes {
+            mem.write_bytes(*addr, bytes).unwrap();
+            for (i, b) in bytes.iter().enumerate() {
+                mirror.insert(addr + i as u64, *b);
+            }
+        }
+        for (addr, bytes) in &writes {
+            let mut buf = vec![0u8; bytes.len()];
+            mem.read_bytes(*addr, &mut buf).unwrap();
+            for (i, b) in buf.iter().enumerate() {
+                prop_assert_eq!(*b, *mirror.get(&(addr + i as u64)).unwrap());
+            }
+        }
+    }
+
+    /// Tag hygiene: a capability survives round-trips unless plain data
+    /// overlapped its granule, in which case the tag is gone — never the
+    /// other way around.
+    #[test]
+    fn tag_cleared_iff_overlapped(
+        cap_at in (0u64..256).prop_map(|s| s * CAP_GRANULE),
+        data_at in 0u64..(256 * CAP_GRANULE),
+        data_len in 1u64..48,
+    ) {
+        let mut mem = TaggedMemory::new();
+        let cap = Capability::root_rw().set_bounds_exact(0x8000, 128).unwrap();
+        mem.store_cap(cap_at, cap.to_compressed(), true).unwrap();
+        let data = vec![0xA5u8; data_len as usize];
+        mem.write_bytes(data_at, &data).unwrap();
+        let (_, tag) = mem.load_cap(cap_at).unwrap();
+        let overlap = data_at < cap_at + CAP_GRANULE && data_at + data_len > cap_at;
+        prop_assert_eq!(tag, !overlap, "cap at {:#x}, data [{:#x}; {})", cap_at, data_at, data_len);
+    }
+
+    /// Capability stores only ever set the tag of their own granule.
+    #[test]
+    fn cap_store_is_granule_local(slots in proptest::collection::vec(0u64..64, 1..16)) {
+        let mut mem = TaggedMemory::new();
+        let cap = Capability::root_rw().set_bounds_exact(0x1000, 64).unwrap();
+        for s in &slots {
+            mem.store_cap(s * CAP_GRANULE, cap.to_compressed(), true).unwrap();
+        }
+        for g in 0..64u64 {
+            let expect = slots.contains(&g);
+            prop_assert_eq!(mem.peek_tag(g * CAP_GRANULE), expect);
+        }
+    }
+
+    /// Allocator safety under arbitrary malloc/free traces: no live block
+    /// overlap, bounds always representable (capability mode), and no
+    /// immediate temporal reuse.
+    #[test]
+    fn allocator_trace_invariants(
+        trace in proptest::collection::vec((any::<bool>(), 1u64..20000), 1..200),
+        cap_mode in any::<bool>(),
+    ) {
+        let mode = if cap_mode { AllocMode::Capability } else { AllocMode::Classic };
+        let mut h = HeapAllocator::new(0x1000_0000, 0x4000_0000, mode);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let root = Capability::root_rw();
+        for (do_free, size) in trace {
+            if do_free && !live.is_empty() {
+                let (addr, _) = live.swap_remove(0);
+                h.free(addr).unwrap();
+                // Double free must be rejected.
+                prop_assert!(h.free(addr).is_err());
+                if cap_mode {
+                    // Temporal safety: the very next allocation of the
+                    // same size must not reuse this address.
+                    let again = h.malloc(8).unwrap();
+                    prop_assert_ne!(again.addr, addr);
+                    h.free(again.addr).unwrap();
+                }
+            } else {
+                let a = h.malloc(size).unwrap();
+                prop_assert!(a.padded >= size);
+                if cap_mode {
+                    prop_assert!(
+                        root.set_bounds_exact(a.addr, a.padded).is_ok(),
+                        "bounds must be exactly representable: {:?}", a
+                    );
+                }
+                // No overlap with any live block.
+                for (b, len) in &live {
+                    let disjoint = a.addr + a.padded <= *b || b + len <= a.addr;
+                    prop_assert!(disjoint, "overlap: {:?} vs ({:#x}, {})", a, b, len);
+                }
+                live.push((a.addr, a.padded));
+            }
+        }
+        // Bookkeeping agrees.
+        prop_assert_eq!(h.live_count(), live.len());
+        let expect_live: u64 = live.iter().map(|(_, l)| l).sum();
+        prop_assert_eq!(h.stats().live_bytes, expect_live);
+    }
+}

@@ -1,0 +1,86 @@
+//! Pearson correlation across metric vectors (Figure 7).
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must be equal length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Full correlation matrix over a set of metric series (each inner slice
+/// is one metric observed across workloads).
+///
+/// # Panics
+///
+/// Panics when series lengths differ.
+pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    series
+        .iter()
+        .map(|a| series.iter().map(|b| pearson(a, b)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlations() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![2.0, 4.0, 6.0, 8.0];
+        let c = vec![4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_is_near_zero() {
+        let a = vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+        let b = vec![5.0, 5.0, 7.0, 7.0, 5.0, 5.0];
+        assert!(pearson(&a, &b).abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let series = vec![
+            vec![1.0, 2.0, 3.0, 5.0],
+            vec![2.0, 1.0, 4.0, 4.0],
+            vec![0.5, 0.1, 0.9, 0.7],
+        ];
+        let m = correlation_matrix(&series);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+                assert!(*v <= 1.0 + 1e-12 && *v >= -1.0 - 1e-12);
+            }
+        }
+    }
+}

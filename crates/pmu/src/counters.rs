@@ -1,0 +1,362 @@
+//! Event counts, the six-slot counter bank, and multiplexed collection.
+
+use crate::event::PmuEvent;
+use morello_uarch::UarchStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of configurable PMU slots on the Morello platform (§3.2: "the
+/// platform only provides up to six configurable PMUs").
+pub const PMU_SLOTS: usize = 6;
+
+/// A set of event counts (one run's worth, or the merged result of a
+/// multiplexed session).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    counts: BTreeMap<PmuEvent, u64>,
+}
+
+impl EventCounts {
+    /// An empty count set.
+    pub fn new() -> EventCounts {
+        EventCounts::default()
+    }
+
+    /// Extracts the full "ground truth" count set from the simulator's
+    /// statistics — what an ideal PMU with unlimited counters would see.
+    pub fn from_uarch(s: &UarchStats) -> EventCounts {
+        let mut c = EventCounts::new();
+        let pairs: [(PmuEvent, u64); 38] = [
+            (PmuEvent::CpuCycles, s.cpu_cycles),
+            (PmuEvent::InstRetired, s.inst_retired),
+            (PmuEvent::StallFrontend, s.stall_frontend),
+            (PmuEvent::StallBackend, s.stall_backend),
+            (PmuEvent::BrRetired, s.br_retired),
+            (PmuEvent::BrMisPredRetired, s.br_mis_pred_retired),
+            (PmuEvent::L1iCache, s.l1i_cache),
+            (PmuEvent::L1iCacheRefill, s.l1i_cache_refill),
+            (PmuEvent::L1dCache, s.l1d_cache),
+            (PmuEvent::L1dCacheRefill, s.l1d_cache_refill),
+            (PmuEvent::L2dCache, s.l2d_cache),
+            (PmuEvent::L2dCacheRefill, s.l2d_cache_refill),
+            (PmuEvent::LlCacheRd, s.ll_cache_rd),
+            (PmuEvent::LlCacheMissRd, s.ll_cache_miss_rd),
+            (PmuEvent::L1iTlb, s.l1i_tlb),
+            (PmuEvent::L1iTlbRefill, s.l1i_tlb_refill),
+            (PmuEvent::L1dTlb, s.l1d_tlb),
+            (PmuEvent::L1dTlbRefill, s.l1d_tlb_refill),
+            (PmuEvent::L2dTlb, s.l2d_tlb),
+            (PmuEvent::L2dTlbRefill, s.l2d_tlb_refill),
+            (PmuEvent::ItlbWalk, s.itlb_walk),
+            (PmuEvent::DtlbWalk, s.dtlb_walk),
+            (PmuEvent::InstSpec, s.inst_spec),
+            (PmuEvent::LdSpec, s.ld_spec),
+            (PmuEvent::StSpec, s.st_spec),
+            (PmuEvent::DpSpec, s.dp_spec),
+            (PmuEvent::AseSpec, s.ase_spec),
+            (PmuEvent::VfpSpec, s.vfp_spec),
+            (PmuEvent::BrImmedSpec, s.br_immed_spec),
+            (PmuEvent::BrIndirectSpec, s.br_indirect_spec),
+            (PmuEvent::BrReturnSpec, s.br_return_spec),
+            (PmuEvent::CryptoSpec, 0),
+            (PmuEvent::MemAccessRd, s.mem_access_rd),
+            (PmuEvent::MemAccessWr, s.mem_access_wr),
+            (PmuEvent::CapMemAccessRd, s.cap_mem_access_rd),
+            (PmuEvent::CapMemAccessWr, s.cap_mem_access_wr),
+            (PmuEvent::MemAccessRdCtag, s.mem_access_rd_ctag),
+            (PmuEvent::MemAccessWrCtag, s.mem_access_wr_ctag),
+        ];
+        for (e, v) in pairs {
+            c.counts.insert(e, v);
+        }
+        c
+    }
+
+    /// The count of `event` (0 when never collected).
+    pub fn get(&self, event: PmuEvent) -> u64 {
+        self.counts.get(&event).copied().unwrap_or(0)
+    }
+
+    /// Whether `event` was collected at all.
+    pub fn has(&self, event: PmuEvent) -> bool {
+        self.counts.contains_key(&event)
+    }
+
+    /// Sets a count.
+    pub fn set(&mut self, event: PmuEvent, value: u64) {
+        self.counts.insert(event, value);
+    }
+
+    /// Merges another count set into this one (later runs of a
+    /// multiplexed session).
+    pub fn merge(&mut self, other: &EventCounts) {
+        for (e, v) in &other.counts {
+            self.counts.insert(*e, *v);
+        }
+    }
+
+    /// Iterates over `(event, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (PmuEvent, u64)> + '_ {
+        self.counts.iter().map(|(e, v)| (*e, *v))
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// The hardware counter bank: one fixed cycle counter plus
+/// [`PMU_SLOTS`] programmable slots.
+///
+/// Reading through a bank models what `pmcstat` sees in one run: only the
+/// programmed events, plus cycles.
+#[derive(Clone, Debug, Default)]
+pub struct PmuBank {
+    programmed: Vec<PmuEvent>,
+}
+
+impl PmuBank {
+    /// Creates an unprogrammed bank.
+    pub fn new() -> PmuBank {
+        PmuBank::default()
+    }
+
+    /// Programs the configurable slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when more than [`PMU_SLOTS`] non-fixed events are
+    /// requested, or an event is requested twice.
+    pub fn program(&mut self, events: &[PmuEvent]) -> Result<(), String> {
+        let slots: Vec<PmuEvent> = events.iter().copied().filter(|e| !e.is_fixed()).collect();
+        if slots.len() > PMU_SLOTS {
+            return Err(format!(
+                "{} events requested but only {PMU_SLOTS} programmable slots exist",
+                slots.len()
+            ));
+        }
+        for (i, e) in slots.iter().enumerate() {
+            if slots[..i].contains(e) {
+                return Err(format!("event {e} programmed twice"));
+            }
+        }
+        self.programmed = slots;
+        Ok(())
+    }
+
+    /// The events currently programmed.
+    pub fn programmed(&self) -> &[PmuEvent] {
+        &self.programmed
+    }
+
+    /// Reads the bank after a run: the programmed events plus the fixed
+    /// cycle counter.
+    pub fn read(&self, truth: &EventCounts) -> EventCounts {
+        let mut out = EventCounts::new();
+        out.set(PmuEvent::CpuCycles, truth.get(PmuEvent::CpuCycles));
+        for e in &self.programmed {
+            out.set(*e, truth.get(*e));
+        }
+        out
+    }
+}
+
+/// Multiplexed collection: schedules an event list across repeated runs of
+/// a (deterministic) workload, six at a time — the paper's nine-run
+/// methodology (§3.2).
+///
+/// `INST_RETIRED` is re-collected in every group as the normalisation
+/// anchor, exactly as performance engineers do with `pmcstat`.
+#[derive(Clone, Debug)]
+pub struct MultiplexedSession {
+    groups: Vec<Vec<PmuEvent>>,
+}
+
+impl MultiplexedSession {
+    /// Plans a session collecting `events`.
+    pub fn plan(events: &[PmuEvent]) -> MultiplexedSession {
+        let anchor = PmuEvent::InstRetired;
+        let mut rest: Vec<PmuEvent> = Vec::new();
+        for e in events {
+            if !e.is_fixed() && *e != anchor && !rest.contains(e) {
+                rest.push(*e);
+            }
+        }
+        let per_group = PMU_SLOTS - 1;
+        let mut groups = Vec::new();
+        if rest.is_empty() {
+            groups.push(vec![anchor]);
+        }
+        for chunk in rest.chunks(per_group) {
+            let mut g = vec![anchor];
+            g.extend_from_slice(chunk);
+            groups.push(g);
+        }
+        MultiplexedSession { groups }
+    }
+
+    /// Plans a session for the full Table 1 event set.
+    pub fn plan_full() -> MultiplexedSession {
+        MultiplexedSession::plan(&PmuEvent::ALL)
+    }
+
+    /// How many runs of the workload this session needs.
+    pub fn required_runs(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The event groups, one per run.
+    pub fn groups(&self) -> &[Vec<PmuEvent>] {
+        &self.groups
+    }
+
+    /// Executes the session: `run(group_index)` must re-run the workload
+    /// and return the full simulator truth; the session reads only the
+    /// programmed slots of each run and merges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates programming errors (cannot happen for planned groups)
+    /// and any error from the runner.
+    pub fn collect<E>(
+        &self,
+        mut run: impl FnMut(usize) -> Result<UarchStats, E>,
+    ) -> Result<EventCounts, E> {
+        let mut merged = EventCounts::new();
+        let mut bank = PmuBank::new();
+        for (i, group) in self.groups.iter().enumerate() {
+            bank.program(group).expect("planned groups always fit");
+            let truth = EventCounts::from_uarch(&run(i)?);
+            merged.merge(&bank.read(&truth));
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_rejects_overflow_and_duplicates() {
+        let mut b = PmuBank::new();
+        let too_many = [
+            PmuEvent::LdSpec,
+            PmuEvent::StSpec,
+            PmuEvent::DpSpec,
+            PmuEvent::AseSpec,
+            PmuEvent::VfpSpec,
+            PmuEvent::BrRetired,
+            PmuEvent::InstSpec,
+        ];
+        assert!(b.program(&too_many).is_err());
+        assert!(b.program(&[PmuEvent::LdSpec, PmuEvent::LdSpec]).is_err());
+        // Fixed cycles don't consume a slot.
+        let six_plus_cycles = [
+            PmuEvent::CpuCycles,
+            PmuEvent::LdSpec,
+            PmuEvent::StSpec,
+            PmuEvent::DpSpec,
+            PmuEvent::AseSpec,
+            PmuEvent::VfpSpec,
+            PmuEvent::BrRetired,
+        ];
+        assert!(b.program(&six_plus_cycles).is_ok());
+    }
+
+    #[test]
+    fn bank_reads_only_programmed_events() {
+        let truth = {
+            let mut t = EventCounts::new();
+            t.set(PmuEvent::CpuCycles, 100);
+            t.set(PmuEvent::LdSpec, 7);
+            t.set(PmuEvent::StSpec, 3);
+            t
+        };
+        let mut b = PmuBank::new();
+        b.program(&[PmuEvent::LdSpec]).unwrap();
+        let read = b.read(&truth);
+        assert_eq!(read.get(PmuEvent::LdSpec), 7);
+        assert_eq!(read.get(PmuEvent::CpuCycles), 100);
+        assert!(!read.has(PmuEvent::StSpec));
+    }
+
+    #[test]
+    fn full_plan_covers_all_events() {
+        let plan = MultiplexedSession::plan_full();
+        // 36 non-fixed non-anchor events at 5 per group.
+        assert_eq!(plan.required_runs(), 8);
+        let mut seen = std::collections::BTreeSet::new();
+        for g in plan.groups() {
+            assert!(g.len() <= PMU_SLOTS);
+            assert_eq!(g[0], PmuEvent::InstRetired, "anchor first in each group");
+            seen.extend(g.iter().copied());
+        }
+        for e in PmuEvent::ALL {
+            assert!(
+                e.is_fixed() || seen.contains(&e),
+                "event {e} never scheduled"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_merges_groups() {
+        let plan = MultiplexedSession::plan(&[
+            PmuEvent::LdSpec,
+            PmuEvent::StSpec,
+            PmuEvent::DpSpec,
+            PmuEvent::AseSpec,
+            PmuEvent::VfpSpec,
+            PmuEvent::BrRetired,
+            PmuEvent::BrMisPredRetired,
+        ]);
+        assert_eq!(plan.required_runs(), 2);
+        let stats = UarchStats {
+            cpu_cycles: 50,
+            inst_retired: 99,
+            ld_spec: 1,
+            st_spec: 2,
+            dp_spec: 3,
+            ase_spec: 4,
+            vfp_spec: 5,
+            br_retired: 6,
+            br_mis_pred_retired: 7,
+            ..UarchStats::default()
+        };
+        let merged: EventCounts = plan
+            .collect(|_| Ok::<_, std::convert::Infallible>(stats))
+            .unwrap();
+        assert_eq!(merged.get(PmuEvent::LdSpec), 1);
+        assert_eq!(merged.get(PmuEvent::BrMisPredRetired), 7);
+        assert_eq!(merged.get(PmuEvent::InstRetired), 99);
+        assert_eq!(merged.get(PmuEvent::CpuCycles), 50);
+    }
+
+    #[test]
+    fn multiplexed_equals_ground_truth_for_deterministic_runs() {
+        // The simulator is deterministic, so a multiplexed session must
+        // reconstruct exactly the single-run truth.
+        let stats = UarchStats {
+            cpu_cycles: 123,
+            inst_retired: 456,
+            l1d_cache: 789,
+            l1d_cache_refill: 12,
+            cap_mem_access_rd: 34,
+            ..UarchStats::default()
+        };
+        let truth = EventCounts::from_uarch(&stats);
+        let merged = MultiplexedSession::plan_full()
+            .collect(|_| Ok::<_, std::convert::Infallible>(stats))
+            .unwrap();
+        for (e, v) in truth.iter() {
+            assert_eq!(merged.get(e), v, "mismatch on {e}");
+        }
+    }
+}

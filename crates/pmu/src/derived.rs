@@ -1,0 +1,249 @@
+//! The derived metrics of the paper's Table 1.
+
+use crate::counters::EventCounts;
+use crate::event::PmuEvent;
+use serde::{Deserialize, Serialize};
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn per_kilo(num: u64, den: u64) -> f64 {
+    ratio(num, den) * 1000.0
+}
+
+/// Every derived metric of Table 1, computed with exactly the paper's
+/// formulas (including the idiosyncratic `Retiring % = INST_SPEC /
+/// SUM(*_SPEC)`, whose denominator includes `INST_SPEC` itself — which is
+/// why the paper's Table 4 reports Retiring ≈ 0.5 across the board).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// `STALL_FRONTEND / CPU_CYCLES`.
+    pub frontend_bound: f64,
+    /// `STALL_BACKEND / CPU_CYCLES`.
+    pub backend_bound: f64,
+    /// `INST_SPEC / SUM(*_SPEC)`.
+    pub retiring: f64,
+    /// `1 - Retiring - Frontend - Backend` (clamped at 0).
+    pub bad_speculation: f64,
+    /// `BR_MIS_PRED_RETIRED / BR_RETIRED`.
+    pub branch_mispredict_rate: f64,
+    /// `L1I_CACHE_REFILL / L1I_CACHE`.
+    pub l1i_miss_rate: f64,
+    /// `L1I_CACHE_REFILL / INST_RETIRED * 1000`.
+    pub l1i_mpki: f64,
+    /// `L1D_CACHE_REFILL / L1D_CACHE`.
+    pub l1d_miss_rate: f64,
+    /// `L1D_CACHE_REFILL / INST_RETIRED * 1000`.
+    pub l1d_mpki: f64,
+    /// `L2D_CACHE_REFILL / L2D_CACHE`.
+    pub l2_miss_rate: f64,
+    /// `L2D_CACHE_REFILL / INST_RETIRED * 1000`.
+    pub l2_mpki: f64,
+    /// `LL_CACHE_MISS_RD / LL_CACHE_RD`.
+    pub llc_read_miss_rate: f64,
+    /// `LL_CACHE_MISS_RD / INST_RETIRED * 1000`.
+    pub llc_read_mpki: f64,
+    /// `ITLB_WALK / L1I_TLB`.
+    pub itlb_walk_rate: f64,
+    /// `ITLB_WALK / INST_RETIRED * 1000`.
+    pub itlb_wpki: f64,
+    /// `DTLB_WALK / L1D_TLB`.
+    pub dtlb_walk_rate: f64,
+    /// `DTLB_WALK / INST_RETIRED * 1000`.
+    pub dtlb_wpki: f64,
+    /// `CAP_MEM_ACCESS_RD / LD_SPEC`.
+    pub cap_load_density: f64,
+    /// `CAP_MEM_ACCESS_WR / ST_SPEC`.
+    pub cap_store_density: f64,
+    /// `(CAP_MEM_ACCESS_RD + CAP_MEM_ACCESS_WR) / (MEM_ACCESS_RD + MEM_ACCESS_WR)`.
+    pub cap_traffic_share: f64,
+    /// `(MEM_ACCESS_RD_CTAG + MEM_ACCESS_WR_CTAG) / (MEM_ACCESS_RD + MEM_ACCESS_WR)`.
+    pub cap_tag_overhead: f64,
+    /// `(LD_SPEC + ST_SPEC) / (DP_SPEC + ASE_SPEC + VFP_SPEC)`.
+    pub memory_intensity: f64,
+}
+
+impl DerivedMetrics {
+    /// Computes every metric from raw counts. Missing events contribute 0.
+    pub fn from_counts(c: &EventCounts) -> DerivedMetrics {
+        use PmuEvent as E;
+        let cycles = c.get(E::CpuCycles);
+        let retired = c.get(E::InstRetired);
+        let inst_spec = c.get(E::InstSpec);
+        let sum_spec = inst_spec
+            + c.get(E::LdSpec)
+            + c.get(E::StSpec)
+            + c.get(E::DpSpec)
+            + c.get(E::AseSpec)
+            + c.get(E::VfpSpec)
+            + c.get(E::BrImmedSpec)
+            + c.get(E::BrIndirectSpec)
+            + c.get(E::BrReturnSpec)
+            + c.get(E::CryptoSpec);
+        let frontend_bound = ratio(c.get(E::StallFrontend), cycles);
+        let backend_bound = ratio(c.get(E::StallBackend), cycles);
+        let retiring = ratio(inst_spec, sum_spec);
+        let mem_total = c.get(E::MemAccessRd) + c.get(E::MemAccessWr);
+        DerivedMetrics {
+            ipc: ratio(retired, cycles),
+            cpi: ratio(cycles, retired),
+            frontend_bound,
+            backend_bound,
+            retiring,
+            bad_speculation: (1.0 - retiring - frontend_bound - backend_bound).max(0.0),
+            branch_mispredict_rate: ratio(c.get(E::BrMisPredRetired), c.get(E::BrRetired)),
+            l1i_miss_rate: ratio(c.get(E::L1iCacheRefill), c.get(E::L1iCache)),
+            l1i_mpki: per_kilo(c.get(E::L1iCacheRefill), retired),
+            l1d_miss_rate: ratio(c.get(E::L1dCacheRefill), c.get(E::L1dCache)),
+            l1d_mpki: per_kilo(c.get(E::L1dCacheRefill), retired),
+            l2_miss_rate: ratio(c.get(E::L2dCacheRefill), c.get(E::L2dCache)),
+            l2_mpki: per_kilo(c.get(E::L2dCacheRefill), retired),
+            llc_read_miss_rate: ratio(c.get(E::LlCacheMissRd), c.get(E::LlCacheRd)),
+            llc_read_mpki: per_kilo(c.get(E::LlCacheMissRd), retired),
+            itlb_walk_rate: ratio(c.get(E::ItlbWalk), c.get(E::L1iTlb)),
+            itlb_wpki: per_kilo(c.get(E::ItlbWalk), retired),
+            dtlb_walk_rate: ratio(c.get(E::DtlbWalk), c.get(E::L1dTlb)),
+            dtlb_wpki: per_kilo(c.get(E::DtlbWalk), retired),
+            cap_load_density: ratio(c.get(E::CapMemAccessRd), c.get(E::LdSpec)),
+            cap_store_density: ratio(c.get(E::CapMemAccessWr), c.get(E::StSpec)),
+            cap_traffic_share: ratio(
+                c.get(E::CapMemAccessRd) + c.get(E::CapMemAccessWr),
+                mem_total,
+            ),
+            cap_tag_overhead: ratio(
+                c.get(E::MemAccessRdCtag) + c.get(E::MemAccessWrCtag),
+                mem_total,
+            ),
+            memory_intensity: ratio(
+                c.get(E::LdSpec) + c.get(E::StSpec),
+                c.get(E::DpSpec) + c.get(E::AseSpec) + c.get(E::VfpSpec),
+            ),
+        }
+    }
+
+    /// Classifies by memory intensity per §3.3: below ~0.6
+    /// compute-intensive, 0.6–1.0 balanced, above 1.0 memory-centric.
+    pub fn intensity_class(&self) -> &'static str {
+        if self.memory_intensity < 0.6 {
+            "compute-intensive"
+        } else if self.memory_intensity <= 1.0 {
+            "balanced"
+        } else {
+            "memory-centric"
+        }
+    }
+
+    /// `(label, value)` pairs of the metrics used in the Figure 7
+    /// correlation analysis.
+    pub fn labelled(&self) -> [(&'static str, f64); 15] {
+        [
+            ("IPC", self.ipc),
+            ("FrontendBound", self.frontend_bound),
+            ("BackendBound", self.backend_bound),
+            ("BranchMR", self.branch_mispredict_rate),
+            ("L1I_MR", self.l1i_miss_rate),
+            ("L1D_MR", self.l1d_miss_rate),
+            ("L2_MR", self.l2_miss_rate),
+            ("LLC_RD_MR", self.llc_read_miss_rate),
+            ("ITLB_WPKI", self.itlb_wpki),
+            ("DTLB_WPKI", self.dtlb_wpki),
+            ("CapLoadDensity", self.cap_load_density),
+            ("CapStoreDensity", self.cap_store_density),
+            ("CapTrafficShare", self.cap_traffic_share),
+            ("CapTagOverhead", self.cap_tag_overhead),
+            ("MemIntensity", self.memory_intensity),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counts() -> EventCounts {
+        let mut c = EventCounts::new();
+        c.set(PmuEvent::CpuCycles, 1000);
+        c.set(PmuEvent::InstRetired, 2000);
+        c.set(PmuEvent::StallFrontend, 100);
+        c.set(PmuEvent::StallBackend, 300);
+        c.set(PmuEvent::InstSpec, 2000);
+        c.set(PmuEvent::LdSpec, 500);
+        c.set(PmuEvent::StSpec, 250);
+        c.set(PmuEvent::DpSpec, 900);
+        c.set(PmuEvent::AseSpec, 50);
+        c.set(PmuEvent::VfpSpec, 50);
+        c.set(PmuEvent::BrImmedSpec, 200);
+        c.set(PmuEvent::BrIndirectSpec, 30);
+        c.set(PmuEvent::BrReturnSpec, 20);
+        c.set(PmuEvent::BrRetired, 250);
+        c.set(PmuEvent::BrMisPredRetired, 10);
+        c.set(PmuEvent::L1dCache, 750);
+        c.set(PmuEvent::L1dCacheRefill, 30);
+        c.set(PmuEvent::MemAccessRd, 500);
+        c.set(PmuEvent::MemAccessWr, 250);
+        c.set(PmuEvent::CapMemAccessRd, 100);
+        c.set(PmuEvent::CapMemAccessWr, 50);
+        c.set(PmuEvent::MemAccessRdCtag, 100);
+        c.set(PmuEvent::MemAccessWrCtag, 50);
+        c
+    }
+
+    #[test]
+    fn table1_formulas() {
+        let m = DerivedMetrics::from_counts(&sample_counts());
+        assert!((m.ipc - 2.0).abs() < 1e-12);
+        assert!((m.cpi - 0.5).abs() < 1e-12);
+        assert!((m.frontend_bound - 0.1).abs() < 1e-12);
+        assert!((m.backend_bound - 0.3).abs() < 1e-12);
+        // sum_spec = 2000+500+250+900+50+50+200+30+20 = 4000
+        assert!((m.retiring - 0.5).abs() < 1e-12);
+        assert!((m.bad_speculation - 0.1).abs() < 1e-12);
+        assert!((m.branch_mispredict_rate - 0.04).abs() < 1e-12);
+        assert!((m.l1d_miss_rate - 0.04).abs() < 1e-12);
+        assert!((m.l1d_mpki - 15.0).abs() < 1e-12);
+        assert!((m.cap_load_density - 0.2).abs() < 1e-12);
+        assert!((m.cap_store_density - 0.2).abs() < 1e-12);
+        assert!((m.cap_traffic_share - 0.2).abs() < 1e-12);
+        assert!((m.cap_tag_overhead - 0.2).abs() < 1e-12);
+        assert!((m.memory_intensity - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_classes() {
+        let mut m = DerivedMetrics {
+            memory_intensity: 0.3,
+            ..DerivedMetrics::default()
+        };
+        assert_eq!(m.intensity_class(), "compute-intensive");
+        m.memory_intensity = 0.8;
+        assert_eq!(m.intensity_class(), "balanced");
+        m.memory_intensity = 1.16;
+        assert_eq!(m.intensity_class(), "memory-centric");
+    }
+
+    #[test]
+    fn empty_counts_dont_divide_by_zero() {
+        let m = DerivedMetrics::from_counts(&EventCounts::new());
+        assert_eq!(m.ipc, 0.0);
+        assert_eq!(m.branch_mispredict_rate, 0.0);
+        assert!(m.bad_speculation >= 0.0);
+    }
+
+    #[test]
+    fn bad_speculation_clamped() {
+        let mut c = sample_counts();
+        c.set(PmuEvent::StallFrontend, 600);
+        c.set(PmuEvent::StallBackend, 600);
+        let m = DerivedMetrics::from_counts(&c);
+        assert_eq!(m.bad_speculation, 0.0);
+    }
+}

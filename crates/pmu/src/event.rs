@@ -1,0 +1,252 @@
+//! The raw PMU events of the paper's Table 1.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A raw performance-monitoring event, named after its Arm PMU
+/// counterpart.
+///
+/// `CpuCycles` lives on the fixed cycle counter; everything else competes
+/// for the six configurable slots (see
+/// [`PmuBank`](crate::PmuBank) and
+/// [`MultiplexedSession`](crate::MultiplexedSession)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // names mirror the Arm PMU event mnemonics
+pub enum PmuEvent {
+    CpuCycles,
+    InstRetired,
+    StallFrontend,
+    StallBackend,
+    BrRetired,
+    BrMisPredRetired,
+    L1iCache,
+    L1iCacheRefill,
+    L1dCache,
+    L1dCacheRefill,
+    L2dCache,
+    L2dCacheRefill,
+    LlCacheRd,
+    LlCacheMissRd,
+    L1iTlb,
+    L1iTlbRefill,
+    L1dTlb,
+    L1dTlbRefill,
+    L2dTlb,
+    L2dTlbRefill,
+    ItlbWalk,
+    DtlbWalk,
+    InstSpec,
+    LdSpec,
+    StSpec,
+    DpSpec,
+    AseSpec,
+    VfpSpec,
+    BrImmedSpec,
+    BrIndirectSpec,
+    BrReturnSpec,
+    CryptoSpec,
+    MemAccessRd,
+    MemAccessWr,
+    CapMemAccessRd,
+    CapMemAccessWr,
+    MemAccessRdCtag,
+    MemAccessWrCtag,
+}
+
+impl PmuEvent {
+    /// Every event, in Table 1 order.
+    pub const ALL: [PmuEvent; 38] = [
+        PmuEvent::CpuCycles,
+        PmuEvent::InstRetired,
+        PmuEvent::StallFrontend,
+        PmuEvent::StallBackend,
+        PmuEvent::BrRetired,
+        PmuEvent::BrMisPredRetired,
+        PmuEvent::L1iCache,
+        PmuEvent::L1iCacheRefill,
+        PmuEvent::L1dCache,
+        PmuEvent::L1dCacheRefill,
+        PmuEvent::L2dCache,
+        PmuEvent::L2dCacheRefill,
+        PmuEvent::LlCacheRd,
+        PmuEvent::LlCacheMissRd,
+        PmuEvent::L1iTlb,
+        PmuEvent::L1iTlbRefill,
+        PmuEvent::L1dTlb,
+        PmuEvent::L1dTlbRefill,
+        PmuEvent::L2dTlb,
+        PmuEvent::L2dTlbRefill,
+        PmuEvent::ItlbWalk,
+        PmuEvent::DtlbWalk,
+        PmuEvent::InstSpec,
+        PmuEvent::LdSpec,
+        PmuEvent::StSpec,
+        PmuEvent::DpSpec,
+        PmuEvent::AseSpec,
+        PmuEvent::VfpSpec,
+        PmuEvent::BrImmedSpec,
+        PmuEvent::BrIndirectSpec,
+        PmuEvent::BrReturnSpec,
+        PmuEvent::CryptoSpec,
+        PmuEvent::MemAccessRd,
+        PmuEvent::MemAccessWr,
+        PmuEvent::CapMemAccessRd,
+        PmuEvent::CapMemAccessWr,
+        PmuEvent::MemAccessRdCtag,
+        PmuEvent::MemAccessWrCtag,
+    ];
+
+    /// The Arm PMU mnemonic.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PmuEvent::CpuCycles => "CPU_CYCLES",
+            PmuEvent::InstRetired => "INST_RETIRED",
+            PmuEvent::StallFrontend => "STALL_FRONTEND",
+            PmuEvent::StallBackend => "STALL_BACKEND",
+            PmuEvent::BrRetired => "BR_RETIRED",
+            PmuEvent::BrMisPredRetired => "BR_MIS_PRED_RETIRED",
+            PmuEvent::L1iCache => "L1I_CACHE",
+            PmuEvent::L1iCacheRefill => "L1I_CACHE_REFILL",
+            PmuEvent::L1dCache => "L1D_CACHE",
+            PmuEvent::L1dCacheRefill => "L1D_CACHE_REFILL",
+            PmuEvent::L2dCache => "L2D_CACHE",
+            PmuEvent::L2dCacheRefill => "L2D_CACHE_REFILL",
+            PmuEvent::LlCacheRd => "LL_CACHE_RD",
+            PmuEvent::LlCacheMissRd => "LL_CACHE_MISS_RD",
+            PmuEvent::L1iTlb => "L1I_TLB",
+            PmuEvent::L1iTlbRefill => "L1I_TLB_REFILL",
+            PmuEvent::L1dTlb => "L1D_TLB",
+            PmuEvent::L1dTlbRefill => "L1D_TLB_REFILL",
+            PmuEvent::L2dTlb => "L2D_TLB",
+            PmuEvent::L2dTlbRefill => "L2D_TLB_REFILL",
+            PmuEvent::ItlbWalk => "ITLB_WALK",
+            PmuEvent::DtlbWalk => "DTLB_WALK",
+            PmuEvent::InstSpec => "INST_SPEC",
+            PmuEvent::LdSpec => "LD_SPEC",
+            PmuEvent::StSpec => "ST_SPEC",
+            PmuEvent::DpSpec => "DP_SPEC",
+            PmuEvent::AseSpec => "ASE_SPEC",
+            PmuEvent::VfpSpec => "VFP_SPEC",
+            PmuEvent::BrImmedSpec => "BR_IMMED_SPEC",
+            PmuEvent::BrIndirectSpec => "BR_INDIRECT_SPEC",
+            PmuEvent::BrReturnSpec => "BR_RETURN_SPEC",
+            PmuEvent::CryptoSpec => "CRYPTO_SPEC",
+            PmuEvent::MemAccessRd => "MEM_ACCESS_RD",
+            PmuEvent::MemAccessWr => "MEM_ACCESS_WR",
+            PmuEvent::CapMemAccessRd => "CAP_MEM_ACCESS_RD",
+            PmuEvent::CapMemAccessWr => "CAP_MEM_ACCESS_WR",
+            PmuEvent::MemAccessRdCtag => "MEM_ACCESS_RD_CTAG",
+            PmuEvent::MemAccessWrCtag => "MEM_ACCESS_WR_CTAG",
+        }
+    }
+
+    /// What the event counts, per the Arm PMU reference and the paper's
+    /// Table 1 notes.
+    pub const fn description(self) -> &'static str {
+        match self {
+            PmuEvent::CpuCycles => "core clock cycles (fixed counter)",
+            PmuEvent::InstRetired => "architecturally retired instructions",
+            PmuEvent::StallFrontend => "cycles with no uops delivered by the frontend",
+            PmuEvent::StallBackend => "cycles with uops available but not accepted by the backend",
+            PmuEvent::BrRetired => "retired branches",
+            PmuEvent::BrMisPredRetired => "retired mispredicted branches",
+            PmuEvent::L1iCache => "L1 instruction cache accesses",
+            PmuEvent::L1iCacheRefill => "L1 instruction cache refills (misses)",
+            PmuEvent::L1dCache => "L1 data cache accesses",
+            PmuEvent::L1dCacheRefill => "L1 data cache refills (misses)",
+            PmuEvent::L2dCache => "unified L2 cache accesses",
+            PmuEvent::L2dCacheRefill => "unified L2 cache refills (misses)",
+            PmuEvent::LlCacheRd => "last-level cache read accesses",
+            PmuEvent::LlCacheMissRd => "last-level cache read misses",
+            PmuEvent::L1iTlb => "L1 instruction TLB accesses",
+            PmuEvent::L1iTlbRefill => "L1 instruction TLB refills",
+            PmuEvent::L1dTlb => "L1 data TLB accesses",
+            PmuEvent::L1dTlbRefill => "L1 data TLB refills",
+            PmuEvent::L2dTlb => "unified L2 TLB accesses",
+            PmuEvent::L2dTlbRefill => "unified L2 TLB refills",
+            PmuEvent::ItlbWalk => "instruction-side page-table walks",
+            PmuEvent::DtlbWalk => "data-side page-table walks",
+            PmuEvent::InstSpec => "speculatively executed instructions",
+            PmuEvent::LdSpec => "speculatively executed loads",
+            PmuEvent::StSpec => "speculatively executed stores",
+            PmuEvent::DpSpec => "speculatively executed integer data-processing ops",
+            PmuEvent::AseSpec => "speculatively executed SIMD ops",
+            PmuEvent::VfpSpec => "speculatively executed floating-point ops",
+            PmuEvent::BrImmedSpec => "speculatively executed immediate branches",
+            PmuEvent::BrIndirectSpec => "speculatively executed indirect branches",
+            PmuEvent::BrReturnSpec => "speculatively executed return branches",
+            PmuEvent::CryptoSpec => "speculatively executed crypto ops",
+            PmuEvent::MemAccessRd => "data memory read accesses",
+            PmuEvent::MemAccessWr => "data memory write accesses",
+            PmuEvent::CapMemAccessRd => "capability (tagged, 16-byte) memory reads",
+            PmuEvent::CapMemAccessWr => "capability (tagged, 16-byte) memory writes",
+            PmuEvent::MemAccessRdCtag => "reads performing a capability-tag check",
+            PmuEvent::MemAccessWrCtag => "writes performing a capability-tag update",
+        }
+    }
+
+    /// CHERI-specific events only exist on Morello-class PMUs.
+    pub const fn is_cheri_specific(self) -> bool {
+        matches!(
+            self,
+            PmuEvent::CapMemAccessRd
+                | PmuEvent::CapMemAccessWr
+                | PmuEvent::MemAccessRdCtag
+                | PmuEvent::MemAccessWrCtag
+        )
+    }
+
+    /// Does this event live on the fixed counter (not a programmable
+    /// slot)?
+    pub const fn is_fixed(self) -> bool {
+        matches!(self, PmuEvent::CpuCycles)
+    }
+}
+
+impl fmt::Display for PmuEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_list_is_unique_and_complete() {
+        let set: BTreeSet<_> = PmuEvent::ALL.iter().collect();
+        assert_eq!(set.len(), PmuEvent::ALL.len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let set: BTreeSet<_> = PmuEvent::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(set.len(), PmuEvent::ALL.len());
+    }
+
+    #[test]
+    fn cheri_events_flagged() {
+        assert!(PmuEvent::CapMemAccessRd.is_cheri_specific());
+        assert!(!PmuEvent::L1dCache.is_cheri_specific());
+        assert_eq!(
+            PmuEvent::ALL.iter().filter(|e| e.is_cheri_specific()).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn every_event_has_a_description() {
+        for e in PmuEvent::ALL {
+            assert!(!e.description().is_empty());
+            assert!(e.description().len() > 10, "{e}");
+        }
+    }
+
+    #[test]
+    fn only_cycles_is_fixed() {
+        assert!(PmuEvent::CpuCycles.is_fixed());
+        assert_eq!(PmuEvent::ALL.iter().filter(|e| e.is_fixed()).count(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # morello-pmu
+//!
+//! The measurement layer of the reproduction: the PMU events of the
+//! paper's Table 1, a six-slot counter bank with **multiplexed
+//! collection** (the paper's nine-run methodology on the real Morello,
+//! which only exposes six configurable counters at a time), every derived
+//! metric of Table 1, and the Pearson correlation analysis behind
+//! Figure 7.
+//!
+//! ```
+//! use morello_pmu::{DerivedMetrics, EventCounts, PmuEvent};
+//! use morello_uarch::UarchStats;
+//!
+//! let stats = UarchStats {
+//!     cpu_cycles: 1000,
+//!     inst_retired: 1500,
+//!     ..UarchStats::default()
+//! };
+//! let counts = EventCounts::from_uarch(&stats);
+//! assert_eq!(counts.get(PmuEvent::InstRetired), 1500);
+//! let m = DerivedMetrics::from_counts(&counts);
+//! assert!((m.ipc - 1.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod correlate;
+mod counters;
+mod derived;
+mod event;
+mod report;
+
+pub use correlate::{correlation_matrix, pearson};
+pub use counters::{EventCounts, MultiplexedSession, PmuBank, PMU_SLOTS};
+pub use derived::DerivedMetrics;
+pub use event::PmuEvent;
+pub use report::{fmt_metric, Table};

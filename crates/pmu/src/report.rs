@@ -1,0 +1,131 @@
+//! Plain-text table rendering shared by the experiment binaries.
+
+use core::fmt::Write as _;
+
+/// A fixed-width text table in the style of the paper's tables.
+///
+/// ```
+/// use morello_pmu::Table;
+/// let mut t = Table::new(&["Benchmark", "Hybrid", "Purecap"]);
+/// t.row(&["520.omnetpp_r", "81.73", "153.21"]);
+/// let s = t.render();
+/// assert!(s.contains("omnetpp"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Table {
+        let mut row: Vec<String> = cells.iter().map(|c| c.as_ref().to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float the way the paper's tables do (3 significant decimals,
+/// no trailing noise).
+pub fn fmt_metric(v: f64) -> String {
+    if !v.is_finite() {
+        return "NA".to_owned();
+    }
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "x"]);
+        t.row(&["a", "1"]).row(&["longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn rows_resized_to_header_count() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(0.0), "0");
+        assert_eq!(fmt_metric(0.123456), "0.123");
+        assert_eq!(fmt_metric(1.5), "1.50");
+        assert_eq!(fmt_metric(153.21), "153.2");
+        assert_eq!(fmt_metric(f64::NAN), "NA");
+    }
+}

@@ -1,0 +1,251 @@
+//! Microarchitectural configuration.
+
+use crate::cache::CacheGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the timing model.
+///
+/// [`UarchConfig::neoverse_n1_morello`] reproduces the paper's platform:
+/// a 2.5 GHz quad-issue out-of-order core with 64 KiB 4-way L1 caches,
+/// a 1 MiB 8-way private L2, a 1 MiB shared last-level cache, and the
+/// three Morello CHERI artefacts switched to their prototype (costly)
+/// settings. [`UarchConfig::projected_cheri_native`] switches them off,
+/// modelling the "future CHERI-native microarchitecture" the paper's §5
+/// argues for.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UarchConfig {
+    /// Core clock in GHz (converts cycles to seconds in reports).
+    pub clock_ghz: f64,
+    /// Issue/retire slots per cycle.
+    pub issue_width: u32,
+
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// Unified private L2 geometry.
+    pub l2: CacheGeometry,
+    /// Shared last-level cache geometry.
+    pub llc: CacheGeometry,
+
+    /// L1 load-to-use latency (cycles).
+    pub lat_l1: u32,
+    /// L2 hit latency.
+    pub lat_l2: u32,
+    /// LLC hit latency.
+    pub lat_llc: u32,
+    /// DRAM access latency.
+    pub lat_dram: u32,
+    /// DRAM per-line occupancy (bandwidth model): cycles a 64-byte line
+    /// keeps the memory channel busy.
+    pub dram_line_cycles: u32,
+
+    /// L1 instruction TLB entries (fully associative model).
+    pub l1i_tlb_entries: u32,
+    /// L1 data TLB entries.
+    pub l1d_tlb_entries: u32,
+    /// Unified L2 TLB entries.
+    pub l2_tlb_entries: u32,
+    /// L2 TLB hit penalty (cycles).
+    pub lat_l2_tlb: u32,
+    /// Page-table walk penalty (cycles).
+    pub tlb_walk_cycles: u32,
+
+    /// Global-history bits of the gshare predictor.
+    pub gshare_bits: u32,
+    /// Branch target buffer entries (indirect branches).
+    pub btb_entries: u32,
+    /// Return-address stack depth.
+    pub ras_entries: u32,
+    /// Pipeline-flush penalty of a mispredicted branch (cycles).
+    pub mispredict_penalty: u32,
+
+    /// Morello artefact #1: when `false` (the prototype), a capability
+    /// branch that changes PCC bounds costs a frontend resteer of
+    /// [`UarchConfig::pcc_change_stall`] cycles.
+    pub pcc_aware_branch_predictor: bool,
+    /// Frontend stall charged per PCC-bounds-changing branch when the
+    /// predictor is not PCC-aware.
+    pub pcc_change_stall: u32,
+
+    /// Store-buffer entries (64-bit each).
+    pub store_buffer_entries: u32,
+    /// Morello artefact #2: when `false`, a 128-bit capability store
+    /// consumes two store-buffer entries.
+    pub wide_cap_store_buffer: bool,
+
+    /// Morello artefact #3 (projection only): when `true`, a capability
+    /// address-increment that immediately follows an integer multiply is
+    /// fused and retires for free (capability MADD).
+    pub cap_madd_fusion: bool,
+
+    /// Model the tag table explicitly: capability accesses that miss the
+    /// LLC also look up the in-DRAM tag table through a dedicated tag
+    /// cache (the Morello tag controller). Off by default — the baseline
+    /// calibration folds average tag-controller cost into DRAM latency —
+    /// and available as an extension/ablation knob.
+    pub tag_table_model: bool,
+    /// Tag-cache capacity in bytes (each byte covers 8 capability
+    /// granules = 128 bytes of data; 32 KiB covers 4 MiB).
+    pub tag_cache_bytes: u64,
+    /// Extra latency of a tag-cache miss (a second DRAM access).
+    pub tag_miss_penalty: u32,
+
+    /// Memory-level parallelism of independent (streaming) misses: their
+    /// exposed latency is divided by this factor.
+    pub mlp_streaming: u32,
+    /// Extra exposed cycles for a dependent load even on an L1 hit
+    /// (pointer-chase serialisation).
+    pub chase_l1_penalty: f64,
+    /// Next-line prefetch on streaming L1D misses.
+    pub prefetch_next_line: bool,
+
+    /// Backend-core cost (cycles) charged per capability-manipulation
+    /// instruction (single capability execution pipe).
+    pub cap_manip_core_cost: f64,
+    /// Backend-core cost per plain integer DP instruction (dependency
+    /// hazard average).
+    pub dp_core_cost: f64,
+    /// Backend-core cost per floating-point instruction.
+    pub vfp_core_cost: f64,
+    /// Additional latency of integer multiply beyond pipelined issue.
+    pub mul_extra: f64,
+    /// Additional latency of integer divide.
+    pub div_extra: f64,
+}
+
+impl UarchConfig {
+    /// The Morello evaluation platform of the paper (§3.4): Neoverse-N1
+    /// microarchitecture, 2.5 GHz, with the prototype's CHERI limitations.
+    pub fn neoverse_n1_morello() -> UarchConfig {
+        UarchConfig {
+            clock_ghz: 2.5,
+            issue_width: 4,
+            l1i: CacheGeometry::new(64 << 10, 4, 64),
+            l1d: CacheGeometry::new(64 << 10, 4, 64),
+            l2: CacheGeometry::new(1 << 20, 8, 64),
+            llc: CacheGeometry::new(1 << 20, 16, 64),
+            lat_l1: 4,
+            lat_l2: 9,
+            lat_llc: 30,
+            lat_dram: 190,
+            dram_line_cycles: 6,
+            l1i_tlb_entries: 48,
+            l1d_tlb_entries: 48,
+            l2_tlb_entries: 1280,
+            lat_l2_tlb: 5,
+            tlb_walk_cycles: 60,
+            gshare_bits: 13,
+            btb_entries: 4096,
+            ras_entries: 16,
+            mispredict_penalty: 11,
+            pcc_aware_branch_predictor: false,
+            pcc_change_stall: 13,
+            store_buffer_entries: 24,
+            wide_cap_store_buffer: false,
+            cap_madd_fusion: false,
+            tag_table_model: false,
+            tag_cache_bytes: 32 << 10,
+            tag_miss_penalty: 170,
+            mlp_streaming: 6,
+            chase_l1_penalty: 1.5,
+            prefetch_next_line: true,
+            cap_manip_core_cost: 0.18,
+            dp_core_cost: 0.05,
+            vfp_core_cost: 0.10,
+            mul_extra: 1.0,
+            div_extra: 9.0,
+        }
+    }
+
+    /// The paper's §5 projection: the same pipeline with a PCC-aware
+    /// branch predictor, a capability-wide store buffer, and a capability
+    /// MADD — the "modest microarchitectural improvements".
+    pub fn projected_cheri_native() -> UarchConfig {
+        UarchConfig {
+            pcc_aware_branch_predictor: true,
+            wide_cap_store_buffer: true,
+            cap_madd_fusion: true,
+            // A native design also dedicates a second capability pipe.
+            cap_manip_core_cost: 0.10,
+            ..UarchConfig::neoverse_n1_morello()
+        }
+    }
+
+    /// Returns a copy with the PCC-aware-predictor knob set.
+    #[must_use]
+    pub fn with_pcc_aware_bp(mut self, on: bool) -> UarchConfig {
+        self.pcc_aware_branch_predictor = on;
+        self
+    }
+
+    /// Returns a copy with the wide-store-buffer knob set.
+    #[must_use]
+    pub fn with_wide_cap_store_buffer(mut self, on: bool) -> UarchConfig {
+        self.wide_cap_store_buffer = on;
+        self
+    }
+
+    /// Returns a copy with the capability-MADD-fusion knob set.
+    #[must_use]
+    pub fn with_cap_madd_fusion(mut self, on: bool) -> UarchConfig {
+        self.cap_madd_fusion = on;
+        self
+    }
+
+    /// Returns a copy with the explicit tag-table model enabled.
+    #[must_use]
+    pub fn with_tag_table_model(mut self, on: bool) -> UarchConfig {
+        self.tag_table_model = on;
+        self
+    }
+
+    /// Converts a cycle count to seconds at this configuration's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+}
+
+impl Default for UarchConfig {
+    fn default() -> UarchConfig {
+        UarchConfig::neoverse_n1_morello()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_morello() {
+        let c = UarchConfig::default();
+        assert_eq!(c.issue_width, 4);
+        assert!(!c.pcc_aware_branch_predictor);
+        assert!(!c.wide_cap_store_buffer);
+        assert_eq!(c.l1d.size, 64 << 10);
+        assert_eq!(c.l2.ways, 8);
+    }
+
+    #[test]
+    fn projection_flips_all_three_artefacts() {
+        let p = UarchConfig::projected_cheri_native();
+        assert!(p.pcc_aware_branch_predictor);
+        assert!(p.wide_cap_store_buffer);
+        assert!(p.cap_madd_fusion);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = UarchConfig::neoverse_n1_morello()
+            .with_pcc_aware_bp(true)
+            .with_wide_cap_store_buffer(true)
+            .with_cap_madd_fusion(true);
+        assert!(c.pcc_aware_branch_predictor && c.wide_cap_store_buffer && c.cap_madd_fusion);
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let c = UarchConfig::neoverse_n1_morello();
+        assert!((c.cycles_to_seconds(2_500_000_000) - 1.0).abs() < 1e-9);
+    }
+}

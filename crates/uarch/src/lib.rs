@@ -1,0 +1,43 @@
+//! # morello-uarch
+//!
+//! A Neoverse-N1-class timing model with Morello's documented CHERI
+//! artefacts, consuming the retired-instruction event stream produced by
+//! [`cheri_isa`]'s interpreter and producing the full set of raw
+//! microarchitectural counts the paper's Table 1 methodology needs.
+//!
+//! The model is an *accounting* simulator in the spirit of the top-down
+//! methodology (Yasin, ISPASS'14; Arm Neoverse N1 performance analysis
+//! guide): every retired instruction consumes an issue slot, and every
+//! stall source charges cycles to exactly one top-down bucket —
+//! frontend (instruction delivery), backend-memory (split L1/L2/external),
+//! backend-core (execution resources), or bad speculation (squashed work).
+//!
+//! The Morello-specific artefacts the paper identifies are first-class,
+//! toggleable mechanisms:
+//!
+//! * a branch predictor that is **blind to PCC bounds changes**
+//!   ([`UarchConfig::pcc_aware_branch_predictor`] off): every capability
+//!   branch that changes PCC bounds costs a frontend resteer;
+//! * a store buffer sized for 64-bit stores
+//!   ([`UarchConfig::wide_cap_store_buffer`] off): a 128-bit capability
+//!   store occupies two entries;
+//! * no capability MADD ([`UarchConfig::cap_madd_fusion`] off): handled at
+//!   lowering time by `cheri-isa`, and reversible here for projections.
+//!
+//! Turning the three knobs on yields the paper's §5 "modest
+//! microarchitectural improvements" projection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod cache;
+mod config;
+mod core_model;
+mod stats;
+
+pub use branch::{Btb, Gshare, ReturnStack};
+pub use cache::{Cache, CacheGeometry, CacheStats, Tlb, TlbStats};
+pub use config::UarchConfig;
+pub use core_model::TimingCore;
+pub use stats::UarchStats;

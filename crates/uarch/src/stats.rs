@@ -1,0 +1,183 @@
+//! The raw microarchitectural counts the timing model produces — the
+//! simulator-side superset of the PMU events in the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Every count the timing model accumulates over one run.
+///
+/// Field names follow the Arm PMU event names where one exists. The PMU
+/// layer (`morello-pmu`) exposes these through a 6-counter bank with
+/// multiplexing, reproducing the paper's measurement methodology; this
+/// struct is the "ground truth" the simulator affords.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct UarchStats {
+    // --- Cycle accounting --------------------------------------------------
+    /// Total core cycles.
+    pub cpu_cycles: u64,
+    /// Retired instructions.
+    pub inst_retired: u64,
+    /// Cycles in which the frontend delivered no µops (fetch stalls, PCC
+    /// resteers).
+    pub stall_frontend: u64,
+    /// Cycles in which the backend could not accept µops.
+    pub stall_backend: u64,
+
+    // --- Top-down backend split (cycles) ------------------------------------
+    /// Backend-memory cycles attributable to L1D (hit pressure,
+    /// pointer-chase serialisation).
+    pub bound_mem_l1: u64,
+    /// Backend-memory cycles served from L2.
+    pub bound_mem_l2: u64,
+    /// Backend-memory cycles served from LLC/DRAM.
+    pub bound_mem_ext: u64,
+    /// Backend-core cycles (execution-resource contention, store-buffer
+    /// pressure).
+    pub bound_core: u64,
+    /// Cycles lost to pipeline flushes from mispredicted branches.
+    pub badspec_cycles: u64,
+    /// Frontend cycles charged specifically to PCC-bounds resteers (a
+    /// subset of `stall_frontend`; the quantity the benchmark ABI
+    /// eliminates).
+    pub pcc_stall_cycles: u64,
+    /// Backend-core cycles charged to store-buffer-full stalls (a subset
+    /// of `bound_core`).
+    pub store_buffer_stalls: u64,
+
+    // --- Branches -----------------------------------------------------------
+    /// Retired branches.
+    pub br_retired: u64,
+    /// Retired mispredicted branches.
+    pub br_mis_pred_retired: u64,
+    /// Branches that changed PCC bounds (capability branches).
+    pub pcc_change_branches: u64,
+
+    // --- Speculative instruction mix (retired classes) -----------------------
+    /// All speculatively executed instructions (= retired in this model).
+    pub inst_spec: u64,
+    /// Loads.
+    pub ld_spec: u64,
+    /// Stores.
+    pub st_spec: u64,
+    /// Integer data processing (including capability manipulation).
+    pub dp_spec: u64,
+    /// SIMD.
+    pub ase_spec: u64,
+    /// Floating point.
+    pub vfp_spec: u64,
+    /// Immediate branches.
+    pub br_immed_spec: u64,
+    /// Indirect branches.
+    pub br_indirect_spec: u64,
+    /// Return branches.
+    pub br_return_spec: u64,
+    /// Capability-manipulation instructions (subset of `dp_spec`).
+    pub cap_manip_spec: u64,
+
+    // --- Caches --------------------------------------------------------------
+    /// L1I lookups.
+    pub l1i_cache: u64,
+    /// L1I refills.
+    pub l1i_cache_refill: u64,
+    /// L1D lookups.
+    pub l1d_cache: u64,
+    /// L1D refills.
+    pub l1d_cache_refill: u64,
+    /// L2 (unified) lookups.
+    pub l2d_cache: u64,
+    /// L2 refills.
+    pub l2d_cache_refill: u64,
+    /// LLC read lookups.
+    pub ll_cache_rd: u64,
+    /// LLC read misses.
+    pub ll_cache_miss_rd: u64,
+
+    // --- TLBs ----------------------------------------------------------------
+    /// L1 instruction TLB lookups.
+    pub l1i_tlb: u64,
+    /// L1 instruction TLB refills.
+    pub l1i_tlb_refill: u64,
+    /// L1 data TLB lookups.
+    pub l1d_tlb: u64,
+    /// L1 data TLB refills.
+    pub l1d_tlb_refill: u64,
+    /// Unified L2 TLB lookups.
+    pub l2d_tlb: u64,
+    /// Unified L2 TLB refills.
+    pub l2d_tlb_refill: u64,
+    /// Instruction-side page-table walks.
+    pub itlb_walk: u64,
+    /// Data-side page-table walks.
+    pub dtlb_walk: u64,
+
+    // --- Memory traffic --------------------------------------------------------
+    /// All data reads.
+    pub mem_access_rd: u64,
+    /// All data writes.
+    pub mem_access_wr: u64,
+    /// Capability (tag-checked) reads.
+    pub cap_mem_access_rd: u64,
+    /// Capability (tag-carrying) writes.
+    pub cap_mem_access_wr: u64,
+    /// Reads that performed a capability-tag check.
+    pub mem_access_rd_ctag: u64,
+    /// Writes that performed a capability-tag update.
+    pub mem_access_wr_ctag: u64,
+
+    // --- Tag controller (extension model; zero unless enabled) ---------------
+    /// Tag-cache lookups (capability traffic that missed the LLC).
+    pub tag_cache_access: u64,
+    /// Tag-cache misses (second DRAM access for the tag line).
+    pub tag_cache_miss: u64,
+}
+
+impl UarchStats {
+    /// Sum of all `*_SPEC` class counters plus `INST_SPEC` itself — the
+    /// denominator of the paper's Table 1 "Retiring %" formula.
+    pub fn sum_spec(&self) -> u64 {
+        self.inst_spec
+            + self.ld_spec
+            + self.st_spec
+            + self.dp_spec
+            + self.ase_spec
+            + self.vfp_spec
+            + self.br_immed_spec
+            + self.br_indirect_spec
+            + self.br_return_spec
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.inst_retired as f64 / self.cpu_cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_spec_counts_every_class_once() {
+        let s = UarchStats {
+            inst_spec: 100,
+            ld_spec: 20,
+            st_spec: 10,
+            dp_spec: 40,
+            ase_spec: 5,
+            vfp_spec: 15,
+            br_immed_spec: 7,
+            br_indirect_spec: 2,
+            br_return_spec: 1,
+            ..UarchStats::default()
+        };
+        assert_eq!(s.sum_spec(), 200);
+    }
+
+    #[test]
+    fn ipc_guards_zero_cycles() {
+        let s = UarchStats {
+            inst_retired: 10,
+            ..UarchStats::default()
+        };
+        assert_eq!(s.ipc(), 10.0);
+    }
+}

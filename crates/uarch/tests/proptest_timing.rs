@@ -1,0 +1,155 @@
+//! Property tests for the timing model: accounting identities must hold
+//! for arbitrary event streams, not just well-formed programs.
+
+use cheri_isa::{BranchKind, EventSink, InstClass, RetiredEvent, RetiredInfo};
+use morello_uarch::{TimingCore, UarchConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Dp,
+    Vfp,
+    Mul,
+    CapManip,
+    Load { addr: u32, cap: bool, dep: bool },
+    Store { addr: u32, cap: bool },
+    Cond { pc: u16, taken: bool },
+    CallRet { pcc: bool },
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        Just(Ev::Dp),
+        Just(Ev::Vfp),
+        Just(Ev::Mul),
+        Just(Ev::CapManip),
+        (any::<u32>(), any::<bool>(), any::<bool>())
+            .prop_map(|(addr, cap, dep)| Ev::Load { addr, cap, dep }),
+        (any::<u32>(), any::<bool>()).prop_map(|(addr, cap)| Ev::Store { addr, cap }),
+        (any::<u16>(), any::<bool>()).prop_map(|(pc, taken)| Ev::Cond { pc, taken }),
+        any::<bool>().prop_map(|pcc| Ev::CallRet { pcc }),
+    ]
+}
+
+fn feed(core: &mut TimingCore, evs: &[Ev]) {
+    let mut pc = 0x1_0000u64;
+    for e in evs {
+        pc += 4;
+        let info = match e {
+            Ev::Dp => RetiredInfo::Simple(InstClass::Dp),
+            Ev::Vfp => RetiredInfo::Simple(InstClass::Vfp),
+            Ev::Mul => RetiredInfo::LongLatency {
+                class: InstClass::Dp,
+                extra: 1,
+            },
+            Ev::CapManip => RetiredInfo::CapManip,
+            Ev::Load { addr, cap, dep } => RetiredInfo::Load {
+                // 16-byte alignment for capability accesses.
+                addr: (*addr as u64) & if *cap { !15 } else { !7 },
+                size: if *cap { 16 } else { 8 },
+                is_cap: *cap,
+                dep_load: *dep,
+            },
+            Ev::Store { addr, cap } => RetiredInfo::Store {
+                addr: (*addr as u64) & if *cap { !15 } else { !7 },
+                size: if *cap { 16 } else { 8 },
+                is_cap: *cap,
+            },
+            Ev::Cond { pc: t, taken } => RetiredInfo::Branch {
+                kind: BranchKind::Immediate,
+                taken: *taken,
+                target: 0x1_0000 + (*t as u64) * 4,
+                pcc_change: false,
+            },
+            Ev::CallRet { pcc } => RetiredInfo::Branch {
+                kind: BranchKind::Call,
+                taken: true,
+                target: 0x2_0000,
+                pcc_change: *pcc,
+            },
+        };
+        core.retire(RetiredEvent { pc, info });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Accounting identities over arbitrary streams.
+    #[test]
+    fn accounting_identities(evs in proptest::collection::vec(ev_strategy(), 1..600)) {
+        let mut core = TimingCore::new(UarchConfig::neoverse_n1_morello());
+        feed(&mut core, &evs);
+        let s = core.finish();
+
+        prop_assert_eq!(s.inst_retired, evs.len() as u64);
+        prop_assert_eq!(s.inst_spec, s.inst_retired);
+        // Class counters partition the stream.
+        let classes = s.dp_spec + s.vfp_spec + s.ase_spec + s.ld_spec + s.st_spec
+            + s.br_immed_spec + s.br_indirect_spec + s.br_return_spec;
+        prop_assert_eq!(classes, s.inst_retired);
+        // Cycles cover at least the retire bandwidth and all stalls.
+        let width = 4;
+        prop_assert!(s.cpu_cycles * width >= s.inst_retired);
+        prop_assert!(s.cpu_cycles >= s.stall_frontend + s.stall_backend + s.badspec_cycles,
+            "cycles {} stalls {}/{}/{}", s.cpu_cycles, s.stall_frontend, s.stall_backend, s.badspec_cycles);
+        // Backend split is consistent (rounding slack of a few cycles).
+        let split = s.bound_mem_l1 + s.bound_mem_l2 + s.bound_mem_ext + s.bound_core;
+        prop_assert!((split as i64 - s.stall_backend as i64).abs() <= 4);
+        // Subset counters.
+        prop_assert!(s.cap_manip_spec <= s.dp_spec);
+        prop_assert!(s.br_mis_pred_retired <= s.br_retired);
+        prop_assert!(s.pcc_stall_cycles <= s.stall_frontend);
+        prop_assert!(s.cap_mem_access_rd <= s.mem_access_rd);
+        prop_assert!(s.cap_mem_access_wr <= s.mem_access_wr);
+        prop_assert_eq!(s.mem_access_rd, s.ld_spec);
+        prop_assert_eq!(s.mem_access_wr, s.st_spec);
+        // Cache hierarchy sanity.
+        prop_assert!(s.l1d_cache_refill <= s.l1d_cache);
+        prop_assert!(s.l2d_cache_refill <= s.l2d_cache);
+        prop_assert!(s.ll_cache_miss_rd <= s.ll_cache_rd);
+        prop_assert!(s.l1d_tlb_refill <= s.l1d_tlb);
+        prop_assert!(s.dtlb_walk <= s.l1d_tlb_refill.max(1));
+    }
+
+    /// A PCC-aware predictor never makes a stream slower, and removes all
+    /// PCC stall cycles.
+    #[test]
+    fn pcc_aware_monotone(evs in proptest::collection::vec(ev_strategy(), 1..400)) {
+        let base = UarchConfig::neoverse_n1_morello();
+        let mut blind = TimingCore::new(base);
+        feed(&mut blind, &evs);
+        let blind = blind.finish();
+        let mut aware = TimingCore::new(base.with_pcc_aware_bp(true));
+        feed(&mut aware, &evs);
+        let aware = aware.finish();
+        prop_assert_eq!(aware.pcc_stall_cycles, 0);
+        prop_assert!(aware.cpu_cycles <= blind.cpu_cycles);
+        prop_assert_eq!(aware.cpu_cycles + blind.pcc_stall_cycles, blind.cpu_cycles);
+    }
+
+    /// The wide capability store buffer never hurts.
+    #[test]
+    fn wide_store_buffer_monotone(evs in proptest::collection::vec(ev_strategy(), 1..400)) {
+        let base = UarchConfig::neoverse_n1_morello();
+        let mut narrow = TimingCore::new(base);
+        feed(&mut narrow, &evs);
+        let narrow = narrow.finish();
+        let mut wide = TimingCore::new(base.with_wide_cap_store_buffer(true));
+        feed(&mut wide, &evs);
+        let wide = wide.finish();
+        prop_assert!(wide.store_buffer_stalls <= narrow.store_buffer_stalls);
+        prop_assert!(wide.cpu_cycles <= narrow.cpu_cycles);
+    }
+
+    /// Determinism: feeding the same stream twice gives identical stats.
+    #[test]
+    fn timing_is_deterministic(evs in proptest::collection::vec(ev_strategy(), 1..300)) {
+        let cfg = UarchConfig::neoverse_n1_morello();
+        let mut a = TimingCore::new(cfg);
+        feed(&mut a, &evs);
+        let mut b = TimingCore::new(cfg);
+        feed(&mut b, &evs);
+        prop_assert_eq!(a.finish(), b.finish());
+    }
+}

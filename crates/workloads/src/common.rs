@@ -1,0 +1,263 @@
+//! Shared building blocks for workload kernels.
+
+use cheri_isa::{Abi, FunctionBuilder, MemSize, VReg};
+
+/// A field of a C-like struct whose layout depends on the ABI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Field {
+    /// A one-byte integer.
+    I8,
+    /// A two-byte integer.
+    I16,
+    /// A four-byte integer.
+    I32,
+    /// An eight-byte integer.
+    I64,
+    /// A double.
+    F64,
+    /// A pointer (8 bytes hybrid, 16 bytes + 16-alignment capability).
+    Ptr,
+    /// An opaque byte blob (8-byte aligned).
+    Bytes(u64),
+}
+
+impl Field {
+    fn size_align(self, abi: Abi) -> (u64, u64) {
+        match self {
+            Field::I8 => (1, 1),
+            Field::I16 => (2, 2),
+            Field::I32 => (4, 4),
+            Field::I64 | Field::F64 => (8, 8),
+            Field::Ptr => (abi.pointer_size(), abi.pointer_align()),
+            Field::Bytes(n) => (n, 8),
+        }
+    }
+}
+
+/// An ABI-specific struct layout, computed with C alignment rules —
+/// exactly how CHERI C doubles pointer-bearing structures.
+///
+/// ```
+/// use cheri_workloads::common::{Field, Layout};
+/// use cheri_isa::Abi;
+/// let node = [Field::I64, Field::Ptr, Field::Ptr];
+/// assert_eq!(Layout::new(Abi::Hybrid, &node).size(), 24);
+/// assert_eq!(Layout::new(Abi::Purecap, &node).size(), 48);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Layout {
+    offsets: Vec<i64>,
+    size: u64,
+    align: u64,
+}
+
+impl Layout {
+    /// Computes the layout of `fields` under `abi`.
+    pub fn new(abi: Abi, fields: &[Field]) -> Layout {
+        let mut offsets = Vec::with_capacity(fields.len());
+        let mut off = 0u64;
+        let mut max_align = 1u64;
+        for f in fields {
+            let (size, align) = f.size_align(abi);
+            off = (off + align - 1) & !(align - 1);
+            offsets.push(off as i64);
+            off += size;
+            max_align = max_align.max(align);
+        }
+        Layout {
+            offsets,
+            size: (off + max_align - 1) & !(max_align - 1),
+            align: max_align,
+        }
+    }
+
+    /// Byte offset of field `i`.
+    pub fn off(&self, i: usize) -> i64 {
+        self.offsets[i]
+    }
+
+    /// Total (padded) struct size.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Struct alignment.
+    pub fn align(&self) -> u64 {
+        self.align
+    }
+}
+
+/// An in-simulation xorshift64 PRNG: deterministic, cheap (5 DP
+/// instructions per draw), and unpredictable to the branch predictor —
+/// the tool for modelling data-dependent branches (leela's playouts,
+/// xz's match probing).
+#[derive(Clone, Copy, Debug)]
+pub struct SimRng {
+    state: VReg,
+}
+
+impl SimRng {
+    /// Seeds a PRNG into a fresh register.
+    pub fn init(f: &mut FunctionBuilder, seed: u64) -> SimRng {
+        let state = f.vreg();
+        f.mov_imm(state, if seed == 0 { 0x9E3779B97F4A7C15 } else { seed });
+        SimRng { state }
+    }
+
+    /// Draws the next value into a fresh register (xorshift64).
+    pub fn next(&self, f: &mut FunctionBuilder) -> VReg {
+        let t = f.vreg();
+        f.lsl(t, self.state, 13);
+        f.eor(self.state, self.state, t);
+        f.lsr(t, self.state, 7);
+        f.eor(self.state, self.state, t);
+        f.lsl(t, self.state, 17);
+        f.eor(self.state, self.state, t);
+        let out = f.vreg();
+        f.mov(out, self.state);
+        out
+    }
+
+    /// The register holding the PRNG state (for mixing in extra entropy).
+    pub fn state_reg(&self) -> VReg {
+        self.state
+    }
+
+    /// Draws a value masked to `bits` low bits.
+    pub fn next_bits(&self, f: &mut FunctionBuilder, bits: u32) -> VReg {
+        let v = self.next(f);
+        let m = f.vreg();
+        f.mov_imm(m, (1u64 << bits) - 1);
+        f.and(v, v, m);
+        v
+    }
+}
+
+/// Emits `count` dependent integer ALU ops on `acc` (compute filler used
+/// to tune a kernel's memory intensity without touching its access
+/// pattern).
+pub fn dp_burst(f: &mut FunctionBuilder, acc: VReg, count: u32) {
+    for i in 0..count {
+        match i % 3 {
+            0 => f.eor(acc, acc, 0x5bd1e995i64),
+            1 => f.add(acc, acc, 12345),
+            _ => f.lsr(acc, acc, 1),
+        }
+    }
+}
+
+/// Emits `count` dependent FP ops on `facc` (FLOP filler).
+pub fn vfp_burst(f: &mut FunctionBuilder, facc: VReg, tmp: VReg, count: u32) {
+    for i in 0..count {
+        if i % 2 == 0 {
+            f.fadd(facc, facc, tmp);
+        } else {
+            f.fmul(facc, facc, tmp);
+        }
+    }
+}
+
+/// The shift that converts a pointer-array index into a byte offset
+/// (3 under hybrid, 4 under the capability ABIs).
+pub fn ptr_shift(abi: Abi) -> i64 {
+    if abi.is_capability() {
+        4
+    } else {
+        3
+    }
+}
+
+/// Computes `&base[idx]` for a pointer array into a fresh register
+/// (register-offset addressing through an explicit pointer add).
+pub fn ptr_elem(f: &mut FunctionBuilder, abi: Abi, base: VReg, idx: VReg) -> VReg {
+    let off = f.vreg();
+    f.lsl(off, idx, ptr_shift(abi));
+    let p = f.vreg();
+    f.ptr_add(p, base, off);
+    p
+}
+
+/// Loads `base[idx]` from a pointer array into a fresh register
+/// (single scaled-addressing instruction).
+pub fn load_ptr_idx(f: &mut FunctionBuilder, _abi: Abi, base: VReg, idx: VReg) -> VReg {
+    let out = f.vreg();
+    f.load_ptr_idx(out, base, idx);
+    out
+}
+
+/// Stores `value` to `base[idx]` of a pointer array.
+pub fn store_ptr_idx(f: &mut FunctionBuilder, _abi: Abi, base: VReg, idx: VReg, value: VReg) {
+    f.store_ptr_idx(value, base, idx);
+}
+
+/// Loads a 64-bit integer from `base + off` and folds it into `acc`
+/// (common "touch memory, keep it live" idiom).
+pub fn load_fold(f: &mut FunctionBuilder, acc: VReg, base: VReg, off: i64) {
+    let v = f.vreg();
+    f.load_int(v, base, off, MemSize::S8);
+    f.add(acc, acc, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{Abi, Interp, InterpConfig, NullSink, ProgramBuilder};
+
+    #[test]
+    fn layout_pointer_doubling() {
+        let fields = [Field::I32, Field::Ptr, Field::I64, Field::Ptr];
+        let h = Layout::new(Abi::Hybrid, &fields);
+        // i32@0, ptr@8, i64@16, ptr@24 -> 32
+        assert_eq!(h.off(0), 0);
+        assert_eq!(h.off(1), 8);
+        assert_eq!(h.off(2), 16);
+        assert_eq!(h.off(3), 24);
+        assert_eq!(h.size(), 32);
+        let p = Layout::new(Abi::Purecap, &fields);
+        // i32@0, ptr@16, i64@32, ptr@48 -> 64
+        assert_eq!(p.off(1), 16);
+        assert_eq!(p.off(2), 32);
+        assert_eq!(p.off(3), 48);
+        assert_eq!(p.size(), 64);
+        assert_eq!(p.align(), 16);
+    }
+
+    #[test]
+    fn layout_packing_small_fields() {
+        let l = Layout::new(Abi::Hybrid, &[Field::I8, Field::I8, Field::I16, Field::I32]);
+        assert_eq!(l.off(0), 0);
+        assert_eq!(l.off(1), 1);
+        assert_eq!(l.off(2), 2);
+        assert_eq!(l.off(3), 4);
+        assert_eq!(l.size(), 8);
+    }
+
+    #[test]
+    fn sim_rng_produces_varied_values() {
+        // Run the emitted PRNG and check it doesn't cycle trivially.
+        let mut b = ProgramBuilder::new("rng", Abi::Hybrid);
+        let main = b.function("main", 0, |f| {
+            let rng = SimRng::init(f, 42);
+            let distinct = f.vreg();
+            f.mov_imm(distinct, 0);
+            let prev = f.vreg();
+            f.mov_imm(prev, 0);
+            let n = f.vreg();
+            f.mov_imm(n, 64);
+            f.for_loop(0, n, 1, |f, _| {
+                let v = rng.next_bits(f, 8);
+                let same = f.label();
+                f.br(cheri_isa::Cond::Eq, v, prev, same);
+                f.add(distinct, distinct, 1);
+                f.bind(same);
+                f.mov(prev, v);
+            });
+            f.halt_code(distinct);
+        });
+        b.set_entry(main);
+        let res = Interp::new(InterpConfig::default())
+            .run(&b.lower(), &mut NullSink)
+            .unwrap();
+        assert!(res.exit_code > 48, "PRNG too repetitive: {}", res.exit_code);
+    }
+}

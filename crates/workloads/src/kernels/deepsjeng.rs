@@ -1,0 +1,259 @@
+//! `531.deepsjeng_r` / `631.deepsjeng_s` proxy — alpha-beta game-tree
+//! search with a transposition table.
+//!
+//! The original is a chess engine: recursive alpha-beta over an in-cache
+//! board, probing a large transposition table, with data-dependent
+//! branches (branch MR ≈ 3%). The paper classifies it compute-intensive
+//! (MI ≈ 0.49) with a modest purecap slowdown (17%) that comes mostly
+//! from the instruction-mix shift and stack/pointer traffic rather than
+//! cache pressure — L2 miss rates actually *drop* under purecap.
+//!
+//! The proxy: a recursive negamax over a synthetic move generator (integer
+//! mixing of the position key), a multi-megabyte transposition table of
+//! 16-byte entries (key + score), a piece list of pointers consulted
+//! during evaluation (the source of deepsjeng's ~28% capability load
+//! density), and make/undo updates to a shared board array.
+
+use crate::common::{Field, Layout};
+use crate::registry::Scale;
+use cheri_isa::{Abi, Cond, GenericProgram, MemSize, ProgramBuilder};
+
+/// Builds the rate-sized proxy.
+pub fn build_rate(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, false)
+}
+
+/// Builds the speed-sized proxy.
+pub fn build_speed(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, true)
+}
+
+fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
+    let f_scale = scale.factor();
+    // Transposition table: entries of {key, score} = 16 bytes.
+    let tt_entries: u64 = match scale {
+        Scale::Test => 1 << 12,
+        Scale::Small => 1 << 16,
+        Scale::Default => 1 << 18, // 4 MiB
+    };
+    let depth: u64 = if speed { 6 } else { 5 };
+    let width: u64 = 4; // moves tried per node
+    // Speed runs search twice the total nodes of rate runs.
+    let roots: u64 = if speed { f_scale.max(1) } else { f_scale * 2 };
+
+    let mut b = ProgramBuilder::new(
+        if speed { "631.deepsjeng_s" } else { "531.deepsjeng_r" },
+        abi,
+    );
+
+    let g_board = b.global_zero("board", 64 * 8);
+    let g_tt = b.global_zero("tt_holder", 16);
+    let g_pieces = b.global_zero("piece_list", 16);
+    let piece = Layout::new(abi, &[Field::I64, Field::I64, Field::Ptr]);
+    let (pc_val, pc_sq, _pc_next) = (piece.off(0), piece.off(1), piece.off(2));
+
+    // evaluate(key) -> score: board reads + piece-list pointer walk.
+    let evaluate = b.function("evaluate", 1, |f| {
+        let key = f.arg(0);
+        let board = f.vreg();
+        f.lea_global(board, g_board, 0);
+        let score = f.vreg();
+        f.mov_imm(score, 0);
+        // Sample 8 squares derived from the key.
+        let k = f.vreg();
+        f.mov(k, key);
+        for _ in 0..8 {
+            f.mul(k, k, 0x2545F4914F6CDD1Di64);
+            f.lsr(k, k, 17);
+            let sq = f.vreg();
+            f.and(sq, k, 63);
+            f.lsl(sq, sq, 3);
+            let v = f.vreg();
+            f.load_int(v, board, sq, MemSize::S8);
+            f.add(score, score, v);
+        }
+        // Walk four piece nodes (capability loads under purecap).
+        let lp = f.vreg();
+        f.lea_global(lp, g_pieces, 0);
+        let cur = f.vreg();
+        f.load_ptr(cur, lp, 0);
+        for _ in 0..4 {
+            let v = f.vreg();
+            f.load_int(v, cur, pc_val, MemSize::S8);
+            f.add(score, score, v);
+            let s = f.vreg();
+            f.load_int(s, cur, pc_sq, MemSize::S8);
+            f.eor(score, score, s);
+            f.load_ptr(cur, cur, piece.off(2));
+        }
+        f.and(score, score, 0xFFFF);
+        f.ret(Some(score));
+    });
+
+    // search(key, depth, alpha) -> score: negamax with TT probing.
+    let search = b.declare("search", 3);
+    b.define(search, |f| {
+        let key = f.arg(0);
+        let d = f.arg(1);
+        let alpha = f.arg(2);
+        let leaf = f.label();
+        f.br(Cond::Eq, d, 0, leaf);
+
+        // TT probe.
+        let ttp = f.vreg();
+        f.lea_global(ttp, g_tt, 0);
+        let tt = f.vreg();
+        f.load_ptr(tt, ttp, 0);
+        let h = f.vreg();
+        f.mul(h, key, 0x9E3779B97F4A7C15u64 as i64);
+        f.lsr(h, h, 40);
+        let idx = f.vreg();
+        f.mov_imm(idx, tt_entries - 1);
+        f.and(h, h, idx);
+        f.lsl(h, h, 4);
+        let entry = f.vreg();
+        f.ptr_add(entry, tt, h);
+        let stored_key = f.vreg();
+        f.load_int(stored_key, entry, 0, MemSize::S8);
+        let tt_miss = f.label();
+        f.br(Cond::Ne, stored_key, key, tt_miss);
+        let cached = f.vreg();
+        f.load_int(cached, entry, 8, MemSize::S8);
+        f.ret(Some(cached));
+        f.bind(tt_miss);
+
+        // Try `width` moves.
+        let best = f.vreg();
+        f.mov_imm(best, 0);
+        let a = f.vreg();
+        f.mov(a, alpha);
+        let nd = f.vreg();
+        f.sub(nd, d, 1);
+        let board = f.vreg();
+        f.lea_global(board, g_board, 0);
+        for m in 0..width {
+            // Child key: mix the position with the move number.
+            let ck = f.vreg();
+            f.mov_imm(ck, 0x8F5A_3C21 + m * 0x1357);
+            f.eor(ck, ck, key);
+            f.mul(ck, ck, 0xD1B54A32D192ED03u64 as i64);
+            f.lsr(ck, ck, 3);
+            // Make: poke a square.
+            let sq = f.vreg();
+            f.and(sq, ck, 63);
+            f.lsl(sq, sq, 3);
+            let old = f.vreg();
+            f.load_int(old, board, sq, MemSize::S8);
+            let nv = f.vreg();
+            f.add(nv, old, 1);
+            f.store_int(nv, board, sq, MemSize::S8);
+            // Recurse.
+            let na = f.vreg();
+            f.sub(na, a, 1);
+            let child = f.vreg();
+            f.call(search, &[ck, nd, na], Some(child));
+            // Undo.
+            f.store_int(old, board, sq, MemSize::S8);
+            // best = max(best, -childish): emulate negamax flavor with
+            // data-dependent comparison (the 3% misprediction source).
+            let skip = f.label();
+            f.br(Cond::Leu, child, best, skip);
+            f.mov(best, child);
+            f.bind(skip);
+            // Alpha-beta cutoff.
+            let cont = f.label();
+            f.br(Cond::Leu, best, a, cont);
+            f.add(a, best, 0);
+            f.bind(cont);
+        }
+        // TT store.
+        f.store_int(key, entry, 0, MemSize::S8);
+        f.store_int(best, entry, 8, MemSize::S8);
+        f.ret(Some(best));
+
+        f.bind(leaf);
+        let sc = f.vreg();
+        f.call(evaluate, &[key], Some(sc));
+        f.ret(Some(sc));
+    });
+
+    let main = b.function("main", 0, |f| {
+        // Allocate the TT and the piece ring.
+        let tt = f.vreg();
+        f.malloc(tt, tt_entries * 16);
+        let ttp = f.vreg();
+        f.lea_global(ttp, g_tt, 0);
+        f.store_ptr(tt, ttp, 0);
+        // Four piece nodes in a ring.
+        let first = f.vreg();
+        f.malloc(first, piece.size());
+        let prev = f.vreg();
+        f.mov(prev, first);
+        for i in 1..4u64 {
+            let p = f.vreg();
+            f.malloc(p, piece.size());
+            let v = f.vreg();
+            f.mov_imm(v, i * 31);
+            f.store_int(v, p, pc_val, MemSize::S8);
+            f.store_int(v, p, pc_sq, MemSize::S8);
+            f.store_ptr(p, prev, piece.off(2));
+            f.mov(prev, p);
+        }
+        f.store_ptr(first, prev, piece.off(2));
+        let lp = f.vreg();
+        f.lea_global(lp, g_pieces, 0);
+        f.store_ptr(first, lp, 0);
+        // Board init.
+        let board = f.vreg();
+        f.lea_global(board, g_board, 0);
+        let sq64 = f.vreg();
+        f.mov_imm(sq64, 64);
+        f.for_loop(0, sq64, 1, |f, i| {
+            let v = f.vreg();
+            f.mul(v, i, 73);
+            let off = f.vreg();
+            f.lsl(off, i, 3);
+            f.store_int(v, board, off, MemSize::S8);
+        });
+        // Iterative deepening over several root positions.
+        let total = f.vreg();
+        f.mov_imm(total, 0);
+        let nroots = f.vreg();
+        f.mov_imm(nroots, roots);
+        f.for_loop(0, nroots, 1, |f, r| {
+            let key = f.vreg();
+            f.mov_imm(key, 0xC0FFEE);
+            f.eor(key, key, r);
+            let dreg = f.vreg();
+            f.mov_imm(dreg, depth);
+            let a0 = f.vreg();
+            f.mov_imm(a0, 0);
+            let sc = f.vreg();
+            f.call(search, &[key, dreg, a0], Some(sc));
+            f.add(total, total, sc);
+        });
+        f.halt_code(total);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build_rate(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+    }
+}

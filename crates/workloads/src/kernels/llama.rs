@@ -1,0 +1,270 @@
+//! LLaMA.cpp proxies — LLM inference and FP matrix multiplication.
+//!
+//! The paper's two LLaMA.cpp workloads are its counter-example to "bigger
+//! pointers always hurt": both are dominated by *sequential* streaming
+//! over large weight tensors, so the purecap overhead is ~1.3%
+//! (inference) and slightly *negative* (matmul). Capability density is
+//! under 0.5%; the top-down profile is external-memory bound in hybrid
+//! and becomes mildly core-bound under purecap.
+//!
+//! * [`build_matmul`] — blocked FP multiply of pseudo-random matrices
+//!   (the paper's `(11008,4096) x (11008,128)` case, scaled), all
+//!   `FMADD`/vector traffic.
+//! * [`build_inference`] — q8-quantised mat-vec: packed 8-bit weights
+//!   streamed once per generated token, unpacked with integer shifts and
+//!   scaled by per-block `f64` factors — memory-bandwidth bound with an
+//!   integer-heavy instruction mix (MI ≈ 0.31).
+
+use crate::registry::Scale;
+use cheri_isa::{Abi, GenericProgram, MemSize, ProgramBuilder, VecKind};
+
+/// Builds the matmul microbenchmark proxy.
+pub fn build_matmul(abi: Abi, scale: Scale) -> GenericProgram {
+    let f_scale = scale.factor();
+    let m: u64 = 16;
+    let k: u64 = (64 * f_scale).min(1024); // shared dimension
+    let n: u64 = (8 * f_scale).min(192);
+
+    let mut b = ProgramBuilder::new("LLaMA.cpp (matmult)", abi);
+    let g_a = b.global_zero("mat_a", m * k * 8);
+    let g_bm = b.global_zero("mat_b", k * n * 8);
+    let g_c = b.global_zero("mat_c", m * n * 8);
+
+    let main = b.function("main", 0, |f| {
+        let a = f.vreg();
+        f.lea_global(a, g_a, 0);
+        let bm = f.vreg();
+        f.lea_global(bm, g_bm, 0);
+        let c = f.vreg();
+        f.lea_global(c, g_c, 0);
+
+        // Pseudo-random fill (the paper's matmul generates random FP32).
+        let fill = |f: &mut cheri_isa::FunctionBuilder, base: cheri_isa::VReg, count: u64| {
+            let n_r = f.vreg();
+            f.mov_imm(n_r, count);
+            f.for_loop(0, n_r, 1, |f, i| {
+                let v = f.vreg();
+                f.mul(v, i, 0x9E37_79B9i64);
+                f.and(v, v, 1023);
+                let vf = f.vreg();
+                f.int_to_f64(vf, v);
+                let off = f.vreg();
+                f.lsl(off, i, 3);
+                f.store_f64(vf, base, off);
+            });
+        };
+        fill(f, a, m * k);
+        fill(f, bm, k * n);
+
+        // C = A x B, row-major ikj loop (streaming over B).
+        let m_r = f.vreg();
+        f.mov_imm(m_r, m);
+        f.for_loop(0, m_r, 1, |f, i| {
+            let k_r = f.vreg();
+            f.mov_imm(k_r, k);
+            f.for_loop(0, k_r, 1, |f, kk| {
+                // a_ik
+                let ao = f.vreg();
+                f.mov_imm(ao, k);
+                f.madd(ao, i, ao, kk);
+                f.lsl(ao, ao, 3);
+                let av = f.vreg();
+                f.load_f64(av, a, ao);
+                let n_r = f.vreg();
+                f.mov_imm(n_r, n);
+                f.for_loop(0, n_r, 1, |f, j| {
+                    let bo = f.vreg();
+                    f.mov_imm(bo, n);
+                    f.madd(bo, kk, bo, j);
+                    f.lsl(bo, bo, 3);
+                    let bv = f.vreg();
+                    f.load_f64(bv, bm, bo);
+                    let co = f.vreg();
+                    f.mov_imm(co, n);
+                    f.madd(co, i, co, j);
+                    f.lsl(co, co, 3);
+                    let cv = f.vreg();
+                    f.load_f64(cv, c, co);
+                    // Vector FMA (the ggml inner kernel is SIMD).
+                    f.vec_op(VecKind::VFma, cv, av, bv);
+                    f.store_f64(cv, c, co);
+                });
+            });
+        });
+        // Checksum C[0,0] + C[m-1,n-1].
+        let v0 = f.vreg();
+        f.load_f64(v0, c, 0);
+        let vn = f.vreg();
+        f.load_f64(vn, c, ((m * n - 1) * 8) as i64);
+        f.fadd(v0, v0, vn);
+        let code = f.vreg();
+        f.f64_to_int(code, v0);
+        f.and(code, code, 0xFFFF_FFFFi64);
+        f.halt_code(code);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+/// Builds the end-to-end inference proxy (q8 weights, token loop).
+pub fn build_inference(abi: Abi, scale: Scale) -> GenericProgram {
+    let f_scale = scale.factor();
+    let dim: u64 = (256 * f_scale).min(4096); // rows of the weight matrix
+    let cols: u64 = 256; // packed q8 columns (bytes per row)
+    let tokens: u64 = 4;
+
+    let mut b = ProgramBuilder::new("LLaMA.cpp (inference)", abi);
+    // Weights: dim x cols bytes (q8), one f64 scale per 32-byte block.
+    let g_w = b.global_zero("weights_q8", dim * cols);
+    let g_scales = b.global_zero("scales", dim * (cols / 32) * 8);
+    let g_x = b.global_zero("activations", cols * 8);
+    let g_y = b.global_zero("output", dim * 8);
+
+    let main = b.function("main", 0, |f| {
+        let w = f.vreg();
+        f.lea_global(w, g_w, 0);
+        let scales = f.vreg();
+        f.lea_global(scales, g_scales, 0);
+        let x = f.vreg();
+        f.lea_global(x, g_x, 0);
+        let y = f.vreg();
+        f.lea_global(y, g_y, 0);
+
+        // Initialise weights (striped) and activations.
+        let wbytes = f.vreg();
+        f.mov_imm(wbytes, dim * cols / 8);
+        f.for_loop(0, wbytes, 1, |f, i| {
+            let v = f.vreg();
+            f.mul(v, i, 0x0101_0101_0101_0101u64 as i64);
+            let off = f.vreg();
+            f.lsl(off, i, 3);
+            f.store_int(v, w, off, MemSize::S8);
+        });
+        let nx = f.vreg();
+        f.mov_imm(nx, cols);
+        f.for_loop(0, nx, 1, |f, i| {
+            let vf = f.vreg();
+            let v = f.vreg();
+            f.and(v, i, 15);
+            f.int_to_f64(vf, v);
+            let off = f.vreg();
+            f.lsl(off, i, 3);
+            f.store_f64(vf, x, off);
+        });
+        let nsc = f.vreg();
+        f.mov_imm(nsc, dim * (cols / 32));
+        f.for_loop(0, nsc, 1, |f, i| {
+            let s = f.vreg();
+            f.mov_f64(s, 0.0078125); // 1/128
+            let off = f.vreg();
+            f.lsl(off, i, 3);
+            f.store_f64(s, scales, off);
+        });
+
+        // Token loop: one full mat-vec sweep per generated token.
+        let toks = f.vreg();
+        f.mov_imm(toks, tokens);
+        let check = f.vreg();
+        f.mov_f64(check, 0.0);
+        f.for_loop(0, toks, 1, |f, _t| {
+            let rows = f.vreg();
+            f.mov_imm(rows, dim);
+            f.for_loop(0, rows, 1, |f, row| {
+                let acc = f.vreg();
+                f.mov_f64(acc, 0.0);
+                let rowbase = f.vreg();
+                f.mov_imm(rowbase, cols);
+                f.mul(rowbase, rowbase, row);
+                // Stream the row 8 packed weights at a time.
+                let groups = f.vreg();
+                f.mov_imm(groups, cols / 8);
+                f.for_loop(0, groups, 1, |f, g| {
+                    let off = f.vreg();
+                    f.lsl(off, g, 3);
+                    f.add(off, off, rowbase);
+                    let packed = f.vreg();
+                    f.load_int(packed, w, off, MemSize::S8);
+                    // Unpack (integer shift mix — the reason inference's
+                    // instruction mix is integer-heavy).
+                    let partial = f.vreg();
+                    f.lsr(partial, packed, 16);
+                    f.eor(partial, partial, packed);
+                    f.and(partial, partial, 255);
+                    let pf = f.vreg();
+                    f.int_to_f64(pf, partial);
+                    // x value for this group (g < cols/8, so g*64 stays in
+                    // the activation buffer).
+                    let xo = f.vreg();
+                    f.lsl(xo, g, 6);
+                    let xv = f.vreg();
+                    f.load_f64(xv, x, xo);
+                    f.fmadd(acc, pf, xv, acc);
+                });
+                // Apply the block scale.
+                let so = f.vreg();
+                f.mov_imm(so, cols / 32);
+                f.mul(so, so, row);
+                f.lsl(so, so, 3);
+                let sv = f.vreg();
+                f.load_f64(sv, scales, so);
+                f.fmul(acc, acc, sv);
+                let yo = f.vreg();
+                f.lsl(yo, row, 3);
+                f.store_f64(acc, y, yo);
+                f.fadd(check, check, acc);
+            });
+        });
+        let code = f.vreg();
+        f.f64_to_int(code, check);
+        f.and(code, code, 0xFFFF_FFFFi64);
+        f.halt_code(code);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn matmul_deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build_matmul(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+    }
+
+    #[test]
+    fn inference_deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build_inference(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+    }
+
+    #[test]
+    fn inference_instruction_overhead_is_tiny() {
+        let count = |abi| {
+            Interp::new(InterpConfig::default())
+                .run(&lower(&build_inference(abi, Scale::Test)), &mut NullSink)
+                .unwrap()
+                .retired as f64
+        };
+        let ratio = count(Abi::Purecap) / count(Abi::Hybrid);
+        assert!(ratio < 1.05, "llama inference purecap ratio {ratio}");
+    }
+}

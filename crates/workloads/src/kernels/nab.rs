@@ -1,0 +1,173 @@
+//! `544.nab_r` / `644.nab_s` proxy — molecular dynamics force field
+//! (Nucleic Acid Builder).
+//!
+//! The original computes nonbonded forces over neighbour lists: gathers of
+//! particle coordinates, distance math with square roots, and force
+//! accumulation. The paper classifies it compute-intensive (MI ≈ 0.42)
+//! with a small purecap slowdown (≈5%) — but one of the larger DTLB-walk
+//! increases (+62%), since coordinate arrays are scattered.
+//!
+//! The proxy: structure-of-arrays particle coordinates, a precomputed
+//! neighbour index list, and an O(N·K) force loop of gathers +
+//! `sqrt`/`fmadd` chains.
+
+use crate::common::{load_ptr_idx, store_ptr_idx, Field, Layout, SimRng};
+use crate::registry::Scale;
+use cheri_isa::{Abi, FloatOp, GenericProgram, ProgramBuilder};
+
+/// Builds the rate-sized proxy.
+pub fn build_rate(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, false)
+}
+
+/// Builds the speed-sized proxy.
+pub fn build_speed(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, true)
+}
+
+fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
+    let f_scale = scale.factor();
+    let particles: u64 = (512 * f_scale * if speed { 2 } else { 1 }).min(32768);
+    let neighbours: u64 = 12;
+    let steps: u64 = if speed { 3 } else { 2 };
+
+    let mut b = ProgramBuilder::new(if speed { "644.nab_s" } else { "544.nab_r" }, abi);
+    // Atom: { x, y, z, fx } — heap-allocated, referenced through pointer
+    // neighbour lists (NAB's atom-graph structure; the source of its ~24%
+    // capability load density).
+    let atom = Layout::new(abi, &[Field::F64, Field::F64, Field::F64, Field::F64]);
+    let (a_x, a_y, a_z, a_fx) = (atom.off(0), atom.off(1), atom.off(2), atom.off(3));
+    let g_atoms = b.global_zero("atom_table", 16);
+    let g_nbr = b.global_zero("nbr_table", 16);
+
+    let main = b.function("main", 0, |f| {
+        let rng = SimRng::init(f, 0xAB5C_D41E);
+        let n = f.vreg();
+        f.mov_imm(n, particles);
+        let atoms = f.vreg();
+        f.malloc(atoms, particles * abi.pointer_size());
+        let ap = f.vreg();
+        f.lea_global(ap, g_atoms, 0);
+        f.store_ptr(atoms, ap, 0);
+        let nbr = f.vreg();
+        f.malloc(nbr, particles * neighbours * abi.pointer_size());
+        let np = f.vreg();
+        f.lea_global(np, g_nbr, 0);
+        f.store_ptr(nbr, np, 0);
+
+        // Allocate atoms with random coordinates.
+        f.for_loop(0, n, 1, |f, i| {
+            let a = f.vreg();
+            f.malloc(a, atom.size());
+            for (c, off) in [a_x, a_y, a_z].iter().enumerate() {
+                let v = rng.next_bits(f, 10);
+                let vf = f.vreg();
+                f.int_to_f64(vf, v);
+                f.store_f64(vf, a, *off);
+                let _ = c;
+            }
+            store_ptr_idx(f, abi, atoms, i, a);
+        });
+        // Neighbour lists: pointers to other atoms.
+        f.for_loop(0, n, 1, |f, i| {
+            let base = f.vreg();
+            f.mov_imm(base, neighbours);
+            f.mul(base, base, i);
+            for k in 0..neighbours {
+                // Neighbour lists are spatially local: nearby indices.
+                let jit = rng.next_bits(f, 6);
+                let j = f.vreg();
+                f.add(j, i, jit);
+                let m = f.vreg();
+                f.mov_imm(m, particles - 1);
+                f.and(j, j, m);
+                let aj = load_ptr_idx(f, abi, atoms, j);
+                let slot = f.vreg();
+                f.add(slot, base, k as i64);
+                store_ptr_idx(f, abi, nbr, slot, aj);
+            }
+        });
+
+        // Force loop.
+        let steps_r = f.vreg();
+        f.mov_imm(steps_r, steps);
+        let check = f.vreg();
+        f.mov_f64(check, 0.0);
+        f.for_loop(0, steps_r, 1, |f, _| {
+            f.for_loop(0, n, 1, |f, i| {
+                let ai = load_ptr_idx(f, abi, atoms, i);
+                let xi = f.vreg();
+                f.load_f64(xi, ai, a_x);
+                let yi = f.vreg();
+                f.load_f64(yi, ai, a_y);
+                let zi = f.vreg();
+                f.load_f64(zi, ai, a_z);
+                let fx = f.vreg();
+                f.mov_f64(fx, 0.0);
+                let base = f.vreg();
+                f.mov_imm(base, neighbours);
+                f.mul(base, base, i);
+                for k in 0..neighbours {
+                    let slot = f.vreg();
+                    f.add(slot, base, k as i64);
+                    let aj = load_ptr_idx(f, abi, nbr, slot);
+                    let xj = f.vreg();
+                    f.load_f64(xj, aj, a_x);
+                    let yj = f.vreg();
+                    f.load_f64(yj, aj, a_y);
+                    let zj = f.vreg();
+                    f.load_f64(zj, aj, a_z);
+                    let fj = f.vreg();
+                    f.load_f64(fj, aj, a_fx);
+                    let dx = f.vreg();
+                    f.fsub(dx, xi, xj);
+                    let dy = f.vreg();
+                    f.fsub(dy, yi, yj);
+                    let dz = f.vreg();
+                    f.fsub(dz, zi, zj);
+                    let r2 = f.vreg();
+                    f.fmul(r2, dx, dx);
+                    f.fmadd(r2, dy, dy, r2);
+                    f.fmadd(r2, dz, dz, r2);
+                    f.fadd(r2, r2, fj);
+                    let bias = f.vreg();
+                    f.mov_f64(bias, 1.0);
+                    f.fadd(r2, r2, bias);
+                    let r = f.vreg();
+                    f.float_op(FloatOp::FSqrt, r, r2, r2);
+                    let inv = f.vreg();
+                    f.fdiv(inv, bias, r);
+                    f.fmadd(fx, dx, inv, fx);
+                }
+                f.store_f64(fx, ai, a_fx);
+                f.fadd(check, check, fx);
+            });
+        });
+        let code = f.vreg();
+        f.f64_to_int(code, check);
+        f.and(code, code, 0x7FFF_FFFFi64);
+        f.halt_code(code);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build_rate(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+    }
+}

@@ -1,0 +1,358 @@
+//! `520.omnetpp_r` / `620.omnetpp_s` proxy — discrete event simulation of
+//! a large network.
+//!
+//! The original simulates a 10-gigabit Ethernet network: a future-event
+//! set (priority queue of event objects), a large graph of module/gate
+//! objects linked by pointers, and per-event message hops. What the paper
+//! measures on it: the highest memory intensity of the suite (MI ≈ 1.16),
+//! a pointer-chasing access pattern over a multi-megabyte object graph,
+//! and the largest purecap slowdown among SPEC after xalancbmk (87%),
+//! partly recovered by the benchmark ABI (74%).
+//!
+//! The proxy reproduces those axes: a binary-heap future-event set holding
+//! *pointers* to heap-allocated event structs (every heap operation is a
+//! dependent capability load under purecap), a node graph with pointer
+//! gates wired randomly (chasing), cross-module calls into a `simlib`
+//! module for every queue operation (PCC-bound changes under purecap),
+//! and moderate allocation churn.
+
+use crate::common::{load_ptr_idx, store_ptr_idx, Field, Layout, SimRng};
+use crate::registry::Scale;
+use cheri_isa::{Abi, Cond, GenericProgram, MemSize, ProgramBuilder};
+
+/// Builds the rate-sized proxy.
+pub fn build_rate(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, false)
+}
+
+/// Builds the speed-sized proxy (larger network, more events).
+pub fn build_speed(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, true)
+}
+
+struct Params {
+    nodes: u64,
+    steps: u64,
+    seed_events: u64,
+}
+
+fn params(scale: Scale, speed: bool) -> Params {
+    let f = scale.factor();
+    let s = if speed { 2 } else { 1 };
+    Params {
+        nodes: (512 * f * s).min(32768),
+        steps: 1300 * f * s,
+        seed_events: 128,
+    }
+}
+
+fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
+    let p = params(scale, speed);
+    let mut b = ProgramBuilder::new(if speed { "620.omnetpp_s" } else { "520.omnetpp_r" }, abi);
+    let simlib = b.module("simlib");
+
+    // Event: { time, node*, kind }
+    let ev = Layout::new(abi, &[Field::I64, Field::Ptr, Field::I64]);
+    let (ev_time, ev_node, ev_kind) = (ev.off(0), ev.off(1), ev.off(2));
+    // Node: { stats[6], gates[3] } — a module object with statistics
+    // blocks and gate pointers (≈100 B hybrid, ≈160 B purecap: the
+    // pointer-rich C++ objects behind omnetpp's footprint blow-up).
+    let node = Layout::new(
+        abi,
+        &[
+            Field::I64,
+            Field::I64,
+            Field::I64,
+            Field::I64,
+            Field::I64,
+            Field::I64,
+            Field::Ptr,
+            Field::Ptr,
+            Field::Ptr,
+        ],
+    );
+    let (n_state0, n_state1, n_gate0) = (node.off(0), node.off(1), node.off(6));
+    let n_state2 = node.off(2);
+    let n_state3 = node.off(4);
+
+    let ps = abi.pointer_size();
+    let g_fes = b.global_zero("fes_array", 16); // holds ptr to the heap array
+    let g_count = b.global_zero("fes_count", 8);
+    let g_nodes = b.global_zero("node_table", 16);
+
+    // --- simlib: future-event-set push -----------------------------------
+    let pq_push = b.function("pq_push", 1, |f| {
+        let ev_ptr = f.arg(0);
+        let fes_slot = f.vreg();
+        f.lea_global(fes_slot, g_fes, 0);
+        let fes = f.vreg();
+        f.load_ptr(fes, fes_slot, 0);
+        let cnt_slot = f.vreg();
+        f.lea_global(cnt_slot, g_count, 0);
+        let n = f.vreg();
+        f.load_int(n, cnt_slot, 0, MemSize::S8);
+        // fes[n] = ev
+        store_ptr_idx(f, abi, fes, n, ev_ptr);
+        let et = f.vreg();
+        f.load_int(et, ev_ptr, ev_time, MemSize::S8);
+        let i = f.vreg();
+        f.mov(i, n);
+        let done = f.label();
+        let head = f.here();
+        f.br(Cond::Eq, i, 0, done);
+        let parent = f.vreg();
+        f.sub(parent, i, 1);
+        f.lsr(parent, parent, 1);
+        let pe = load_ptr_idx(f, abi, fes, parent);
+        let pt = f.vreg();
+        f.load_int(pt, pe, ev_time, MemSize::S8);
+        f.br(Cond::Leu, pt, et, done);
+        // swap: fes[i] = pe; fes[parent] = ev
+        store_ptr_idx(f, abi, fes, i, pe);
+        store_ptr_idx(f, abi, fes, parent, ev_ptr);
+        f.mov(i, parent);
+        f.jump(head);
+        f.bind(done);
+        f.add(n, n, 1);
+        f.store_int(n, cnt_slot, 0, MemSize::S8);
+        f.ret(None);
+    });
+
+    // --- simlib: future-event-set pop-min ---------------------------------
+    let pq_pop = b.function("pq_pop", 0, |f| {
+        let fes_slot = f.vreg();
+        f.lea_global(fes_slot, g_fes, 0);
+        let fes = f.vreg();
+        f.load_ptr(fes, fes_slot, 0);
+        let cnt_slot = f.vreg();
+        f.lea_global(cnt_slot, g_count, 0);
+        let n = f.vreg();
+        f.load_int(n, cnt_slot, 0, MemSize::S8);
+        let root = f.vreg();
+        f.load_ptr(root, fes, 0);
+        f.sub(n, n, 1);
+        f.store_int(n, cnt_slot, 0, MemSize::S8);
+        // Move last element to the root and sift down.
+        let last = load_ptr_idx(f, abi, fes, n);
+        let lt = f.vreg();
+        f.load_int(lt, last, ev_time, MemSize::S8);
+        let i = f.vreg();
+        f.mov_imm(i, 0);
+        let done = f.label();
+        let head = f.here();
+        let left = f.vreg();
+        f.lsl(left, i, 1);
+        f.add(left, left, 1);
+        f.br(Cond::Geu, left, n, done);
+        // smallest child
+        let child = f.vreg();
+        f.mov(child, left);
+        let ce = load_ptr_idx(f, abi, fes, left);
+        let ct = f.vreg();
+        f.load_int(ct, ce, ev_time, MemSize::S8);
+        let right = f.vreg();
+        f.add(right, left, 1);
+        let no_right = f.label();
+        f.br(Cond::Geu, right, n, no_right);
+        let re = load_ptr_idx(f, abi, fes, right);
+        let rt = f.vreg();
+        f.load_int(rt, re, ev_time, MemSize::S8);
+        f.br(Cond::Geu, rt, ct, no_right);
+        f.mov(child, right);
+        f.mov(ce, re);
+        f.mov(ct, rt);
+        f.bind(no_right);
+        f.br(Cond::Geu, ct, lt, done);
+        store_ptr_idx(f, abi, fes, i, ce);
+        f.mov(i, child);
+        f.jump(head);
+        f.bind(done);
+        store_ptr_idx(f, abi, fes, i, last);
+        f.ret(Some(root));
+    });
+
+    // --- simlib: per-event statistics recording (the cross-DSO surface) ----
+    let g_stats = b.global_zero("sim_stats", 256);
+    let record = b.function_in(simlib, "record_event", 1, |f| {
+        let kind = f.arg(0);
+        let st = f.vreg();
+        f.lea_global(st, g_stats, 0);
+        let off = f.vreg();
+        f.and(off, kind, 31);
+        f.lsl(off, off, 3);
+        let v = f.vreg();
+        f.load_int(v, st, off, MemSize::S8);
+        f.add(v, v, 1);
+        f.store_int(v, st, off, MemSize::S8);
+        f.ret(None);
+    });
+
+    // --- main ----------------------------------------------------------------
+    let main = b.function("main", 0, |f| {
+        let rng = SimRng::init(f, 0x5eed_0411_0e77_a001);
+        let nodes_n = f.vreg();
+        f.mov_imm(nodes_n, p.nodes);
+
+        // Allocate the FES array and node table.
+        let fes = f.vreg();
+        f.malloc(fes, (p.seed_events + 64) * ps);
+        let fes_slot = f.vreg();
+        f.lea_global(fes_slot, g_fes, 0);
+        f.store_ptr(fes, fes_slot, 0);
+        let ntab = f.vreg();
+        f.malloc(ntab, p.nodes * ps);
+        let ntab_slot = f.vreg();
+        f.lea_global(ntab_slot, g_nodes, 0);
+        f.store_ptr(ntab, ntab_slot, 0);
+
+        // Allocate nodes.
+        f.for_loop(0, nodes_n, 1, |f, i| {
+            let nd = f.vreg();
+            f.malloc(nd, node.size());
+            f.store_int(i, nd, n_state0, MemSize::S8);
+            let zero = f.vreg();
+            f.mov_imm(zero, 0);
+            f.store_int(zero, nd, n_state1, MemSize::S8);
+            store_ptr_idx(f, abi, ntab, i, nd);
+        });
+        // Wire gates randomly (second pass: all nodes exist).
+        let node_mask = p.nodes - 1;
+        f.for_loop(0, nodes_n, 1, |f, i| {
+            let nd = load_ptr_idx(f, abi, ntab, i);
+            for g in 0..3 {
+                let j = rng.next(f);
+                let m = f.vreg();
+                f.mov_imm(m, node_mask);
+                f.and(j, j, m);
+                let tgt = load_ptr_idx(f, abi, ntab, j);
+                f.store_ptr(tgt, nd, n_gate0 + g * ps as i64);
+            }
+        });
+
+        // Seed the future-event set.
+        let seeds = f.vreg();
+        f.mov_imm(seeds, p.seed_events);
+        f.for_loop(0, seeds, 1, |f, k| {
+            let e = f.vreg();
+            f.malloc(e, ev.size());
+            let t = rng.next_bits(f, 12);
+            f.store_int(t, e, ev_time, MemSize::S8);
+            let j = rng.next(f);
+            let m = f.vreg();
+            f.mov_imm(m, node_mask);
+            f.and(j, j, m);
+            let nd = load_ptr_idx(f, abi, ntab, j);
+            f.store_ptr(nd, e, ev_node);
+            f.store_int(k, e, ev_kind, MemSize::S8);
+            f.call(pq_push, &[e], None);
+        });
+
+        // Main simulation loop.
+        let steps = f.vreg();
+        f.mov_imm(steps, p.steps);
+        let checksum = f.vreg();
+        f.mov_imm(checksum, 0);
+        f.for_loop(0, steps, 1, |f, step| {
+            let e = f.vreg();
+            f.call(pq_pop, &[], Some(e));
+            // One random draw per step, sliced into fields.
+            let rnd = rng.next(f);
+            // Process: follow the node, hop three gates, update state.
+            let nd = f.vreg();
+            f.load_ptr(nd, e, ev_node);
+            let gsel = f.vreg();
+            f.and(gsel, rnd, 1); // gate 0 or 1
+            let goff = f.vreg();
+            f.lsl(goff, gsel, if abi.is_capability() { 4 } else { 3 });
+            let gp = f.vreg();
+            f.ptr_add(gp, nd, goff);
+            let hop1 = f.vreg();
+            f.load_ptr(hop1, gp, n_gate0);
+            let hop2 = f.vreg();
+            f.load_ptr(hop2, hop1, n_gate0);
+            let hop3 = f.vreg();
+            f.load_ptr(hop3, hop2, n_gate0 + ps as i64);
+            // State updates on all four nodes: two counters plus a
+            // timestamp, spanning the whole object.
+            for &n in &[nd, hop1, hop2, hop3] {
+                let s = f.vreg();
+                f.load_int(s, n, n_state1, MemSize::S8);
+                f.add(s, s, 1);
+                f.store_int(s, n, n_state1, MemSize::S8);
+                f.add(checksum, checksum, s);
+                let s2 = f.vreg();
+                f.load_int(s2, n, n_state2, MemSize::S8);
+                f.add(s2, s2, s);
+                f.store_int(s2, n, n_state3, MemSize::S8);
+            }
+            // Reschedule: advance time, retarget, push back.
+            let t = f.vreg();
+            f.load_int(t, e, ev_time, MemSize::S8);
+            let dt = f.vreg();
+            f.lsr(dt, rnd, 8);
+            let m1023 = f.vreg();
+            f.mov_imm(m1023, 1023);
+            f.and(dt, dt, m1023);
+            f.add(t, t, dt);
+            f.add(t, t, 1);
+            f.store_int(t, e, ev_time, MemSize::S8);
+            f.store_ptr(hop3, e, ev_node);
+            f.call(record, &[gsel], None);
+            // Allocation churn: every event object is recycled (cMessage
+            // new/delete per hop).
+            let churn = f.vreg();
+            f.and(churn, step, 0);
+            let keep = f.label();
+            f.br(Cond::Ne, churn, 0, keep);
+            f.free(e);
+            let e2 = f.vreg();
+            f.malloc(e2, ev.size());
+            f.store_int(t, e2, ev_time, MemSize::S8);
+            f.store_ptr(hop3, e2, ev_node);
+            f.mov(e, e2);
+            f.bind(keep);
+            f.call(pq_push, &[e], None);
+        });
+        f.halt_code(checksum);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn runs_to_completion_under_all_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let gp = build_rate(abi, Scale::Test);
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&gp), &mut NullSink)
+                .unwrap();
+            assert!(res.retired > 10_000, "suspiciously small run: {}", res.retired);
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1], "hybrid vs benchmark checksum");
+        assert_eq!(codes[0], codes[2], "hybrid vs purecap checksum");
+        assert_ne!(codes[0], 0);
+    }
+
+    #[test]
+    fn speed_variant_is_bigger() {
+        let r = build_rate(Abi::Hybrid, Scale::Test);
+        let s = build_speed(Abi::Hybrid, Scale::Test);
+        assert_eq!(r.abi, s.abi);
+        // Same code, larger parameters: detect via a quick run.
+        let rr = Interp::new(InterpConfig::default())
+            .run(&lower(&r), &mut NullSink)
+            .unwrap();
+        let rs = Interp::new(InterpConfig::default())
+            .run(&lower(&s), &mut NullSink)
+            .unwrap();
+        assert!(rs.retired > rr.retired);
+    }
+}

@@ -1,0 +1,220 @@
+//! `510.parest_r` proxy — finite-element solver (sparse linear algebra).
+//!
+//! The original solves a biomedical-imaging inverse problem with deal.II:
+//! dominated by conjugate-gradient iterations over sparse CSR matrices.
+//! The paper reports MI ≈ 0.92 (balanced), a modest purecap slowdown
+//! (≈14%), and a *decreasing* branch misprediction rate under purecap —
+//! its traffic is mostly indexed gathers over integer column indices, so
+//! capability load density stays below 8%.
+//!
+//! The proxy: CG-style sparse matrix-vector products over a synthetic CSR
+//! matrix (values + column indices + row pointers), plus dot products and
+//! AXPY updates. Pointers appear only at the matrix/vector descriptor
+//! level, matching parest's low capability density.
+
+use crate::common::{Field, Layout, SimRng};
+use crate::registry::Scale;
+use cheri_isa::{Abi, GenericProgram, MemSize, ProgramBuilder};
+
+/// Builds the rate-sized proxy.
+pub fn build_rate(abi: Abi, scale: Scale) -> GenericProgram {
+    let f_scale = scale.factor();
+    let rows: u64 = (256 * f_scale).min(8192);
+    let nnz_per_row: u64 = 9;
+    let iters: u64 = 3 + f_scale / 16;
+
+    let mut b = ProgramBuilder::new("510.parest_r", abi);
+
+    // Matrix descriptor: { vals*, cols*, rows*, n }. `rows` is a table of
+    // per-row block pointers (deal.II-style sparsity iterators): every row
+    // dereferences two capabilities under purecap.
+    let desc = Layout::new(abi, &[Field::Ptr, Field::Ptr, Field::Ptr, Field::I64]);
+    let g_mat = b.global_zero("matrix_desc", desc.size());
+
+    let spmv = b.function("spmv", 2, |f| {
+        // y = A * x
+        let x = f.arg(0);
+        let y = f.arg(1);
+        let d = f.vreg();
+        f.lea_global(d, g_mat, 0);
+        let rows_tab = f.vreg();
+        f.load_ptr(rows_tab, d, desc.off(2));
+        let n = f.vreg();
+        f.load_int(n, d, desc.off(3), MemSize::S8);
+        f.for_loop(0, n, 1, |f, row| {
+            // Row descriptor: {vals_block*, cols_block*}.
+            let rd_idx = f.vreg();
+            f.lsl(rd_idx, row, 1);
+            let vals = f.vreg();
+            f.load_ptr_idx(vals, rows_tab, rd_idx);
+            let rd_idx2 = f.vreg();
+            f.add(rd_idx2, rd_idx, 1);
+            let cols = f.vreg();
+            f.load_ptr_idx(cols, rows_tab, rd_idx2);
+            let acc = f.vreg();
+            f.mov_f64(acc, 0.0);
+            for k in 0..nnz_per_row {
+                let e = f.vreg();
+                f.mov_imm(e, k);
+                let a = f.vreg();
+                f.load_f64_idx(a, vals, e);
+                let c = f.vreg();
+                f.load_int_idx(c, cols, e, MemSize::S8);
+                let xv = f.vreg();
+                f.load_f64_idx(xv, x, c);
+                f.fmadd(acc, a, xv, acc);
+            }
+            f.store_f64_idx(acc, y, row);
+        });
+        f.ret(None);
+    });
+
+    let dot = b.function("dot", 2, |f| {
+        let x = f.arg(0);
+        let y = f.arg(1);
+        let d = f.vreg();
+        f.lea_global(d, g_mat, 0);
+        let n = f.vreg();
+        f.load_int(n, d, desc.off(3), MemSize::S8);
+        let acc = f.vreg();
+        f.mov_f64(acc, 0.0);
+        f.for_loop(0, n, 1, |f, i| {
+            let a = f.vreg();
+            f.load_f64_idx(a, x, i);
+            let c = f.vreg();
+            f.load_f64_idx(c, y, i);
+            f.fmadd(acc, a, c, acc);
+        });
+        // Return the bit pattern folded to an integer checksum.
+        let out = f.vreg();
+        f.f64_to_int(out, acc);
+        f.ret(Some(out));
+    });
+
+    let axpy = b.function("axpy", 3, |f| {
+        // y += alpha_scaled * x   (alpha passed as integer millionths)
+        let x = f.arg(0);
+        let y = f.arg(1);
+        let alpha_i = f.arg(2);
+        let alpha = f.vreg();
+        f.int_to_f64(alpha, alpha_i);
+        let mill = f.vreg();
+        f.mov_f64(mill, 1.0 / 1048576.0);
+        f.fmul(alpha, alpha, mill);
+        let d = f.vreg();
+        f.lea_global(d, g_mat, 0);
+        let n = f.vreg();
+        f.load_int(n, d, desc.off(3), MemSize::S8);
+        f.for_loop(0, n, 1, |f, i| {
+            let xv = f.vreg();
+            f.load_f64_idx(xv, x, i);
+            let yv = f.vreg();
+            f.load_f64_idx(yv, y, i);
+            f.fmadd(yv, alpha, xv, yv);
+            f.store_f64_idx(yv, y, i);
+        });
+        f.ret(None);
+    });
+
+    let main = b.function("main", 0, |f| {
+        let rng = SimRng::init(f, 0xFE11_57E4);
+        // Allocate the row-pointer table, per-row blocks, and vectors.
+        let rows_tab = f.vreg();
+        f.malloc(rows_tab, rows * 2 * abi.pointer_size());
+        let x = f.vreg();
+        f.malloc(x, rows * 8);
+        let y = f.vreg();
+        f.malloc(y, rows * 8);
+        let r = f.vreg();
+        f.malloc(r, rows * 8);
+        // Fill the descriptor.
+        let d = f.vreg();
+        f.lea_global(d, g_mat, 0);
+        f.store_ptr(rows_tab, d, desc.off(0));
+        f.store_ptr(rows_tab, d, desc.off(1));
+        f.store_ptr(rows_tab, d, desc.off(2));
+        let nreg = f.vreg();
+        f.mov_imm(nreg, rows);
+        f.store_int(nreg, d, desc.off(3), MemSize::S8);
+        // Contiguous value/column arrays; the row table holds interior
+        // pointers into them (deal.II's iterator blocks).
+        let all_vals = f.vreg();
+        f.malloc(all_vals, rows * nnz_per_row * 8);
+        let all_cols = f.vreg();
+        f.malloc(all_cols, rows * nnz_per_row * 8);
+        f.for_loop(0, nreg, 1, |f, row| {
+            let vals = f.vreg();
+            let block_off = f.vreg();
+            f.mov_imm(block_off, nnz_per_row * 8);
+            f.mul(block_off, block_off, row);
+            f.ptr_add(vals, all_vals, block_off);
+            let cols = f.vreg();
+            f.ptr_add(cols, all_cols, block_off);
+            for k in 0..nnz_per_row {
+                let e = f.vreg();
+                f.mov_imm(e, k);
+                let one = f.vreg();
+                f.mov_f64(one, 0.001953125); // 1/512: keeps values bounded
+                f.store_f64_idx(one, vals, e);
+                let rnd = rng.next(f);
+                let jitter = f.vreg();
+                f.and(jitter, rnd, 15);
+                let col = f.vreg();
+                f.add(col, row, jitter);
+                let m = f.vreg();
+                f.mov_imm(m, rows - 1);
+                f.and(col, col, m);
+                f.store_int_idx(col, cols, e, MemSize::S8);
+            }
+            let rd_idx = f.vreg();
+            f.lsl(rd_idx, row, 1);
+            f.store_ptr_idx(vals, rows_tab, rd_idx);
+            let rd_idx2 = f.vreg();
+            f.add(rd_idx2, rd_idx, 1);
+            f.store_ptr_idx(cols, rows_tab, rd_idx2);
+        });
+        // x = 1.0
+        f.for_loop(0, nreg, 1, |f, i| {
+            let one = f.vreg();
+            f.mov_f64(one, 1.0);
+            f.store_f64_idx(one, x, i);
+        });
+        // CG-flavoured iterations: y = A x; rho = <y, x>; x += a*y; r = A y.
+        let its = f.vreg();
+        f.mov_imm(its, iters);
+        let check = f.vreg();
+        f.mov_imm(check, 0);
+        f.for_loop(0, its, 1, |f, _| {
+            f.call(spmv, &[x, y], None);
+            let rho = f.vreg();
+            f.call(dot, &[y, x], Some(rho));
+            f.and(rho, rho, 0xFFFF);
+            f.call(axpy, &[y, x, rho], None);
+            f.call(spmv, &[y, r], None);
+            f.add(check, check, rho);
+        });
+        f.halt_code(check);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build_rate(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+    }
+}

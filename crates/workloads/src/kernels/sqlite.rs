@@ -1,0 +1,390 @@
+//! SQLite proxy — an embedded SQL engine driven by a speedtest1-style
+//! query mix.
+//!
+//! The original's hot paths are the B-tree (page-structured storage,
+//! binary search inside pages, child-pointer descents) and the VDBE
+//! bytecode engine (a big dispatch loop over opcode registers). The paper
+//! measures MI ≈ 0.82 (balanced), a 61% purecap slowdown with only a
+//! small benchmark-ABI recovery (55%) — SQLite is a *single module*, so
+//! PCC resteers are rare and the cost is almost entirely the capability
+//! data traffic (load density 50%, store density 64%) and 4.3% L1I miss
+//! rate from its large dispatch loop.
+//!
+//! The proxy: a fanout-16 B-tree of 4 KiB-ish pages with capability child
+//! pointers, insert + point-lookup + range-scan phases, and a VDBE-like
+//! register file of pointer slots updated per operation — all within the
+//! main module.
+
+use crate::common::{load_ptr_idx, store_ptr_idx, Field, Layout, SimRng};
+use crate::registry::Scale;
+use cheri_isa::{Abi, Cond, GenericProgram, MemSize, ProgramBuilder};
+
+const FANOUT: u64 = 16;
+
+/// Builds the SQLite proxy.
+pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
+    let f_scale = scale.factor();
+    let inserts: u64 = (500 * f_scale).min(20000);
+    let lookups: u64 = inserts * 2;
+    let updates: u64 = inserts;
+    let scans: u64 = 16 * f_scale;
+
+    let mut b = ProgramBuilder::new("SQLite", abi);
+
+    // Page: { nkeys, is_leaf, keys[16], children[16]* }. In leaves the
+    // child slots hold *row pointers* (SQLite cells reference overflow /
+    // record blobs), so lookups end with a capability dereference.
+    let mut fields = vec![Field::I64, Field::I64];
+    fields.extend([Field::I64; FANOUT as usize]);
+    fields.extend([Field::Ptr; FANOUT as usize]);
+    fields.push(Field::Bytes(64));
+    let page = Layout::new(abi, &fields);
+    let pg_nkeys = page.off(0);
+    let pg_leaf = page.off(1);
+    let key_off = |k: u64| page.off(2 + k as usize);
+    let child_off = |k: u64| page.off(2 + FANOUT as usize + k as usize);
+    let payload_off = page.off(2 + 2 * FANOUT as usize);
+    const ROW_SIZE: u64 = 160;
+
+    let g_root = b.global_zero("btree_root", 16);
+    // VDBE register file: 32 pointer slots.
+    let g_regs = b.global_zero("vdbe_regs", 32 * abi.pointer_size());
+    let ps = abi.pointer_size() as i64;
+
+    // btree_update(key): descend to a leaf, free the slot's row and write
+    // a fresh one (speedtest1's UPDATE traffic: allocator churn plus
+    // capability stores into the page).
+    let g_upd_root = g_root;
+
+    // btree_lookup(key) -> payload word (descend through child pointers).
+    let lookup = b.function("btree_lookup", 1, |f| {
+        let key = f.arg(0);
+        let rp = f.vreg();
+        f.lea_global(rp, g_root, 0);
+        let cur = f.vreg();
+        f.load_ptr(cur, rp, 0);
+        let found = f.vreg();
+        f.mov_imm(found, 0);
+        let done = f.label();
+        let descend = f.here();
+        let nk = f.vreg();
+        f.load_int(nk, cur, pg_nkeys, MemSize::S8);
+        // Linear-with-early-exit search inside the page (binary search in
+        // miniature; data-dependent exits).
+        let idx = f.vreg();
+        f.mov_imm(idx, 0);
+        let search_done = f.label();
+        let sh = f.here();
+        f.br(Cond::Geu, idx, nk, search_done);
+        let ko = f.vreg();
+        f.lsl(ko, idx, 3);
+        let kp = f.vreg();
+        f.ptr_add(kp, cur, ko);
+        let kv = f.vreg();
+        f.load_int(kv, kp, key_off(0), MemSize::S8);
+        f.br(Cond::Geu, kv, key, search_done);
+        f.add(idx, idx, 1);
+        f.jump(sh);
+        f.bind(search_done);
+        // Clamp to the last child slot (a key above every separator).
+        let in_range = f.label();
+        f.br(Cond::Ltu, idx, FANOUT, in_range);
+        f.mov_imm(idx, FANOUT - 1);
+        f.bind(in_range);
+        let leaf = f.vreg();
+        f.load_int(leaf, cur, pg_leaf, MemSize::S8);
+        let at_leaf = f.label();
+        f.br(Cond::Eq, leaf, 1, at_leaf);
+        // Interior: follow the child capability.
+        let co = f.vreg();
+        f.lsl(co, idx, if abi.is_capability() { 4 } else { 3 });
+        let cp = f.vreg();
+        f.ptr_add(cp, cur, co);
+        f.load_ptr(cur, cp, child_off(0));
+        f.jump(descend);
+        f.bind(at_leaf);
+        // Follow the slot's row pointer (a capability dereference) and
+        // decode the record.
+        let ro = f.vreg();
+        f.lsl(ro, idx, if abi.is_capability() { 4 } else { 3 });
+        let rp2 = f.vreg();
+        f.ptr_add(rp2, cur, ro);
+        let rowp = f.vreg();
+        f.load_ptr(rowp, rp2, child_off(0));
+        let ri = f.vreg();
+        f.ptr_to_int(ri, rowp);
+        f.br(Cond::Eq, ri, 0, done);
+        f.load_int(found, rowp, 0, MemSize::S8);
+        for w in [32i64, 64, 96, 128] {
+            let v2 = f.vreg();
+            f.load_int(v2, rowp, w, MemSize::S8);
+            f.add(found, found, v2);
+        }
+        f.jump(done);
+        f.bind(done);
+        f.ret(Some(found));
+    });
+
+    // btree_insert(key, val): descend to a leaf; if full, "split" by
+    // recycling slot 0 (bounded model of page splitting: allocates a
+    // sibling and redistributes half the keys).
+    let insert = b.function("btree_insert", 2, |f| {
+        let key = f.arg(0);
+        let val = f.arg(1);
+        let rp = f.vreg();
+        f.lea_global(rp, g_root, 0);
+        let cur = f.vreg();
+        f.load_ptr(cur, rp, 0);
+        let done = f.label();
+        let descend = f.here();
+        let leaf = f.vreg();
+        f.load_int(leaf, cur, pg_leaf, MemSize::S8);
+        let at_leaf = f.label();
+        f.br(Cond::Eq, leaf, 1, at_leaf);
+        // Interior: pick child by key bits (keeps the tree balanced
+        // without full split plumbing); each level consumes four bits.
+        let sel = f.vreg();
+        f.and(sel, key, FANOUT as i64 - 1);
+        f.lsr(key, key, 4);
+        let co = f.vreg();
+        f.lsl(co, sel, if abi.is_capability() { 4 } else { 3 });
+        let cp = f.vreg();
+        f.ptr_add(cp, cur, co);
+        f.load_ptr(cur, cp, child_off(0));
+        f.jump(descend);
+        f.bind(at_leaf);
+        let nk = f.vreg();
+        f.load_int(nk, cur, pg_nkeys, MemSize::S8);
+        let room = f.label();
+        f.br(Cond::Ltu, nk, FANOUT, room);
+        // Page full: emulate a split's memory behaviour — allocate a
+        // sibling, copy half the keys/payload, reset count.
+        let sib = f.vreg();
+        f.malloc(sib, page.size());
+        let one = f.vreg();
+        f.mov_imm(one, 1);
+        f.store_int(one, sib, pg_leaf, MemSize::S8);
+        for k in 0..FANOUT / 2 {
+            let kv = f.vreg();
+            f.load_int(kv, cur, key_off(FANOUT / 2 + k), MemSize::S8);
+            f.store_int(kv, sib, key_off(k), MemSize::S8);
+        }
+        let half = f.vreg();
+        f.mov_imm(half, FANOUT / 2);
+        f.store_int(half, sib, pg_nkeys, MemSize::S8);
+        f.store_int(half, cur, pg_nkeys, MemSize::S8);
+        f.mov(nk, half);
+        f.bind(room);
+        let ko = f.vreg();
+        f.lsl(ko, nk, 3);
+        let kp = f.vreg();
+        f.ptr_add(kp, cur, ko);
+        f.store_int(key, kp, key_off(0), MemSize::S8);
+        // Allocate and fill the row record; link it from the cell.
+        let row_blob = f.vreg();
+        f.malloc(row_blob, ROW_SIZE);
+        f.store_int(val, row_blob, 0, MemSize::S8);
+        f.store_int(key, row_blob, 8, MemSize::S8);
+        for w in [32i64, 64, 96, 128] {
+            f.store_int(val, row_blob, w, MemSize::S8);
+        }
+        let so = f.vreg();
+        f.lsl(so, nk, if abi.is_capability() { 4 } else { 3 });
+        let sp2 = f.vreg();
+        f.ptr_add(sp2, cur, so);
+        f.store_ptr(row_blob, sp2, child_off(0));
+        f.add(nk, nk, 1);
+        f.store_int(nk, cur, pg_nkeys, MemSize::S8);
+        f.jump(done);
+        f.bind(done);
+        f.ret(None);
+    });
+
+    let update = b.function("btree_update", 2, |f| {
+        let key = f.arg(0);
+        let val = f.arg(1);
+        let rp = f.vreg();
+        f.lea_global(rp, g_upd_root, 0);
+        let cur = f.vreg();
+        f.load_ptr(cur, rp, 0);
+        let done = f.label();
+        let descend = f.here();
+        let leaf = f.vreg();
+        f.load_int(leaf, cur, pg_leaf, MemSize::S8);
+        let at_leaf = f.label();
+        f.br(Cond::Eq, leaf, 1, at_leaf);
+        let sel = f.vreg();
+        f.and(sel, key, FANOUT as i64 - 1);
+        f.lsr(key, key, 4);
+        let co = f.vreg();
+        f.lsl(co, sel, if abi.is_capability() { 4 } else { 3 });
+        let cp = f.vreg();
+        f.ptr_add(cp, cur, co);
+        f.load_ptr(cur, cp, child_off(0));
+        f.jump(descend);
+        f.bind(at_leaf);
+        let nk = f.vreg();
+        f.load_int(nk, cur, pg_nkeys, MemSize::S8);
+        f.br(Cond::Eq, nk, 0, done);
+        let slot = f.vreg();
+        f.urem(slot, val, nk);
+        let so = f.vreg();
+        f.lsl(so, slot, if abi.is_capability() { 4 } else { 3 });
+        let sp2 = f.vreg();
+        f.ptr_add(sp2, cur, so);
+        let old = f.vreg();
+        f.load_ptr(old, sp2, child_off(0));
+        let oi = f.vreg();
+        f.ptr_to_int(oi, old);
+        f.br(Cond::Eq, oi, 0, done);
+        f.free(old);
+        let fresh = f.vreg();
+        f.malloc(fresh, ROW_SIZE);
+        f.store_int(val, fresh, 0, MemSize::S8);
+        for w in [32i64, 64, 96, 128] {
+            f.store_int(val, fresh, w, MemSize::S8);
+        }
+        f.store_ptr(fresh, sp2, child_off(0));
+        f.jump(done);
+        f.bind(done);
+        f.ret(None);
+    });
+
+    let main = b.function("main", 0, |f| {
+        let rng = SimRng::init(f, 0x50_11_7e_57);
+        let regs = f.vreg();
+        f.lea_global(regs, g_regs, 0);
+
+        // Build a three-level tree skeleton: root -> 16 interior -> 256
+        // leaves (plus split siblings later) — a multi-megabyte page set
+        // that outgrows the L2, like speedtest1's tables.
+        let root = f.vreg();
+        f.malloc(root, page.size());
+        let zero = f.vreg();
+        f.mov_imm(zero, 0);
+        f.store_int(zero, root, pg_leaf, MemSize::S8);
+        let full = f.vreg();
+        f.mov_imm(full, FANOUT);
+        f.store_int(full, root, pg_nkeys, MemSize::S8);
+        for k in 0..FANOUT {
+            let interior = f.vreg();
+            f.malloc(interior, page.size());
+            f.store_int(zero, interior, pg_leaf, MemSize::S8);
+            f.store_int(full, interior, pg_nkeys, MemSize::S8);
+            let sep = f.vreg();
+            f.mov_imm(sep, k * 4096);
+            f.store_int(sep, root, key_off(k), MemSize::S8);
+            f.store_ptr(interior, root, child_off(k));
+            for j in 0..FANOUT {
+                let leafp = f.vreg();
+                f.malloc(leafp, page.size());
+                let one = f.vreg();
+                f.mov_imm(one, 1);
+                f.store_int(one, leafp, pg_leaf, MemSize::S8);
+                let sep2 = f.vreg();
+                f.mov_imm(sep2, k * 4096 + j * 256);
+                f.store_int(sep2, interior, key_off(j), MemSize::S8);
+                f.store_ptr(leafp, interior, child_off(j));
+            }
+        }
+        let rp = f.vreg();
+        f.lea_global(rp, g_root, 0);
+        f.store_ptr(root, rp, 0);
+
+        let checksum = f.vreg();
+        f.mov_imm(checksum, 0);
+
+        // Phase 1: inserts through a VDBE-ish loop (register slots are
+        // pointers: the capability store density driver).
+        let n_ins = f.vreg();
+        f.mov_imm(n_ins, inserts);
+        f.for_loop(0, n_ins, 1, |f, i| {
+            let key = rng.next_bits(f, 16);
+            let val = f.vreg();
+            f.eor(val, key, i);
+            // VDBE: cursor register write + key register mixing.
+            let slot = f.vreg();
+            f.and(slot, i, 31);
+            store_ptr_idx(f, abi, regs, slot, root);
+            f.call(insert, &[key, val], None);
+        });
+
+        // Phase 2: point lookups.
+        let n_look = f.vreg();
+        f.mov_imm(n_look, lookups);
+        f.for_loop(0, n_look, 1, |f, i| {
+            let key = rng.next_bits(f, 16);
+            let v = f.vreg();
+            f.call(lookup, &[key], Some(v));
+            f.add(checksum, checksum, v);
+            let slot = f.vreg();
+            f.and(slot, i, 31);
+            let c = load_ptr_idx(f, abi, regs, slot);
+            let ci = f.vreg();
+            f.ptr_to_int(ci, c);
+            f.eor(checksum, checksum, ci);
+            f.and(checksum, checksum, 0xFFFF_FFFFi64);
+        });
+
+        // Phase 2.5: updates (free + re-allocate row records).
+        let n_upd = f.vreg();
+        f.mov_imm(n_upd, updates);
+        f.for_loop(0, n_upd, 1, |f, i| {
+            let key = rng.next_bits(f, 16);
+            f.call(update, &[key, i], None);
+        });
+
+        // Phase 3: range scans — walk every child of the root and sweep
+        // its payload (sequential page reads).
+        let n_scan = f.vreg();
+        f.mov_imm(n_scan, scans);
+        f.for_loop(0, n_scan, 1, |f, _| {
+            let rp2 = f.vreg();
+            f.lea_global(rp2, g_root, 0);
+            let r = f.vreg();
+            f.load_ptr(r, rp2, 0);
+            for k in 0..FANOUT {
+                let interior = f.vreg();
+                f.load_ptr(interior, r, child_off(k));
+                for j in 0..4u64 {
+                    let child = f.vreg();
+                    f.load_ptr(child, interior, child_off(j * 4));
+                    let nk2 = f.vreg();
+                    f.load_int(nk2, child, pg_nkeys, MemSize::S8);
+                    f.add(checksum, checksum, nk2);
+                    for w in 0..4i64 {
+                        let v = f.vreg();
+                        f.load_int(v, child, payload_off + w * 8, MemSize::S8);
+                        f.add(checksum, checksum, v);
+                    }
+                }
+            }
+            f.and(checksum, checksum, 0xFFFF_FFFFi64);
+        });
+
+        f.halt_code(checksum);
+    });
+
+    b.set_entry(main);
+    let _ = ps;
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+    }
+}

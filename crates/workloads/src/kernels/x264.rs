@@ -1,0 +1,192 @@
+//! `525.x264_r` / `625.x264_s` proxy — video encoding (motion estimation).
+//!
+//! The original spends most of its time in SAD (sum of absolute
+//! differences) kernels over 8-bit pixel blocks — SIMD-heavy, strided
+//! streaming over frame buffers, with a diamond motion search whose
+//! branches depend on pixel data. x264 appears in the paper's Table 5/6
+//! compilation status (both rate and speed variants compiled and ran);
+//! Table 2 does not list an MI value for it.
+//!
+//! The proxy: reference + current frame byte buffers, 16×16 macroblock
+//! SAD via packed 8-byte [`VSad`](cheri_isa::VecKind::VSad) operations,
+//! a small candidate motion search per block, and a half-pel averaging
+//! pass.
+
+use crate::registry::Scale;
+use cheri_isa::{Abi, Cond, GenericProgram, MemSize, ProgramBuilder, VecKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the rate-sized proxy.
+pub fn build_rate(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, false)
+}
+
+/// Builds the speed-sized proxy.
+pub fn build_speed(abi: Abi, scale: Scale) -> GenericProgram {
+    build(abi, scale, true)
+}
+
+fn frame(w: usize, h: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Smooth-ish content: gradients plus noise, so SADs vary.
+    let mut f = vec![0u8; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let v = (x / 4 + y / 4) as u8;
+            f[y * w + x] = v.wrapping_add(rng.gen::<u8>() & 0x1f);
+        }
+    }
+    f
+}
+
+fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
+    let f_scale = scale.factor();
+    let width: usize = 256;
+    let height: usize = (32 * f_scale as usize * if speed { 2 } else { 1 })
+        .clamp(64, if speed { 2048 } else { 1024 });
+    let frames: u64 = 2;
+    let block: i64 = 16;
+
+    let mut b = ProgramBuilder::new(if speed { "625.x264_s" } else { "525.x264_r" }, abi);
+    let g_ref = b.global_const("ref_frame", frame(width, height, 1));
+    let g_cur = b.global_const("cur_frame", frame(width, height, 2));
+    let g_mv = b.global_zero("motion_vectors", (width / 16 * height / 16) as u64 * 8);
+    let g_half = b.global_zero("halfpel", (width * height) as u64);
+
+    // SAD of one 16x16 block at (cur + coff) vs (ref + roff).
+    let sad16 = b.function("sad16", 2, |f| {
+        let coff = f.arg(0);
+        let roff = f.arg(1);
+        let cur = f.vreg();
+        f.lea_global(cur, g_cur, 0);
+        let rf = f.vreg();
+        f.lea_global(rf, g_ref, 0);
+        let acc = f.vreg();
+        f.mov_imm(acc, 0);
+        for row in 0..block {
+            let line = row * width as i64;
+            for chunk in 0..2i64 {
+                let o = line + chunk * 8;
+                let c8 = f.vreg();
+                let a = f.vreg();
+                f.add(a, coff, o);
+                f.load_int(c8, cur, a, MemSize::S8);
+                let r8 = f.vreg();
+                let d = f.vreg();
+                f.add(d, roff, o);
+                f.load_int(r8, rf, d, MemSize::S8);
+                // Packed SAD over the 8 bytes (ASE_SPEC).
+                f.vec_op(VecKind::VSad, acc, c8, r8);
+            }
+        }
+        f.ret(Some(acc));
+    });
+
+    let main = b.function("main", 0, |f| {
+        let mv = f.vreg();
+        f.lea_global(mv, g_mv, 0);
+        let half = f.vreg();
+        f.lea_global(half, g_half, 0);
+        let blocks_x = (width / 16) as u64;
+        let blocks_y = (height / 16) as u64 - 1;
+        let frames_r = f.vreg();
+        f.mov_imm(frames_r, frames);
+        let checksum = f.vreg();
+        f.mov_imm(checksum, 0);
+
+        f.for_loop(0, frames_r, 1, |f, _| {
+            // Interior block rows only: the +-8-pixel diamond must stay in
+            // the frame (a bounds fault under purecap otherwise — the model
+            // enforcing exactly what CHERI enforces).
+            let by_max = f.vreg();
+            f.mov_imm(by_max, blocks_y.saturating_sub(1).max(1));
+            f.for_loop(0, by_max, 1, |f, by| {
+                let bx_max = f.vreg();
+                f.mov_imm(bx_max, blocks_x - 2);
+                f.for_loop(0, bx_max, 1, |f, bx| {
+                    // Block origin.
+                    let base = f.vreg();
+                    f.mov_imm(base, 16 * width as u64);
+                    f.mul(base, base, by);
+                    // Skip the first row band (room for dy = -8).
+                    f.add(base, base, (16 * width) as i64);
+                    let xoff = f.vreg();
+                    f.lsl(xoff, bx, 4);
+                    f.add(base, base, xoff);
+                    // Skip the first column block (room for dx = -8).
+                    f.add(base, base, 16);
+                    // Diamond search over 5 candidates.
+                    let best = f.vreg();
+                    f.mov_imm(best, u64::MAX >> 1);
+                    let best_mv = f.vreg();
+                    f.mov_imm(best_mv, 0);
+                    for (k, (dx, dy)) in
+                        [(0i64, 0i64), (8, 0), (-8, 0), (0, 8), (0, -8)].iter().enumerate()
+                    {
+                        let cand = f.vreg();
+                        let disp = dy * width as i64 + dx;
+                        f.add(cand, base, disp);
+                        let s = f.vreg();
+                        f.call(sad16, &[base, cand], Some(s));
+                        let skip = f.label();
+                        f.br(Cond::Geu, s, best, skip);
+                        f.mov(best, s);
+                        f.mov_imm(best_mv, k as u64);
+                        f.bind(skip);
+                    }
+                    // Store the motion vector.
+                    let bi = f.vreg();
+                    f.mov_imm(bi, blocks_x);
+                    f.madd(bi, by, bi, bx);
+                    let bo = f.vreg();
+                    f.lsl(bo, bi, 3);
+                    f.store_int(best_mv, mv, bo, MemSize::S8);
+                    f.add(checksum, checksum, best);
+                });
+            });
+            // Half-pel averaging pass over one row band per frame
+            // (strided byte loads + stores).
+            let cur = f.vreg();
+            f.lea_global(cur, g_cur, 0);
+            let n = f.vreg();
+            f.mov_imm(n, (width as u64) * 8);
+            f.for_loop(0, n, 1, |f, i| {
+                let a = f.vreg();
+                f.load_int(a, cur, i, MemSize::S1);
+                let i2 = f.vreg();
+                f.add(i2, i, 1);
+                let c = f.vreg();
+                f.load_int(c, cur, i2, MemSize::S1);
+                f.add(a, a, c);
+                f.lsr(a, a, 1);
+                f.store_int(a, half, i, MemSize::S1);
+            });
+        });
+        f.and(checksum, checksum, 0xFFFF_FFFFi64);
+        f.halt_code(checksum);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build_rate(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+        assert_ne!(codes[0], 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # cheri-workloads
+//!
+//! Synthetic proxies for the paper's 20 workloads — 17 SPEC CPU2017
+//! benchmarks plus QuickJS, SQLite, and LLaMA.cpp (inference and matmul) —
+//! written once against `cheri-isa`'s pointer-aware program builder and
+//! compiled three ways (hybrid / purecap / benchmark) like the paper's
+//! binaries.
+//!
+//! Each kernel is engineered to match its original along the axes the
+//! paper characterises workloads by: **memory intensity** (Table 2),
+//! working-set size relative to the 64 KiB L1 / 1 MiB L2 / 1 MiB LLC
+//! hierarchy, **pointer density** (what fraction of traffic moves
+//! pointers, which purecap doubles and tags), **access pattern**
+//! (pointer-chasing vs streaming vs indexed-gather), **call structure**
+//! (cross-module and virtual calls, which change PCC bounds under
+//! purecap), branch predictability, and allocation churn.
+//!
+//! ```
+//! use cheri_workloads::{registry, Scale};
+//! use cheri_isa::Abi;
+//!
+//! let all = registry();
+//! assert_eq!(all.len(), 21);
+//! let omnetpp = cheri_workloads::by_key("omnetpp_520").unwrap();
+//! let prog = omnetpp.build(Abi::Purecap, Scale::Test);
+//! assert_eq!(prog.abi, Abi::Purecap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+mod registry;
+
+pub mod kernels {
+    //! One module per workload family.
+    pub mod deepsjeng;
+    pub mod lbm;
+    pub mod leela;
+    pub mod llama;
+    pub mod nab;
+    pub mod omnetpp;
+    pub mod parest;
+    pub mod quickjs;
+    pub mod sqlite;
+    pub mod x264;
+    pub mod xalancbmk;
+    pub mod xz;
+}
+
+pub use registry::{by_key, registry, Category, Scale, Workload};

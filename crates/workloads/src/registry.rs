@@ -1,0 +1,194 @@
+//! The workload registry: every workload of the paper's evaluation.
+
+use crate::kernels;
+use cheri_isa::{Abi, GenericProgram};
+use serde::{Deserialize, Serialize};
+
+/// Workload category, following the paper's §3.3 grouping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// SPEC CPU2017 rate benchmark proxy (`5xx.*_r`).
+    SpecRate,
+    /// SPEC CPU2017 speed benchmark proxy (`6xx.*_s`).
+    SpecSpeed,
+    /// Real-world application proxy (QuickJS, SQLite, LLaMA.cpp).
+    Application,
+}
+
+/// Problem scale. `Test` keeps unit tests fast; `Small` suits interactive
+/// experimentation; `Default` is the size the experiment harness uses for
+/// the paper's tables (the paper itself used SPEC *train* inputs for the
+/// same reason).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny: sub-second under the debug-build interpreter.
+    Test,
+    /// Reduced: around a million retired instructions.
+    Small,
+    /// Full harness size.
+    Default,
+}
+
+impl Scale {
+    /// A coarse multiplier kernels can use for iteration counts.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 8,
+            Scale::Default => 32,
+        }
+    }
+}
+
+/// A registered workload.
+#[derive(Clone)]
+pub struct Workload {
+    /// The paper's name for the workload (e.g. `520.omnetpp_r`).
+    pub name: &'static str,
+    /// Stable identifier (e.g. `omnetpp_520`).
+    pub key: &'static str,
+    /// Category.
+    pub category: Category,
+    /// The paper's Table 2 memory-intensity value, where reported.
+    pub table2_mi: Option<f64>,
+    /// Whether the benchmark ABI binary runs (QuickJS's crashed with an
+    /// in-address-space security fault; the paper reports NA).
+    pub supports_benchmark_abi: bool,
+    /// The paper's measured purecap slowdown factor (execution time
+    /// purecap / hybrid from Table 3/4), where reported — used by
+    /// EXPERIMENTS.md comparisons, never by the model itself.
+    pub paper_purecap_slowdown: Option<f64>,
+    builder: fn(Abi, Scale) -> GenericProgram,
+}
+
+impl core::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload {
+    /// Builds the portable program for `abi` at `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ABI is unsupported (check
+    /// [`supports`](Workload::supports) first); mirrors the paper's NA
+    /// cells.
+    pub fn build(&self, abi: Abi, scale: Scale) -> GenericProgram {
+        assert!(
+            self.supports(abi),
+            "{} does not run under the {abi} ABI (reported NA in the paper)",
+            self.name
+        );
+        (self.builder)(abi, scale)
+    }
+
+    /// Whether this workload runs under `abi`.
+    pub fn supports(&self, abi: Abi) -> bool {
+        self.supports_benchmark_abi || abi != Abi::Benchmark
+    }
+}
+
+macro_rules! workload {
+    ($name:literal, $key:literal, $cat:ident, $mi:expr, $bm:expr, $slow:expr, $builder:path) => {
+        Workload {
+            name: $name,
+            key: $key,
+            category: Category::$cat,
+            table2_mi: $mi,
+            supports_benchmark_abi: $bm,
+            paper_purecap_slowdown: $slow,
+            builder: $builder,
+        }
+    };
+}
+
+/// Every workload of the paper's evaluation, in Table 2 order.
+pub fn registry() -> Vec<Workload> {
+    vec![
+        workload!("510.parest_r", "parest_510", SpecRate, Some(0.922), true, Some(1.138), kernels::parest::build_rate),
+        workload!("519.lbm_r", "lbm_519", SpecRate, Some(0.438), true, Some(0.921), kernels::lbm::build_rate),
+        workload!("520.omnetpp_r", "omnetpp_520", SpecRate, Some(1.164), true, Some(1.875), kernels::omnetpp::build_rate),
+        workload!("523.xalancbmk_r", "xalancbmk_523", SpecRate, Some(0.860), true, Some(2.035), kernels::xalancbmk::build_rate),
+        workload!("525.x264_r", "x264_525", SpecRate, None, true, None, kernels::x264::build_rate),
+        workload!("531.deepsjeng_r", "deepsjeng_531", SpecRate, Some(0.489), true, Some(1.170), kernels::deepsjeng::build_rate),
+        workload!("541.leela_r", "leela_541", SpecRate, Some(0.565), true, Some(1.231), kernels::leela::build_rate),
+        workload!("544.nab_r", "nab_544", SpecRate, Some(0.420), true, Some(1.049), kernels::nab::build_rate),
+        workload!("557.xz_r", "xz_557", SpecRate, Some(0.514), true, Some(1.065), kernels::xz::build_rate),
+        workload!("619.lbm_s", "lbm_619", SpecSpeed, None, true, None, kernels::lbm::build_speed),
+        workload!("620.omnetpp_s", "omnetpp_620", SpecSpeed, Some(1.165), true, None, kernels::omnetpp::build_speed),
+        workload!("623.xalancbmk_s", "xalancbmk_623", SpecSpeed, Some(0.860), true, None, kernels::xalancbmk::build_speed),
+        workload!("625.x264_s", "x264_625", SpecSpeed, None, true, None, kernels::x264::build_speed),
+        workload!("631.deepsjeng_s", "deepsjeng_631", SpecSpeed, Some(0.496), true, None, kernels::deepsjeng::build_speed),
+        workload!("641.leela_s", "leela_641", SpecSpeed, Some(0.565), true, None, kernels::leela::build_speed),
+        workload!("644.nab_s", "nab_644", SpecSpeed, Some(0.424), true, None, kernels::nab::build_speed),
+        workload!("657.xz_s", "xz_657", SpecSpeed, Some(0.504), true, None, kernels::xz::build_speed),
+        workload!("QuickJS", "quickjs", Application, Some(0.680), false, Some(2.660), kernels::quickjs::build),
+        workload!("SQLite", "sqlite", Application, Some(0.816), true, Some(1.612), kernels::sqlite::build),
+        workload!("LLaMA.cpp (inference)", "llama_inference", Application, Some(0.309), true, Some(1.013), kernels::llama::build_inference),
+        workload!("LLaMA.cpp (matmult)", "llama_matmul", Application, Some(0.432), true, Some(0.987), kernels::llama::build_matmul),
+    ]
+}
+
+/// Looks a workload up by its stable key (e.g. `"omnetpp_520"`).
+pub fn by_key(key: &str) -> Option<Workload> {
+    registry().into_iter().find(|w| w.key == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_21_unique_workloads() {
+        let r = registry();
+        assert_eq!(r.len(), 21);
+        let keys: std::collections::BTreeSet<_> = r.iter().map(|w| w.key).collect();
+        assert_eq!(keys.len(), 21);
+    }
+
+    #[test]
+    fn category_counts_match_paper() {
+        let r = registry();
+        let rate = r.iter().filter(|w| w.category == Category::SpecRate).count();
+        let speed = r.iter().filter(|w| w.category == Category::SpecSpeed).count();
+        let apps = r
+            .iter()
+            .filter(|w| w.category == Category::Application)
+            .count();
+        assert_eq!(rate, 9);
+        assert_eq!(speed, 8);
+        assert_eq!(rate + speed, 17, "17 SPEC workloads as in the paper");
+        assert_eq!(apps, 4, "QuickJS, SQLite, LLaMA inference + matmul");
+    }
+
+    #[test]
+    fn quickjs_benchmark_abi_is_na() {
+        let q = by_key("quickjs").unwrap();
+        assert!(!q.supports(Abi::Benchmark));
+        assert!(q.supports(Abi::Purecap));
+        assert!(q.supports(Abi::Hybrid));
+    }
+
+    #[test]
+    #[should_panic(expected = "NA in the paper")]
+    fn building_quickjs_benchmark_panics() {
+        by_key("quickjs").unwrap().build(Abi::Benchmark, Scale::Test);
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        assert!(by_key("no_such_bench").is_none());
+    }
+
+    #[test]
+    fn table2_values_recorded() {
+        let o = by_key("omnetpp_520").unwrap();
+        assert!((o.table2_mi.unwrap() - 1.164).abs() < 1e-9);
+        assert!(by_key("x264_525").unwrap().table2_mi.is_none());
+    }
+}

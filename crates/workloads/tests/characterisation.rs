@@ -1,0 +1,166 @@
+//! Locks every workload to its engineered characterisation profile (the
+//! §3.3 axes), so a kernel edit that silently changes what the workload
+//! *is* — its access pattern, pointer density, call structure — fails CI
+//! even if it still runs.
+
+use cheri_isa::{lower, Abi, Interp, InterpConfig, TraceSummary};
+use cheri_workloads::{by_key, registry, Scale};
+
+fn characterise(key: &str, abi: Abi) -> TraceSummary {
+    let w = by_key(key).expect("known workload");
+    let prog = lower(&w.build(abi, Scale::Small));
+    let mut t = TraceSummary::new();
+    Interp::new(InterpConfig::default())
+        .run(&prog, &mut t)
+        .unwrap_or_else(|e| panic!("{key} under {abi}: {e}"));
+    t.finish();
+    t
+}
+
+#[test]
+fn access_patterns_match_design() {
+    // Pointer-chasers: the paper's memory-sensitive group.
+    for key in ["omnetpp_520", "xalancbmk_523", "sqlite"] {
+        let t = characterise(key, Abi::Hybrid);
+        assert!(
+            t.chase_fraction() > 0.2,
+            "{key} must chase pointers, got {:.2}",
+            t.chase_fraction()
+        );
+    }
+    // Streamers: lbm, llama, parest's vectors.
+    for key in ["lbm_519", "llama_matmul", "llama_inference"] {
+        let t = characterise(key, Abi::Hybrid);
+        assert!(
+            t.chase_fraction() < 0.10,
+            "{key} must stream, got {:.2}",
+            t.chase_fraction()
+        );
+    }
+}
+
+#[test]
+fn capability_shares_match_design() {
+    // Purecap capability traffic: high for the pointer group, ~zero for
+    // the FP group (the paper's Table 3 capability-density split).
+    for (key, lo, hi) in [
+        ("omnetpp_520", 0.35, 0.75),
+        ("xalancbmk_523", 0.35, 0.75),
+        ("quickjs", 0.35, 0.80),
+        ("sqlite", 0.15, 0.60),
+        ("deepsjeng_531", 0.15, 0.55),
+        ("leela_541", 0.15, 0.55),
+        ("lbm_519", 0.0, 0.01),
+        ("llama_matmul", 0.0, 0.01),
+        ("llama_inference", 0.0, 0.01),
+        ("parest_510", 0.01, 0.20),
+        ("nab_544", 0.10, 0.45),
+        ("xz_557", 0.02, 0.30),
+    ] {
+        let t = characterise(key, Abi::Purecap);
+        let share = t.cap_traffic_share();
+        assert!(
+            (lo..=hi).contains(&share),
+            "{key}: cap traffic share {share:.3} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn call_structure_matches_design() {
+    // xalancbmk: a cross-module virtual call per DOM node (PCC storm).
+    let x = characterise("xalancbmk_523", Abi::Purecap);
+    assert!(
+        x.pcc_changes as f64 / x.retired as f64 > 0.005,
+        "xalancbmk PCC-change rate too low"
+    );
+    assert!(x.indirect_branches > 1000, "virtual dispatch expected");
+
+    // sqlite: single-module engine — few PCC changes despite many calls.
+    let s = characterise("sqlite", Abi::Purecap);
+    assert!(
+        (s.pcc_changes as f64 / s.retired as f64) < 0.001,
+        "sqlite must not storm the PCC ({} / {})",
+        s.pcc_changes,
+        s.retired
+    );
+    assert!(s.calls > 1000, "B-tree/VDBE call structure expected");
+
+    // quickjs: dispatch is same-module indirect calls.
+    let q = characterise("quickjs", Abi::Purecap);
+    assert!(q.indirect_branches > 5000, "bytecode dispatch expected");
+}
+
+#[test]
+fn instruction_mix_classes() {
+    // FP-dominated kernels.
+    for key in ["lbm_519", "parest_510", "nab_544"] {
+        let t = characterise(key, Abi::Hybrid);
+        assert!(
+            t.vfp as f64 / t.retired as f64 > 0.10,
+            "{key} should be FP-rich"
+        );
+    }
+    // SIMD shows up only in x264 and llama-ish kernels.
+    let x264 = characterise("x264_525", Abi::Hybrid);
+    assert!(x264.ase > 0, "x264 must use SAD vector ops");
+    let xz = characterise("xz_557", Abi::Hybrid);
+    assert_eq!(xz.ase, 0);
+    assert_eq!(xz.vfp, 0, "xz is pure integer");
+}
+
+#[test]
+fn working_sets_are_ordered_sensibly() {
+    // At equal scale, the big-footprint workloads must touch far more
+    // memory than the cache-resident ones.
+    let omnetpp = characterise("omnetpp_520", Abi::Hybrid).working_set_bytes();
+    let deepsjeng = characterise("deepsjeng_531", Abi::Hybrid).working_set_bytes();
+    let lbm = characterise("lbm_519", Abi::Hybrid).working_set_bytes();
+    assert!(omnetpp > 64 * 1024);
+    assert!(lbm > 256 * 1024, "grids are large: {lbm}");
+    assert!(deepsjeng > 16 * 1024);
+}
+
+#[test]
+fn purecap_working_set_grows_for_pointer_workloads_only() {
+    for (key, must_grow) in [
+        ("omnetpp_520", true),
+        ("xalancbmk_523", true),
+        ("quickjs", true),
+        ("lbm_519", false),
+        ("llama_matmul", false),
+    ] {
+        let h = characterise(key, Abi::Hybrid).working_set_bytes() as f64;
+        let p = characterise(key, Abi::Purecap).working_set_bytes() as f64;
+        if must_grow {
+            assert!(p > 1.2 * h, "{key}: purecap working set must grow ({h} -> {p})");
+        } else {
+            assert!(p < 1.15 * h, "{key}: working set should be stable ({h} -> {p})");
+        }
+    }
+}
+
+#[test]
+fn every_workload_characterises_under_every_supported_abi() {
+    for w in registry() {
+        for abi in Abi::ALL {
+            if !w.supports(abi) {
+                continue;
+            }
+            let prog = lower(&w.build(abi, Scale::Test));
+            let mut t = TraceSummary::new();
+            Interp::new(InterpConfig::default())
+                .run(&prog, &mut t)
+                .unwrap_or_else(|e| panic!("{} under {abi}: {e}", w.name));
+            t.finish();
+            assert!(t.retired > 1000, "{} {abi}", w.name);
+            assert!(t.data_lines > 0 && t.code_footprint_lines > 0);
+            assert_eq!(
+                t.retired,
+                t.loads + t.stores + t.dp + t.vfp + t.ase + t.branches,
+                "{} {abi}: classes must partition the stream",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The CHERI capability model, hands on: derivation, bounds enforcement,
+//! sealing, compression, and the representability rules that shape
+//! CHERI-aware allocators.
+//!
+//! ```sh
+//! cargo run --release --example capability_playground
+//! ```
+
+use cheri_cap::{
+    representable_alignment_mask, round_representable_length, Capability, FaultKind, Perms,
+};
+
+fn main() {
+    // Everything derives monotonically from a root capability.
+    let root = Capability::root_rw();
+    println!("root: {root}");
+
+    // A heap object: exact bounds for a small allocation.
+    let obj = root.set_bounds_exact(0x4000, 64).unwrap();
+    println!("64-byte object: {obj}");
+
+    // In-bounds access: fine. One byte past the end: a bounds fault.
+    assert!(obj.check_access(0x4000, 64, Perms::LOAD).is_ok());
+    let fault = obj.check_access(0x4040, 1, Perms::LOAD).unwrap_err();
+    println!("out-of-bounds: {fault}");
+    assert_eq!(fault.kind, FaultKind::BoundsViolation);
+
+    // Pointer arithmetic may leave bounds (C idioms), but going far enough
+    // that the compressed bounds can't be reconstructed clears the tag.
+    let past_end = obj.inc_address(64);
+    assert!(past_end.tag(), "one-past-the-end stays representable");
+    let wild = obj.inc_address(1 << 20);
+    assert!(!wild.tag(), "wild pointers lose their tag");
+    println!("wild pointer: {wild}");
+
+    // Monotonicity: a narrowed capability cannot regrow.
+    let narrow = obj.set_bounds_exact(0x4010, 16).unwrap();
+    let err = narrow.set_bounds_exact(0x4000, 64).unwrap_err();
+    println!("regrow attempt: {err}");
+
+    // Permissions only shrink.
+    let ro = obj.and_perms(Perms::LOAD | Perms::LOAD_CAP).unwrap();
+    assert!(ro.check_access(0x4000, 8, Perms::STORE).is_err());
+
+    // Sealing: an opaque, unforgeable handle until unsealed.
+    let sealer = Capability::root_all()
+        .set_bounds_exact(0, 4096)
+        .unwrap()
+        .set_address(42);
+    let sealed = obj.seal(&sealer).unwrap();
+    println!("sealed handle: {sealed}");
+    assert!(sealed.check_access(0x4000, 8, Perms::LOAD).is_err());
+    assert_eq!(sealed.unseal(&sealer).unwrap(), obj);
+
+    // Compression: 129 bits in memory — and why big mallocs get padded.
+    let cc = obj.to_compressed();
+    println!("compressed image: meta={:#018x} addr={:#018x}", cc.meta, cc.addr);
+    assert_eq!(Capability::from_compressed(cc, obj.tag()), obj);
+
+    for req in [100u64, 5000, 1 << 20, (1 << 20) + 1, 100 << 20] {
+        let len = round_representable_length(req);
+        let align = !representable_alignment_mask(req) + 1;
+        println!("malloc({req:>10}) -> padded {len:>10}, base alignment {align:>6}");
+    }
+}

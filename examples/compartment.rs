@@ -1,0 +1,145 @@
+//! Compartmentalisation at the ISA level: sealed capabilities as opaque,
+//! unforgeable handles across a trust boundary.
+//!
+//! The paper motivates SQLite partly as "a compelling use case for
+//! evaluating CHERI's compartmentalization capabilities". This example
+//! shows the primitive that makes that possible: a *trusted* module hands
+//! an *untrusted* module a **sealed** capability to a secret buffer. The
+//! untrusted code can store, pass and return the handle — but any attempt
+//! to dereference it faults with a seal violation. Only the trusted gate,
+//! holding the loader-provided sealing authority (CheriBSD installs such
+//! a root for userspace sealing), can unseal and use it.
+//!
+//! ```sh
+//! cargo run --release --example compartment
+//! ```
+
+use cheri_isa::{
+    lower, Abi, CapOpKind, Cond, GlobalDef, Interp, InterpConfig, InterpError, MemSize, NullSink,
+    ProgramBuilder, PtrInit,
+};
+
+const SEAL_OTYPE: u16 = 77;
+
+/// Builds the two-compartment program. When `attack` is set, the
+/// untrusted code tries to dereference the sealed handle directly.
+fn build(attack: bool) -> cheri_isa::Program {
+    let mut b = ProgramBuilder::new("compartment", Abi::Purecap);
+    let untrusted = b.module("untrusted_plugin");
+
+    // The loader installs the sealing authority here at startup.
+    let g_auth = b.add_global(GlobalDef {
+        name: "sealing_root".into(),
+        size: 16,
+        init: Vec::new(),
+        ptr_inits: vec![(0, PtrInit::SealRoot(SEAL_OTYPE))],
+        is_const: false,
+        align: 16,
+    });
+
+    // Trusted gate: unseals the handle and reads the secret on behalf of
+    // the caller.
+    let gate = b.function("trusted_gate", 1, |f| {
+        let handle = f.arg(0);
+        let authp = f.vreg();
+        f.lea_global(authp, g_auth, 0);
+        let auth = f.vreg();
+        f.load_ptr(auth, authp, 0);
+        let secret = f.vreg();
+        f.unseal(secret, handle, auth);
+        let v = f.vreg();
+        f.load_int(v, secret, 0, MemSize::S8);
+        f.ret(Some(v));
+    });
+
+    // Untrusted plugin: receives the sealed handle.
+    let plugin = b.function_in(untrusted, "plugin_main", 1, move |f| {
+        let handle = f.arg(0);
+        if attack {
+            // Try to use the handle directly: seal violation.
+            let stolen = f.vreg();
+            f.load_int(stolen, handle, 0, MemSize::S8);
+            f.ret(Some(stolen));
+        } else {
+            // Play by the rules: inspect harmless metadata, then ask the
+            // gate.
+            let tag = f.vreg();
+            f.cap_op(CapOpKind::GetTag, tag, handle, 0);
+            let len = f.vreg();
+            f.cap_op(CapOpKind::GetLen, len, handle, 0);
+            let ok = f.label();
+            f.br(Cond::Eq, tag, 1, ok);
+            f.ret(Some(tag)); // untagged handle: refuse
+            f.bind(ok);
+            let v = f.vreg();
+            f.call(gate, &[handle], Some(v));
+            f.add(v, v, len);
+            f.ret(Some(v));
+        }
+    });
+
+    let main = b.function("main", 0, |f| {
+        // The secret.
+        let secret = f.vreg();
+        f.malloc(secret, 64);
+        let value = f.vreg();
+        f.mov_imm(value, 0x5EC2E7);
+        f.store_int(value, secret, 0, MemSize::S8);
+
+        // Seal it into an opaque handle under the loader's authority.
+        let authp = f.vreg();
+        f.lea_global(authp, g_auth, 0);
+        let auth = f.vreg();
+        f.load_ptr(auth, authp, 0);
+        let handle = f.vreg();
+        f.seal(handle, secret, auth);
+
+        // Hand it to the untrusted plugin (cross-module call).
+        let r = f.vreg();
+        f.call(plugin, &[handle], Some(r));
+        f.halt_code(r);
+    });
+    b.set_entry(main);
+    lower(&b.build())
+}
+
+fn library_demo() {
+    use cheri_cap::{Capability, FaultKind, Perms};
+    let secret = Capability::root_rw().set_bounds_exact(0x9000, 64).unwrap();
+    let authority = Capability::root_all()
+        .set_bounds_exact(0, 1024)
+        .unwrap()
+        .set_address(77);
+    let handle = secret.seal(&authority).unwrap();
+    // The handle is useless to its holder...
+    assert_eq!(
+        handle.check_access(0x9000, 8, Perms::LOAD).unwrap_err().kind,
+        FaultKind::SealViolation
+    );
+    println!("sealed handle is opaque: {handle}");
+    // ...until the gate unseals it.
+    let back = handle.unseal(&authority).unwrap();
+    assert!(back.check_access(0x9000, 8, Perms::LOAD).is_ok());
+    println!("gate unsealed it: {back}");
+}
+
+fn main() {
+    println!("== library-level compartment (explicit authority) ==");
+    library_demo();
+
+    println!("\n== ISA-level compartment ==");
+    match Interp::new(InterpConfig::default()).run(&build(false), &mut NullSink) {
+        Ok(r) => println!(
+            "well-behaved plugin, via gate: secret+len = {:#x}",
+            r.exit_code
+        ),
+        Err(e) => println!("unexpected: {e}"),
+    }
+    match Interp::new(InterpConfig::default()).run(&build(true), &mut NullSink) {
+        Ok(r) => println!("ATTACK SUCCEEDED?! exit={:#x}", r.exit_code),
+        Err(InterpError::Fault { fault, func, .. }) => {
+            println!("attack blocked in `{func}`: {fault}")
+        }
+        Err(e) => println!("attack blocked: {e}"),
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run one paper workload under all three CHERI ABIs and
+//! print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cheri_isa::Abi;
+use cheri_workloads::{by_key, Scale};
+use morello_sim::{Platform, Runner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's platform: a Neoverse-N1-class core with Morello's
+    // prototype CHERI artefacts (PCC-blind branch predictor, narrow store
+    // buffer, no capability MADD).
+    let runner = Runner::new(Platform::morello().with_scale(Scale::Small));
+
+    // 520.omnetpp_r: the paper's memory-intensity champion (MI = 1.164).
+    let workload = by_key("omnetpp_520").expect("registered workload");
+    println!("workload: {}\n", workload.name);
+
+    let mut hybrid_seconds = None;
+    for abi in Abi::ALL {
+        if !workload.supports(abi) {
+            println!("{abi:>10}: NA (as in the paper)");
+            continue;
+        }
+        let report = runner.run(&workload, abi)?;
+        let norm = hybrid_seconds
+            .map(|h: f64| report.seconds / h)
+            .unwrap_or(1.0);
+        if abi == Abi::Hybrid {
+            hybrid_seconds = Some(report.seconds);
+        }
+        println!(
+            "{abi:>10}: {:>8.4}s  ({norm:.2}x)  IPC {:.3}  L1D-MR {:.2}%  cap-traffic {:.1}%",
+            report.seconds,
+            report.derived.ipc,
+            report.derived.l1d_miss_rate * 100.0,
+            report.derived.cap_traffic_share * 100.0,
+        );
+    }
+
+    println!("\nTop-down (purecap):");
+    let p = runner.run(&workload, Abi::Purecap)?;
+    let t = p.topdown;
+    println!(
+        "  retiring {:.3}  bad-spec {:.3}  frontend {:.3}  backend {:.3}",
+        t.retiring, t.bad_speculation, t.frontend_bound, t.backend_bound
+    );
+    println!(
+        "  memory-bound {:.3} (L1 {:.3} / L2 {:.3} / ExtMem {:.3})  core-bound {:.3}",
+        t.memory_bound, t.l1_bound, t.l2_bound, t.ext_mem_bound, t.core_bound
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Sweet-or-Sour-CHERI reproduction workspace.
+//!
+//! Re-exports the public APIs of every member crate. See `morello_sim` for
+//! the top-level experiment runner and `README.md` for a tour.
+
+pub use cheri_cap as cap;
+pub use cheri_isa as isa;
+pub use cheri_mem as mem;
+pub use cheri_workloads as workloads;
+pub use morello_pmu as pmu;
+pub use morello_sim as sim;
+pub use morello_uarch as uarch;

@@ -1,0 +1,247 @@
+//! `sweet-or-sour-cheri` — command-line driver for the reproduction.
+//!
+//! ```text
+//! sweet-or-sour-cheri list
+//! sweet-or-sour-cheri run --workload omnetpp_520 [--abi purecap] [--scale small]
+//! sweet-or-sour-cheri suite [--scale small]
+//! sweet-or-sour-cheri project --workload xalancbmk_523 [--scale small]
+//! ```
+
+use cheri_isa::Abi;
+use cheri_workloads::{by_key, registry, Scale};
+use morello_sim::suite::run_full_suite;
+use morello_sim::{project, Platform, Runner};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sweet-or-sour-cheri list\n  sweet-or-sour-cheri run --workload <key> \
+         [--abi hybrid|benchmark|purecap] [--scale test|small|default]\n  \
+         sweet-or-sour-cheri suite [--scale ...]\n  \
+         sweet-or-sour-cheri project --workload <key> [--scale ...]\n  \
+         sweet-or-sour-cheri disasm --workload <key> [--abi ...] [--function <name>]"
+    );
+    ExitCode::FAILURE
+}
+
+struct Opts {
+    workload: Option<String>,
+    abi: Option<Abi>,
+    scale: Scale,
+    function: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Option<Opts> {
+    let mut o = Opts {
+        workload: None,
+        abi: None,
+        scale: Scale::Small,
+        function: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => o.workload = Some(it.next()?.clone()),
+            "--abi" => {
+                o.abi = Some(match it.next()?.as_str() {
+                    "hybrid" => Abi::Hybrid,
+                    "benchmark" => Abi::Benchmark,
+                    "purecap" => Abi::Purecap,
+                    other => {
+                        eprintln!("unknown ABI `{other}`");
+                        return None;
+                    }
+                })
+            }
+            "--function" => o.function = Some(it.next()?.clone()),
+            "--scale" => {
+                o.scale = match it.next()?.as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "default" => Scale::Default,
+                    other => {
+                        eprintln!("unknown scale `{other}`");
+                        return None;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                return None;
+            }
+        }
+    }
+    Some(o)
+}
+
+fn cmd_list() -> ExitCode {
+    println!("{:<24} {:<16} {:>9} {:>14}", "key", "name", "MI(paper)", "benchmark-ABI");
+    for w in registry() {
+        println!(
+            "{:<24} {:<16} {:>9} {:>14}",
+            w.key,
+            w.name,
+            w.table2_mi.map_or("-".into(), |v| format!("{v:.3}")),
+            if w.supports_benchmark_abi { "yes" } else { "NA" },
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(o: &Opts) -> ExitCode {
+    let Some(key) = &o.workload else {
+        eprintln!("run requires --workload <key> (see `list`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(w) = by_key(key) else {
+        eprintln!("unknown workload `{key}` (see `list`)");
+        return ExitCode::FAILURE;
+    };
+    let runner = Runner::new(Platform::morello().with_scale(o.scale));
+    let abis: Vec<Abi> = match o.abi {
+        Some(a) => vec![a],
+        None => Abi::ALL.to_vec(),
+    };
+    let mut hybrid = None;
+    for abi in abis {
+        if !w.supports(abi) {
+            println!("{abi:>10}: NA (as in the paper)");
+            continue;
+        }
+        match runner.run(&w, abi) {
+            Ok(rep) => {
+                let norm = hybrid.map(|h: f64| rep.seconds / h).unwrap_or(1.0);
+                if abi == Abi::Hybrid {
+                    hybrid = Some(rep.seconds);
+                }
+                println!(
+                    "{abi:>10}: {:>9.5}s ({norm:.3}x)  IPC {:.3}  retired {:>10}  \
+                     L1D {:.2}%  L2 {:.2}%  capld {:.1}%  dTLBwalks {}",
+                    rep.seconds,
+                    rep.derived.ipc,
+                    rep.retired,
+                    rep.derived.l1d_miss_rate * 100.0,
+                    rep.derived.l2_miss_rate * 100.0,
+                    rep.derived.cap_load_density * 100.0,
+                    rep.stats.dtlb_walk,
+                );
+            }
+            Err(e) => {
+                eprintln!("{abi}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_suite(o: &Opts) -> ExitCode {
+    let runner = Runner::new(Platform::morello().with_scale(o.scale));
+    match run_full_suite(&runner) {
+        Ok(rows) => {
+            println!("{:<24} {:>10} {:>10}", "workload", "benchmark", "purecap");
+            for r in rows {
+                let f = |abi| {
+                    r.normalized_time(abi)
+                        .map_or("NA".to_owned(), |v| format!("{v:.3}x"))
+                };
+                println!("{:<24} {:>10} {:>10}", r.name, f(Abi::Benchmark), f(Abi::Purecap));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("suite failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_project(o: &Opts) -> ExitCode {
+    let Some(key) = &o.workload else {
+        eprintln!("project requires --workload <key>");
+        return ExitCode::FAILURE;
+    };
+    let Some(w) = by_key(key) else {
+        eprintln!("unknown workload `{key}`");
+        return ExitCode::FAILURE;
+    };
+    match project(Platform::morello().with_scale(o.scale), &w) {
+        Ok(row) => {
+            println!("{}:", row.name);
+            println!("  morello prototype : {:.3}x", row.morello_slowdown);
+            println!("  + PCC-aware BP    : {:.3}x", row.pcc_aware_slowdown);
+            println!("  + wide cap SB     : {:.3}x", row.wide_sb_slowdown);
+            println!("  + cap MADD        : {:.3}x", row.cap_madd_slowdown);
+            println!("  projected (all)   : {:.3}x", row.projected_slowdown);
+            println!("  overhead removed  : {:.0}%", row.overhead_removed() * 100.0);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("projection failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_disasm(o: &Opts) -> ExitCode {
+    let Some(key) = &o.workload else {
+        eprintln!("disasm requires --workload <key>");
+        return ExitCode::FAILURE;
+    };
+    let Some(w) = by_key(key) else {
+        eprintln!("unknown workload `{key}`");
+        return ExitCode::FAILURE;
+    };
+    let abi = o.abi.unwrap_or(Abi::Purecap);
+    if !w.supports(abi) {
+        eprintln!("{} does not run under the {abi} ABI", w.name);
+        return ExitCode::FAILURE;
+    }
+    let prog = cheri_isa::lower(&w.build(abi, cheri_workloads::Scale::Test));
+    let selected: Vec<usize> = match &o.function {
+        Some(name) => {
+            let hits: Vec<usize> = prog
+                .funcs
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.name.contains(name.as_str()))
+                .map(|(i, _)| i)
+                .collect();
+            if hits.is_empty() {
+                eprintln!(
+                    "no function matching `{name}`; available: {}",
+                    prog.funcs
+                        .iter()
+                        .map(|f| f.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+            hits
+        }
+        None => (0..prog.funcs.len()).collect(),
+    };
+    for i in selected {
+        println!("{}", cheri_isa::disassemble(&prog, cheri_isa::FuncId(i as u32)));
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let Some(opts) = parse_opts(&args[1..]) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&opts),
+        "suite" => cmd_suite(&opts),
+        "project" => cmd_project(&opts),
+        "disasm" => cmd_disasm(&opts),
+        _ => usage(),
+    }
+}
