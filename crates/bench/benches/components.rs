@@ -7,7 +7,9 @@ use morello_uarch::{Cache, CacheGeometry, Gshare, TimingCore, UarchConfig};
 
 fn bench_capability(c: &mut Criterion) {
     let mut g = c.benchmark_group("capability");
-    let cap = Capability::root_rw().set_bounds_exact(0x10_0000, 4096).unwrap();
+    let cap = Capability::root_rw()
+        .set_bounds_exact(0x10_0000, 4096)
+        .unwrap();
     g.bench_function("compress_roundtrip", |b| {
         b.iter(|| {
             let cc = black_box(cap).to_compressed();
@@ -16,12 +18,18 @@ fn bench_capability(c: &mut Criterion) {
     });
     g.bench_function("set_bounds_exact", |b| {
         let root = Capability::root_rw();
-        b.iter(|| root.set_bounds_exact(black_box(0x10_0000), black_box(4096)).unwrap())
+        b.iter(|| {
+            root.set_bounds_exact(black_box(0x10_0000), black_box(4096))
+                .unwrap()
+        })
     });
     g.bench_function("representability_math", |b| {
         b.iter(|| {
             let len = black_box(1_234_567u64);
-            (round_representable_length(len), representable_alignment_mask(len))
+            (
+                round_representable_length(len),
+                representable_alignment_mask(len),
+            )
         })
     });
     g.bench_function("check_access", |b| {

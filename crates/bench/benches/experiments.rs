@@ -2,8 +2,8 @@
 //! `Scale::Test` so `cargo bench` regenerates each one end-to-end.
 
 use cheri_isa::Abi;
-use criterion::{criterion_group, criterion_main, Criterion};
 use cheri_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
 use morello_bench::experiments;
 use morello_sim::suite::{run_suite, select, SuiteRow, TABLE4_KEYS};
 use morello_sim::{project, Platform, Runner};
@@ -12,7 +12,13 @@ fn test_rows() -> Vec<SuiteRow> {
     let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
     run_suite(
         &runner,
-        &select(&["lbm_519", "omnetpp_520", "xalancbmk_523", "sqlite", "quickjs"]),
+        &select(&[
+            "lbm_519",
+            "omnetpp_520",
+            "xalancbmk_523",
+            "sqlite",
+            "quickjs",
+        ]),
     )
     .expect("suite runs")
 }
@@ -24,12 +30,18 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     g.bench_function("suite_run_test_scale", |b| b.iter(test_rows));
 
     let rows = test_rows();
-    g.bench_function("fig1_overall", |b| b.iter(|| experiments::fig1_overall(&rows)));
-    g.bench_function("fig2_binsize", |b| b.iter(|| experiments::fig2_binsize(&rows)));
+    g.bench_function("fig1_overall", |b| {
+        b.iter(|| experiments::fig1_overall(&rows))
+    });
+    g.bench_function("fig2_binsize", |b| {
+        b.iter(|| experiments::fig2_binsize(&rows))
+    });
     g.bench_function("fig3_table4_topdown", |b| {
         b.iter(|| experiments::fig3_table4_topdown(&rows))
     });
-    g.bench_function("fig4_bounds", |b| b.iter(|| experiments::fig4_bounds(&rows)));
+    g.bench_function("fig4_bounds", |b| {
+        b.iter(|| experiments::fig4_bounds(&rows))
+    });
     g.bench_function("fig5_instmix", |b| {
         b.iter(|| {
             (
@@ -38,7 +50,9 @@ fn bench_tables_and_figures(c: &mut Criterion) {
             )
         })
     });
-    g.bench_function("fig6_membound", |b| b.iter(|| experiments::fig6_membound(&rows)));
+    g.bench_function("fig6_membound", |b| {
+        b.iter(|| experiments::fig6_membound(&rows))
+    });
     g.bench_function("fig7_correlation", |b| {
         b.iter(|| experiments::fig7_correlation(&rows, Abi::Purecap))
     });

@@ -72,11 +72,8 @@ fn main() {
             base_1x: slowdown(base, key).expect("runs"),
             caches_2x: slowdown(base.with_uarch(scaled(base.uarch, 2)), key).expect("runs"),
             caches_4x: slowdown(base.with_uarch(scaled(base.uarch, 4)), key).expect("runs"),
-            with_tag_table: slowdown(
-                base.with_uarch(base.uarch.with_tag_table_model(true)),
-                key,
-            )
-            .expect("runs"),
+            with_tag_table: slowdown(base.with_uarch(base.uarch.with_tag_table_model(true)), key)
+                .expect("runs"),
         };
         t.row(&[
             row.name.clone(),

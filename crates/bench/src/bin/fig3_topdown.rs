@@ -1,7 +1,7 @@
 //! Figure 3 / Table 4: top-down pipeline breakdown for the six selected
 //! workloads, three ABIs per cell.
 
-use morello_bench::{harness_runner, write_json, experiments};
+use morello_bench::{experiments, harness_runner, write_json};
 use morello_sim::suite::{run_suite, select, TABLE4_KEYS};
 
 fn main() {

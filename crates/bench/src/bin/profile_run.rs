@@ -1,0 +1,87 @@
+//! Cycle-attribution profile of a single workload run: region hotspot
+//! table, collapsed-stack lines for flamegraph tooling, and (optionally)
+//! a structured JSONL run journal.
+//!
+//! ```text
+//! cargo run --release -p morello-bench --bin profile_run -- omnetpp_520 --abi purecap
+//! ```
+//!
+//! Flags:
+//! * `--abi <hybrid|benchmark|purecap>` — ABI to run (default purecap)
+//! * `--journal <path>` — append a JSONL run record (one line per run)
+//! * `--out <path>` — write the full profile as JSON
+//!
+//! `MORELLO_SCALE` selects the problem size as in every other binary.
+
+use cheri_isa::Abi;
+use cheri_workloads::by_key;
+use morello_bench::{harness_runner, write_json};
+use morello_obs::{collapsed_stacks, hotspot_table, run_profiled, JsonlJournal};
+
+fn parse_abi(s: &str) -> Abi {
+    match s {
+        "hybrid" => Abi::Hybrid,
+        "benchmark" => Abi::Benchmark,
+        "purecap" => Abi::Purecap,
+        other => {
+            eprintln!("unknown ABI `{other}` (expected hybrid, benchmark, or purecap)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut key: Option<String> = None;
+    let mut abi = Abi::Purecap;
+    let mut journal: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--abi" => abi = parse_abi(it.next().map(String::as_str).unwrap_or("")),
+            "--journal" => journal = it.next().cloned(),
+            "--out" => {
+                it.next(); // consumed by write_json
+            }
+            flag if flag.starts_with("--") => {
+                if !flag.starts_with("--out=") {
+                    eprintln!("unknown flag `{flag}`");
+                    std::process::exit(2);
+                }
+            }
+            positional => key = Some(positional.to_owned()),
+        }
+    }
+    let key = key.unwrap_or_else(|| "omnetpp_520".to_owned());
+    let Some(workload) = by_key(&key) else {
+        eprintln!("unknown workload key `{key}`");
+        std::process::exit(2);
+    };
+
+    let runner = harness_runner();
+    let platform = *runner.platform();
+    let run = match run_profiled(&platform, &workload, abi) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("profile failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("Region profile: {} under the {abi} ABI", run.workload);
+    println!("{}", hotspot_table(&run.regions).render());
+    println!("Collapsed stacks (flamegraph input):");
+    print!("{}", collapsed_stacks(&run.workload, &run.regions));
+
+    if let Some(path) = journal {
+        match JsonlJournal::append(&path) {
+            Ok(mut j) => match runner.run_observed(&workload, abi, &mut j) {
+                Ok(_) => eprintln!("(journal record appended: {path})"),
+                Err(e) => eprintln!("warning: journalled run failed: {e}"),
+            },
+            Err(e) => eprintln!("warning: could not open journal {path}: {e}"),
+        }
+    }
+
+    write_json(&format!("profile_{key}_{abi}"), &run);
+}

@@ -10,15 +10,15 @@ use morello_bench::{scale_from_env, write_json};
 use morello_pmu::Table;
 
 fn main() {
-    let key = std::env::args().nth(1).unwrap_or_else(|| "omnetpp_520".into());
+    let key = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "omnetpp_520".into());
     let Some(w) = by_key(&key) else {
         eprintln!("unknown workload `{key}`");
         std::process::exit(1);
     };
     let scale = scale_from_env();
-    let mut t = Table::new(&[
-        "quantity", "hybrid", "benchmark", "purecap",
-    ]);
+    let mut t = Table::new(&["quantity", "hybrid", "benchmark", "purecap"]);
     let mut summaries = Vec::new();
     for abi in Abi::ALL {
         if !w.supports(abi) {
@@ -42,16 +42,37 @@ fn main() {
     type RowFn = Box<dyn Fn(&TraceSummary) -> String>;
     let rows: Vec<(&str, RowFn)> = vec![
         ("retired", Box::new(|s| s.retired.to_string())),
-        ("memory intensity", Box::new(|s| format!("{:.3}", s.memory_intensity()))),
-        ("cap traffic share", Box::new(|s| format!("{:.1}%", s.cap_traffic_share() * 100.0))),
-        ("chase fraction", Box::new(|s| format!("{:.1}%", s.chase_fraction() * 100.0))),
-        ("working set", Box::new(|s| format!("{} KiB", s.working_set_bytes() / 1024))),
+        (
+            "memory intensity",
+            Box::new(|s| format!("{:.3}", s.memory_intensity())),
+        ),
+        (
+            "cap traffic share",
+            Box::new(|s| format!("{:.1}%", s.cap_traffic_share() * 100.0)),
+        ),
+        (
+            "chase fraction",
+            Box::new(|s| format!("{:.1}%", s.chase_fraction() * 100.0)),
+        ),
+        (
+            "working set",
+            Box::new(|s| format!("{} KiB", s.working_set_bytes() / 1024)),
+        ),
         ("data pages", Box::new(|s| s.data_pages.to_string())),
-        ("code lines", Box::new(|s| s.code_footprint_lines.to_string())),
-        ("indirect branches", Box::new(|s| s.indirect_branches.to_string())),
+        (
+            "code lines",
+            Box::new(|s| s.code_footprint_lines.to_string()),
+        ),
+        (
+            "indirect branches",
+            Box::new(|s| s.indirect_branches.to_string()),
+        ),
         ("PCC changes", Box::new(|s| s.pcc_changes.to_string())),
         ("cap-manip insts", Box::new(|s| s.cap_manip.to_string())),
-        ("access pattern", Box::new(|s| s.access_pattern().to_string())),
+        (
+            "access pattern",
+            Box::new(|s| s.access_pattern().to_string()),
+        ),
     ];
     for (name, f) in &rows {
         let c = cell(f);

@@ -82,7 +82,12 @@ fn median(mut v: Vec<f64>) -> f64 {
 
 /// Builds Figure 2.
 pub fn fig2_binsize(rows: &[SuiteRow]) -> (Table, Vec<Fig2Row>) {
-    let mut t = Table::new(&["Section", "benchmark/hybrid", "purecap/hybrid", "purecap bytes (median)"]);
+    let mut t = Table::new(&[
+        "Section",
+        "benchmark/hybrid",
+        "purecap/hybrid",
+        "purecap bytes (median)",
+    ]);
     let mut data = Vec::new();
     let n_sections = rows
         .first()
@@ -141,31 +146,46 @@ pub fn fig2_binsize(rows: &[SuiteRow]) -> (Table, Vec<Fig2Row>) {
 /// workload, three values per cell (hybrid, benchmark, purecap — the
 /// paper's comma convention; NA printed for missing cells).
 pub fn fig3_table4_topdown(rows: &[SuiteRow]) -> Table {
-    let mut t = Table::new(&[
-        "Metric",
-        "hybrid",
-        "benchmark",
-        "purecap",
-        "Benchmark",
-    ]);
+    let mut t = Table::new(&["Metric", "hybrid", "benchmark", "purecap", "Benchmark"]);
     for r in rows {
         let cell = |f: &dyn Fn(&morello_sim::RunReport) -> String, abi: Abi| -> String {
             r.get(abi).map_or("NA".into(), f)
         };
         type MetricFn = Box<dyn Fn(&morello_sim::RunReport) -> String>;
         let metrics: Vec<(&str, MetricFn)> = vec![
-            ("Execution Time (s)", Box::new(|r| format!("{:.4}", r.seconds))),
+            (
+                "Execution Time (s)",
+                Box::new(|r| format!("{:.4}", r.seconds)),
+            ),
             ("Speedup", Box::new(|r| format!("{:.3}", r.seconds))),
             ("IPC", Box::new(|r| fmt_metric(r.derived.ipc))),
             ("Retiring", Box::new(|r| fmt_metric(r.topdown.retiring))),
-            ("Bad Spec", Box::new(|r| fmt_metric(r.topdown.bad_speculation))),
-            ("Frontend Bound", Box::new(|r| fmt_metric(r.topdown.frontend_bound))),
-            ("Backend Bound", Box::new(|r| fmt_metric(r.topdown.backend_bound))),
-            ("+ Memory Bound", Box::new(|r| fmt_metric(r.topdown.memory_bound))),
+            (
+                "Bad Spec",
+                Box::new(|r| fmt_metric(r.topdown.bad_speculation)),
+            ),
+            (
+                "Frontend Bound",
+                Box::new(|r| fmt_metric(r.topdown.frontend_bound)),
+            ),
+            (
+                "Backend Bound",
+                Box::new(|r| fmt_metric(r.topdown.backend_bound)),
+            ),
+            (
+                "+ Memory Bound",
+                Box::new(|r| fmt_metric(r.topdown.memory_bound)),
+            ),
             ("--- L1 Bound", Box::new(|r| fmt_metric(r.topdown.l1_bound))),
             ("--- L2 Bound", Box::new(|r| fmt_metric(r.topdown.l2_bound))),
-            ("--- ExtMem Bound", Box::new(|r| fmt_metric(r.topdown.ext_mem_bound))),
-            ("+ Core Bound", Box::new(|r| fmt_metric(r.topdown.core_bound))),
+            (
+                "--- ExtMem Bound",
+                Box::new(|r| fmt_metric(r.topdown.ext_mem_bound)),
+            ),
+            (
+                "+ Core Bound",
+                Box::new(|r| fmt_metric(r.topdown.core_bound)),
+            ),
         ];
         for (name, f) in &metrics {
             // Speedup row: normalised to hybrid, like the paper.
@@ -275,9 +295,12 @@ pub fn fig5_shift_summary(rows: &[SuiteRow]) -> InstMixShift {
             continue;
         };
         let share = |s: &morello_uarch::UarchStats, v: u64| v as f64 / s.inst_spec.max(1) as f64;
-        dp_growth.push((share(&p.stats, p.stats.dp_spec) - share(&h.stats, h.stats.dp_spec)) * 100.0);
-        ld_delta.push((share(&p.stats, p.stats.ld_spec) - share(&h.stats, h.stats.ld_spec)) * 100.0);
-        st_delta.push((share(&p.stats, p.stats.st_spec) - share(&h.stats, h.stats.st_spec)) * 100.0);
+        dp_growth
+            .push((share(&p.stats, p.stats.dp_spec) - share(&h.stats, h.stats.dp_spec)) * 100.0);
+        ld_delta
+            .push((share(&p.stats, p.stats.ld_spec) - share(&h.stats, h.stats.ld_spec)) * 100.0);
+        st_delta
+            .push((share(&p.stats, p.stats.st_spec) - share(&h.stats, h.stats.st_spec)) * 100.0);
     }
     let std = |v: &[f64]| {
         let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
@@ -382,15 +405,25 @@ pub fn table3_key_metrics(rows: &[SuiteRow]) -> Table {
     let metrics: [(&str, Getter); 11] = [
         ("Execution Time (s)", |r| r.seconds),
         ("IPC", |r| r.derived.ipc),
-        ("Branch MR (%)", |r| r.derived.branch_mispredict_rate * 100.0),
+        ("Branch MR (%)", |r| {
+            r.derived.branch_mispredict_rate * 100.0
+        }),
         ("L1I MR (%)", |r| r.derived.l1i_miss_rate * 100.0),
         ("L1D MR (%)", |r| r.derived.l1d_miss_rate * 100.0),
         ("L2D MR (%)", |r| r.derived.l2_miss_rate * 100.0),
         ("LLC Read MR (%)", |r| r.derived.llc_read_miss_rate * 100.0),
-        ("Cap Load Density (%)", |r| r.derived.cap_load_density * 100.0),
-        ("Cap Store Density (%)", |r| r.derived.cap_store_density * 100.0),
-        ("Cap Traffic Share (%)", |r| r.derived.cap_traffic_share * 100.0),
-        ("Cap Tag Overhead (%)", |r| r.derived.cap_tag_overhead * 100.0),
+        ("Cap Load Density (%)", |r| {
+            r.derived.cap_load_density * 100.0
+        }),
+        ("Cap Store Density (%)", |r| {
+            r.derived.cap_store_density * 100.0
+        }),
+        ("Cap Traffic Share (%)", |r| {
+            r.derived.cap_traffic_share * 100.0
+        }),
+        ("Cap Tag Overhead (%)", |r| {
+            r.derived.cap_tag_overhead * 100.0
+        }),
     ];
     for (name, get) in metrics {
         for abi in Abi::ALL {

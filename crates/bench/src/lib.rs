@@ -31,8 +31,20 @@ pub fn harness_runner() -> Runner {
     Runner::new(Platform::morello().with_scale(scale_from_env()))
 }
 
-/// Writes an experiment's JSON artefact under `target/experiments/`.
+/// Writes an experiment's JSON artefact. Every figure/table binary
+/// shares a `--out <path>` flag: when present on the command line the
+/// artefact goes to that exact path (a binary that emits several
+/// artefacts overwrites, last one wins); otherwise it lands under
+/// `target/experiments/<name>.json`.
 pub fn write_json(name: &str, value: &impl serde::Serialize) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = morello_pmu::out_flag(&args) {
+        match morello_pmu::write_json_out(&path, value) {
+            Ok(()) => eprintln!("(json artefact: {})", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        return;
+    }
     let dir = std::path::Path::new("target/experiments");
     if std::fs::create_dir_all(dir).is_err() {
         return;

@@ -125,7 +125,9 @@ impl Capability {
     /// `top - base` in bytes (saturating at 0 for malformed decodes).
     #[inline]
     pub fn length(&self) -> u64 {
-        self.top.saturating_sub(self.base as u128).min(u64::MAX as u128) as u64
+        self.top
+            .saturating_sub(self.base as u128)
+            .min(u64::MAX as u128) as u64
     }
 
     /// The cursor address the capability currently points at.
@@ -528,7 +530,9 @@ mod tests {
         let r = Capability::root_rw();
         assert_eq!(r.base(), 0);
         assert_eq!(r.top(), 1u128 << 64);
-        assert!(r.check_access(u64::MAX, 1, Perms::LOAD | Perms::STORE).is_ok());
+        assert!(r
+            .check_access(u64::MAX, 1, Perms::LOAD | Perms::STORE)
+            .is_ok());
         assert!(r.check_access(0, 1, Perms::EXECUTE).is_err());
     }
 
@@ -556,12 +560,18 @@ mod tests {
         let c = heap_cap(0x1000, 64);
         let sealed = c.seal_sentry().unwrap();
         assert_eq!(
-            sealed.check_access(0x1000, 8, Perms::LOAD).unwrap_err().kind,
+            sealed
+                .check_access(0x1000, 8, Perms::LOAD)
+                .unwrap_err()
+                .kind,
             FaultKind::SealViolation
         );
         let untagged = sealed.clear_tag();
         assert_eq!(
-            untagged.check_access(0x1000, 8, Perms::LOAD).unwrap_err().kind,
+            untagged
+                .check_access(0x1000, 8, Perms::LOAD)
+                .unwrap_err()
+                .kind,
             FaultKind::TagViolation
         );
         assert!(matches!(
@@ -602,7 +612,10 @@ mod tests {
         assert!(c.top() > 0x10_0001 + (1 << 20));
         // Exact variant refuses.
         assert_eq!(
-            parent.set_bounds_exact(0x10_0001, (1 << 20) + 1).unwrap_err().kind,
+            parent
+                .set_bounds_exact(0x10_0001, (1 << 20) + 1)
+                .unwrap_err()
+                .kind,
             FaultKind::RepresentabilityLoss
         );
     }
@@ -640,7 +653,9 @@ mod tests {
     #[test]
     fn and_perms_drops_only() {
         let c = heap_cap(0x1000, 64);
-        let ro = c.and_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::EXECUTE).unwrap();
+        let ro = c
+            .and_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::EXECUTE)
+            .unwrap();
         assert!(ro.perms().contains(Perms::LOAD));
         assert!(!ro.perms().contains(Perms::STORE));
         // EXECUTE wasn't in the source, so it can't appear.

@@ -196,11 +196,7 @@ pub(crate) fn unpack(cc: CompressedCap, tag: bool) -> Capability {
     let t_field = (cc.meta >> SHIFT_T) & MASK_TOP;
     let (e, b, t_low) = if ie {
         let e = (((t_field & 0b111) << EXP_LOW_BITS) | (b_field & 0b111)) as u32;
-        (
-            e.min(MAX_EXPONENT),
-            b_field & !0b111,
-            t_field & !0b111,
-        )
+        (e.min(MAX_EXPONENT), b_field & !0b111, t_field & !0b111)
     } else {
         (0, b_field, t_field)
     };
@@ -296,7 +292,11 @@ mod tests {
     fn small_object_roundtrip() {
         roundtrip(0x1000, 0x1040, 0x1000);
         roundtrip(0x1000, 0x1040, 0x103f);
-        roundtrip(0xffff_ffff_ffff_f000, 0xffff_ffff_ffff_ffff, 0xffff_ffff_ffff_f800);
+        roundtrip(
+            0xffff_ffff_ffff_f000,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_f800,
+        );
         roundtrip(0, 0, 0); // zero-length at zero
         roundtrip(0x7fff, 0x7fff, 0x7fff); // zero-length
     }
@@ -394,7 +394,11 @@ mod tests {
             (0x4000_0000, 0x4000_0000 + (1 << 16)),
         ];
         for &(base, top) in cases {
-            for addr in [base, base + ((top as u64).wrapping_sub(base)) / 2, (top - 1) as u64] {
+            for addr in [
+                base,
+                base + ((top as u64).wrapping_sub(base)) / 2,
+                (top - 1) as u64,
+            ] {
                 assert!(
                     cursor_representable(base, top, addr),
                     "base={base:#x} top={top:#x} addr={addr:#x}"

@@ -103,8 +103,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let f: Box<dyn std::error::Error> =
-            Box::new(CapFault::op(FaultKind::SealViolation, 0));
+        let f: Box<dyn std::error::Error> = Box::new(CapFault::op(FaultKind::SealViolation, 0));
         assert!(f.to_string().contains("seal"));
     }
 }

@@ -1,9 +1,7 @@
 //! Property-based tests for the compressed capability encoding and the
 //! monotonicity invariants of capability derivation.
 
-use cheri_cap::{
-    representable_alignment_mask, round_representable_length, Capability, Perms,
-};
+use cheri_cap::{representable_alignment_mask, round_representable_length, Capability, Perms};
 use proptest::prelude::*;
 
 proptest! {

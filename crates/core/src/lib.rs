@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod observe;
 mod projection;
 mod report;
 mod runner;
 pub mod suite;
 
+pub use observe::{uarch_config_hash, RunObserver, RunRecord, VecObserver};
 pub use projection::{project, ProjectionRow};
 pub use report::{HeapSummary, RunReport, TopDown};
 pub use runner::{Platform, RunError, Runner};

@@ -1,0 +1,137 @@
+//! Structured run journals: the [`RunObserver`] hook the [`Runner`]
+//! notifies after every completed run, and the [`RunRecord`] it passes —
+//! one line of a machine-readable lab notebook (workload, ABI, scale,
+//! configuration hash, event counts, derived metrics, wall-time).
+//!
+//! The JSONL writer itself lives in `morello-obs`; this module only
+//! defines the interface so the core stays free of I/O policy.
+//!
+//! [`Runner`]: crate::Runner
+
+use crate::report::RunReport;
+use cheri_isa::Abi;
+use cheri_workloads::Scale;
+use morello_pmu::{DerivedMetrics, EventCounts};
+use morello_uarch::UarchConfig;
+use serde::{Deserialize, Serialize};
+
+/// One journal record per completed run — everything needed to audit or
+/// re-plot a result without re-running the simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The paper's workload name (e.g. `520.omnetpp_r`).
+    pub workload: String,
+    /// Stable workload key (e.g. `omnetpp_520`).
+    pub key: String,
+    /// The ABI the binary was lowered for.
+    pub abi: Abi,
+    /// The problem scale the workload was built at.
+    pub scale: Scale,
+    /// FNV-1a hash of the microarchitecture configuration (hex), so
+    /// journal lines from different configs never get conflated.
+    pub uarch_hash: String,
+    /// The full Table 1 event counts.
+    pub counts: EventCounts,
+    /// Derived metrics (Table 1 formulas).
+    pub derived: DerivedMetrics,
+    /// Simulated execution time in seconds at the platform clock.
+    pub seconds: f64,
+    /// Retired instruction count.
+    pub retired: u64,
+    /// The program's exit code (architectural checksum).
+    pub exit_code: u64,
+    /// Host wall-clock seconds the simulation itself took.
+    pub wall_seconds: f64,
+}
+
+impl RunRecord {
+    /// Builds a record from a finished report plus the run context the
+    /// report does not carry.
+    pub fn from_report(
+        report: &RunReport,
+        scale: Scale,
+        uarch: &UarchConfig,
+        wall_seconds: f64,
+    ) -> RunRecord {
+        RunRecord {
+            workload: report.workload.clone(),
+            key: report.key.clone(),
+            abi: report.abi,
+            scale,
+            uarch_hash: format!("{:016x}", uarch_config_hash(uarch)),
+            counts: report.counts.clone(),
+            derived: report.derived,
+            seconds: report.seconds,
+            retired: report.retired,
+            exit_code: report.exit_code,
+            wall_seconds,
+        }
+    }
+}
+
+/// A sink for completed-run records (a structured run journal).
+///
+/// Implementations decide the storage policy — `morello-obs` ships a
+/// JSONL file writer; tests use in-memory vectors.
+pub trait RunObserver {
+    /// Called once per completed run, after the report is assembled.
+    fn observe(&mut self, record: &RunRecord);
+}
+
+impl<T: RunObserver + ?Sized> RunObserver for &mut T {
+    fn observe(&mut self, record: &RunRecord) {
+        (**self).observe(record);
+    }
+}
+
+/// An observer that keeps records in memory (useful in tests and for
+/// post-hoc aggregation inside one process).
+#[derive(Debug, Default)]
+pub struct VecObserver {
+    /// The records observed so far, in run order.
+    pub records: Vec<RunRecord>,
+}
+
+impl RunObserver for VecObserver {
+    fn observe(&mut self, record: &RunRecord) {
+        self.records.push(record.clone());
+    }
+}
+
+/// A stable FNV-1a hash of a microarchitecture configuration, computed
+/// over its canonical JSON serialisation. Two platforms share a hash iff
+/// every modelled parameter matches.
+pub fn uarch_config_hash(cfg: &UarchConfig) -> u64 {
+    let json = serde_json::to_string(cfg).expect("UarchConfig serialises infallibly");
+    fnv1a(json.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configs() {
+        let base = UarchConfig::neoverse_n1_morello();
+        let other = base.with_tag_table_model(true);
+        assert_eq!(uarch_config_hash(&base), uarch_config_hash(&base));
+        assert_ne!(uarch_config_hash(&base), uarch_config_hash(&other));
+    }
+}

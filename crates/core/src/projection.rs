@@ -62,18 +62,9 @@ pub fn project(base: Platform, w: &Workload) -> Result<ProjectionRow, RunError> 
     Ok(ProjectionRow {
         name: w.name.to_owned(),
         morello_slowdown: slowdown(base.with_uarch(morello), w)?,
-        pcc_aware_slowdown: slowdown(
-            base.with_uarch(morello.with_pcc_aware_bp(true)),
-            w,
-        )?,
-        wide_sb_slowdown: slowdown(
-            base.with_uarch(morello.with_wide_cap_store_buffer(true)),
-            w,
-        )?,
-        cap_madd_slowdown: slowdown(
-            base.with_uarch(morello.with_cap_madd_fusion(true)),
-            w,
-        )?,
+        pcc_aware_slowdown: slowdown(base.with_uarch(morello.with_pcc_aware_bp(true)), w)?,
+        wide_sb_slowdown: slowdown(base.with_uarch(morello.with_wide_cap_store_buffer(true)), w)?,
+        cap_madd_slowdown: slowdown(base.with_uarch(morello.with_cap_madd_fusion(true)), w)?,
         projected_slowdown: slowdown(
             base.with_uarch(UarchConfig {
                 pcc_aware_branch_predictor: true,

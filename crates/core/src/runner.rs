@@ -74,6 +74,15 @@ pub enum RunError {
     },
     /// The architectural execution failed.
     Interp(InterpError),
+    /// A worker thread running one ABI cell panicked (a bug in the
+    /// workload or the model, surfaced as an error instead of tearing
+    /// down the caller).
+    WorkerPanicked {
+        /// The ABI whose worker died.
+        abi: Abi,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -83,6 +92,9 @@ impl fmt::Display for RunError {
                 write!(f, "{workload} does not run under the {abi} ABI (NA)")
             }
             RunError::Interp(e) => write!(f, "execution failed: {e}"),
+            RunError::WorkerPanicked { abi, message } => {
+                write!(f, "worker thread for the {abi} ABI panicked: {message}")
+            }
         }
     }
 }
@@ -135,6 +147,32 @@ impl Runner {
         Ok(self.assemble(workload, abi, stats, &prog, result))
     }
 
+    /// Runs one workload under one ABI and, on success, appends a
+    /// [`RunRecord`](crate::RunRecord) — counts, derived metrics,
+    /// configuration hash, and the host wall-time of the simulation —
+    /// to the given observer (a structured run journal).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Runner::run); failed runs are not journalled.
+    pub fn run_observed(
+        &self,
+        workload: &Workload,
+        abi: Abi,
+        observer: &mut dyn crate::RunObserver,
+    ) -> Result<RunReport, RunError> {
+        let started = std::time::Instant::now();
+        let report = self.run(workload, abi)?;
+        let record = crate::RunRecord::from_report(
+            &report,
+            self.platform.scale,
+            &self.platform.uarch,
+            started.elapsed().as_secs_f64(),
+        );
+        observer.observe(&record);
+        Ok(report)
+    }
+
     /// Runs one workload the way the paper measured it: a
     /// [`MultiplexedSession`] over the full Table 1 event set, re-running
     /// the (deterministic) workload once per six-counter group. Returns
@@ -172,10 +210,7 @@ impl Runner {
     /// # Errors
     ///
     /// Fails if any supported cell fails.
-    pub fn run_all_abis(
-        &self,
-        workload: &Workload,
-    ) -> Result<[Option<RunReport>; 3], RunError> {
+    pub fn run_all_abis(&self, workload: &Workload) -> Result<[Option<RunReport>; 3], RunError> {
         let mut out = [None, None, None];
         std::thread::scope(|scope| -> Result<(), RunError> {
             let mut handles = Vec::new();
@@ -187,7 +222,20 @@ impl Runner {
                 handles.push((i, scope.spawn(move || self.run(&w, *abi))));
             }
             for (i, h) in handles {
-                out[i] = Some(h.join().expect("runner thread panicked")?);
+                match h.join() {
+                    Ok(res) => out[i] = Some(res?),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_owned());
+                        return Err(RunError::WorkerPanicked {
+                            abi: Abi::ALL[i],
+                            message,
+                        });
+                    }
+                }
             }
             Ok(())
         })?;

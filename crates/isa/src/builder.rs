@@ -4,7 +4,9 @@
 //! builder records pointer-generic instructions which
 //! [`lower`](crate::lower) later specialises per ABI.
 
-use crate::inst::{CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, IntOp, Label, LoadKind, MemSize, Operand, VecKind};
+use crate::inst::{
+    CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, IntOp, Label, LoadKind, MemSize, Operand, VecKind,
+};
 use crate::program::{
     FuncId, Function, GenericProgram, GlobalDef, GlobalId, ModuleId, PtrInit, VReg,
 };
@@ -48,6 +50,7 @@ pub struct ProgramBuilder {
     globals: Vec<GlobalDef>,
     modules: Vec<String>,
     entry: Option<FuncId>,
+    regions: Vec<String>,
 }
 
 impl ProgramBuilder {
@@ -62,7 +65,21 @@ impl ProgramBuilder {
             globals: Vec::new(),
             modules: vec!["app".to_owned()],
             entry: None,
+            regions: Vec::new(),
         }
+    }
+
+    /// Declares (or looks up) a named profiling region and returns its
+    /// id, for use with [`FunctionBuilder::region`]. Regions partition
+    /// the retired-instruction stream for cycle attribution; they have
+    /// no architectural or timing effect.
+    pub fn region(&mut self, name: impl AsRef<str>) -> u32 {
+        let name = name.as_ref();
+        if let Some(i) = self.regions.iter().position(|r| r == name) {
+            return i as u32;
+        }
+        self.regions.push(name.to_owned());
+        (self.regions.len() - 1) as u32
     }
 
     /// The target ABI.
@@ -153,12 +170,7 @@ impl ProgramBuilder {
     }
 
     /// Declares a function in a specific module.
-    pub fn declare_in(
-        &mut self,
-        module: ModuleId,
-        name: impl Into<String>,
-        params: u16,
-    ) -> FuncId {
+    pub fn declare_in(&mut self, module: ModuleId, name: impl Into<String>, params: u16) -> FuncId {
         assert!((module.0 as usize) < self.modules.len(), "unknown module");
         self.funcs.push(None);
         self.func_names.push((name.into(), module, params));
@@ -233,6 +245,7 @@ impl ProgramBuilder {
             globals: self.globals,
             modules: self.modules,
             entry,
+            regions: self.regions,
         }
     }
 
@@ -742,6 +755,20 @@ impl FunctionBuilder {
             auth,
             dst,
         });
+    }
+
+    /// Marks the start of profiling region `id` (from
+    /// [`ProgramBuilder::region`]). Retires no instruction and costs no
+    /// cycles; subsequent work is attributed to the region until the
+    /// next marker.
+    pub fn region(&mut self, id: u32) {
+        self.push(Inst::Region { id });
+    }
+
+    /// Ends the current profiling region (attribution returns to "no
+    /// region").
+    pub fn region_end(&mut self) {
+        self.push(Inst::Region { id: u32::MAX });
     }
 
     /// Stop the program with exit code 0.

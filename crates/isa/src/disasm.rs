@@ -97,7 +97,13 @@ pub fn render_inst(prog: &Program, inst: &Inst) -> String {
             reg(*a),
             operand(b)
         ),
-        Inst::Madd { dst, a, b, c, addr_gen } => format!(
+        Inst::Madd {
+            dst,
+            a,
+            b,
+            c,
+            addr_gen,
+        } => format!(
             "madd{}   {}, {}, {}, {}",
             if *addr_gen { "a" } else { " " },
             reg(*dst),
@@ -200,7 +206,12 @@ pub fn render_inst(prog: &Program, inst: &Inst) -> String {
                 },
             };
             let addr = if *scaled {
-                format!("[{}, {}, lsl #{}]", reg(*base), operand(off), size.bytes().trailing_zeros())
+                format!(
+                    "[{}, {}, lsl #{}]",
+                    reg(*base),
+                    operand(off),
+                    size.bytes().trailing_zeros()
+                )
             } else {
                 format!("[{}, {}]", reg(*base), operand(off))
             };
@@ -225,7 +236,12 @@ pub fn render_inst(prog: &Program, inst: &Inst) -> String {
                 },
             };
             let addr = if *scaled {
-                format!("[{}, {}, lsl #{}]", reg(*base), operand(off), size.bytes().trailing_zeros())
+                format!(
+                    "[{}, {}, lsl #{}]",
+                    reg(*base),
+                    operand(off),
+                    size.bytes().trailing_zeros()
+                )
             } else {
                 format!("[{}, {}]", reg(*base), operand(off))
             };
@@ -280,6 +296,13 @@ pub fn render_inst(prog: &Program, inst: &Inst) -> String {
             "hlt{}",
             code.map_or(String::new(), |r| format!("     {}", reg(r)))
         ),
+        Inst::Region { id } => {
+            if *id == u32::MAX {
+                ".region  end".to_owned()
+            } else {
+                format!(".region  #{id}")
+            }
+        }
     }
 }
 
@@ -355,7 +378,10 @@ mod tests {
         assert!(d.contains("captable"), "{d}");
         assert!(d.contains("cincoffset"), "{d}");
         assert!(d.contains("cgettag"), "re-derivation µop visible: {d}");
-        assert!(d.contains("str     c"), "pointer store is a capability: {d}");
+        assert!(
+            d.contains("str     c"),
+            "pointer store is a capability: {d}"
+        );
     }
 
     #[test]

@@ -529,6 +529,16 @@ pub enum Inst {
         /// Exit-code register (0 if `None`).
         code: Option<VReg>,
     },
+
+    /// A profiling region marker (no architectural effect, retires no
+    /// event): subsequent instructions are attributed to region `id`
+    /// until the next marker. `id` indexes
+    /// [`Program::regions`](crate::Program); `u32::MAX` means "no
+    /// region".
+    Region {
+        /// Region-name index.
+        id: u32,
+    },
 }
 
 /// Instruction classes for `*_SPEC` accounting (Table 1 of the paper).
@@ -573,7 +583,8 @@ impl Inst {
             | Inst::CapOp2 { .. }
             | Inst::Malloc { .. }
             | Inst::Free { .. }
-            | Inst::Halt { .. } => InstClass::Dp,
+            | Inst::Halt { .. }
+            | Inst::Region { .. } => InstClass::Dp,
             Inst::FloatOp { .. } | Inst::FMadd { .. } | Inst::FCmp { .. } => InstClass::Vfp,
             Inst::VecOp { .. } => InstClass::Ase,
             Inst::LoadPtr { .. }

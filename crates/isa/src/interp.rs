@@ -106,6 +106,16 @@ impl RetiredInfo {
 pub trait EventSink {
     /// Called once per retired instruction, in program order.
     fn retire(&mut self, ev: RetiredEvent);
+
+    /// Called when execution crosses a [`Region`](crate::Inst::Region)
+    /// marker. Markers retire no instruction and cost no cycles; sinks
+    /// that do not attribute work to regions can ignore them (the
+    /// default does nothing). `u32::MAX` means "leave the current
+    /// region".
+    #[inline]
+    fn region(&mut self, id: u32) {
+        let _ = id;
+    }
 }
 
 /// A sink that discards all events (functional-only runs).
@@ -121,6 +131,11 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     #[inline]
     fn retire(&mut self, ev: RetiredEvent) {
         (**self).retire(ev);
+    }
+
+    #[inline]
+    fn region(&mut self, id: u32) {
+        (**self).region(id);
     }
 }
 
@@ -211,7 +226,10 @@ impl fmt::Display for InterpError {
                 write!(f, "indirect branch to unknown code {addr:#x} at pc {pc:#x}")
             }
             InterpError::FuelExhausted { retired } => {
-                write!(f, "instruction budget exhausted after {retired} instructions")
+                write!(
+                    f,
+                    "instruction budget exhausted after {retired} instructions"
+                )
             }
             InterpError::CallDepth { pc } => write!(f, "call depth exceeded at pc {pc:#x}"),
             InterpError::BadProgram { msg } => write!(f, "bad program: {msg}"),
@@ -279,7 +297,11 @@ impl Interp {
     /// Returns an [`InterpError`] on capability faults, functional memory
     /// errors, workload bugs (type confusion, unknown indirect targets),
     /// or fuel exhaustion.
-    pub fn run<S: EventSink>(&self, prog: &Program, sink: &mut S) -> Result<RunResult, InterpError> {
+    pub fn run<S: EventSink>(
+        &self,
+        prog: &Program,
+        sink: &mut S,
+    ) -> Result<RunResult, InterpError> {
         let mut m = Machine::new(prog, self.cfg)?;
         m.setup()?;
         m.exec(sink)
@@ -398,9 +420,7 @@ impl<'p> Machine<'p> {
                             let cap = Capability::root_all()
                                 .set_bounds(0, 1 << 15)
                                 .expect("otype space bounds")
-                                .and_perms(
-                                    Perms::SEAL | Perms::UNSEAL | Perms::GLOBAL,
-                                )
+                                .and_perms(Perms::SEAL | Perms::UNSEAL | Perms::GLOBAL)
                                 .expect("root derivation")
                                 .set_address(u64::from(otype));
                             self.mem
@@ -421,15 +441,18 @@ impl<'p> Machine<'p> {
             for fi in 0..self.prog.funcs.len() {
                 let cap = self.func_cap(FuncId(fi as u32));
                 self.mem
-                    .store_cap(map.captable_base + fi as u64 * 16, cap.to_compressed(), true)
+                    .store_cap(
+                        map.captable_base + fi as u64 * 16,
+                        cap.to_compressed(),
+                        true,
+                    )
                     .map_err(|err| InterpError::Mem { err, pc: 0 })?;
             }
             for (gi, g) in self.prog.globals.iter().enumerate() {
                 let cap = self
                     .data_root
                     .set_bounds(map.global_base[gi], g.size.max(1))
-                    .expect("global bounds")
-                    ;
+                    .expect("global bounds");
                 self.mem
                     .store_cap(
                         map.captable_base + (nf + gi as u64) * 16,
@@ -853,9 +876,7 @@ impl<'p> Machine<'p> {
                 emit!(self, sink, pc, info);
                 self.advance();
             }
-            Inst::Madd {
-                dst, a, b, c, ..
-            } => {
+            Inst::Madd { dst, a, b, c, .. } => {
                 let r = self
                     .as_int(*a)?
                     .wrapping_mul(self.as_int(*b)?)
@@ -1217,7 +1238,11 @@ impl<'p> Machine<'p> {
                 f.ip = if taken { t_ip } else { f.ip + 1 };
             }
 
-            Inst::Call { func: callee, args, ret } => {
+            Inst::Call {
+                func: callee,
+                args,
+                ret,
+            } => {
                 let argv: Vec<Value> = args.iter().map(|r| self.reg(*r)).collect();
                 let callee = *callee;
                 let ret = *ret;
@@ -1377,6 +1402,13 @@ impl<'p> Machine<'p> {
                 emit!(self, sink, pc, RetiredInfo::Simple(InstClass::Dp));
                 self.exit = Some(c);
             }
+
+            // Profiling marker: no retired instruction, no cycles — just
+            // tell the sink the attribution context changed.
+            Inst::Region { id } => {
+                sink.region(*id);
+                self.advance();
+            }
         }
         Ok(())
     }
@@ -1414,9 +1446,10 @@ impl<'p> Machine<'p> {
                 pcc_change: pcc,
             }
         );
-        let alloc = self.heap.malloc(size).map_err(|e| InterpError::BadProgram {
-            msg: e.to_string(),
-        })?;
+        let alloc = self
+            .heap
+            .malloc(size)
+            .map_err(|e| InterpError::BadProgram { msg: e.to_string() })?;
 
         // Allocator body: DP work + metadata traffic.
         let class = HeapAllocator::size_class(size);
@@ -1561,9 +1594,9 @@ impl<'p> Machine<'p> {
                 pcc_change: pcc,
             }
         );
-        self.heap.free(addr).map_err(|e| InterpError::BadProgram {
-            msg: e.to_string(),
-        })?;
+        self.heap
+            .free(addr)
+            .map_err(|e| InterpError::BadProgram { msg: e.to_string() })?;
         for i in 0..8u64 {
             emit!(
                 self,

@@ -110,6 +110,7 @@ pub fn lower(gp: &GenericProgram) -> Program {
         globals: gp.globals.clone(),
         modules: gp.modules.clone(),
         entry: gp.entry,
+        regions: gp.regions.clone(),
         map,
     }
 }

@@ -94,6 +94,11 @@ pub struct GenericProgram {
     pub modules: Vec<String>,
     /// The entry function.
     pub entry: FuncId,
+    /// Region names (index = the `id` of [`Inst::Region`](crate::Inst)
+    /// markers); used by profiling sinks to attribute cycles to
+    /// program phases.
+    #[serde(default)]
+    pub regions: Vec<String>,
 }
 
 /// Where everything lives in the simulated address space after lowering.
@@ -147,6 +152,9 @@ pub struct Program {
     pub modules: Vec<String>,
     /// The entry function.
     pub entry: FuncId,
+    /// Region names (carried through from the generic program).
+    #[serde(default)]
+    pub regions: Vec<String>,
     /// The address map.
     pub map: AddressMap,
 }

@@ -193,7 +193,9 @@ mod tests {
         b.set_entry(main);
         let prog = b.lower();
         let mut t = TraceSummary::new();
-        Interp::new(InterpConfig::default()).run(&prog, &mut t).unwrap();
+        Interp::new(InterpConfig::default())
+            .run(&prog, &mut t)
+            .unwrap();
         t.finish();
         t
     }

@@ -303,7 +303,15 @@ fn pcc_change_only_under_purecap_and_only_cross_module() {
 
     let count_pcc = |evs: &[RetiredEvent]| {
         evs.iter()
-            .filter(|e| matches!(e.info, RetiredInfo::Branch { pcc_change: true, .. }))
+            .filter(|e| {
+                matches!(
+                    e.info,
+                    RetiredInfo::Branch {
+                        pcc_change: true,
+                        ..
+                    }
+                )
+            })
             .count()
     };
 
@@ -332,7 +340,10 @@ fn dependent_load_hints_flag_pointer_chasing() {
         .iter()
         .filter(|e| matches!(e.info, RetiredInfo::Load { dep_load: true, .. }))
         .count();
-    assert!(dep_loads > 40, "list walk must produce dependent loads, got {dep_loads}");
+    assert!(
+        dep_loads > 40,
+        "list walk must produce dependent loads, got {dep_loads}"
+    );
 
     let sweep_events = {
         let mut b = ProgramBuilder::new("sweep", Abi::Hybrid);

@@ -154,10 +154,9 @@ impl EventSink for Audit {
                     self.int_ptr_mem += 1;
                 }
             }
-            RetiredInfo::Branch { pcc_change, .. }
-                if pcc_change => {
-                    self.pcc += 1;
-                }
+            RetiredInfo::Branch { pcc_change, .. } if pcc_change => {
+                self.pcc += 1;
+            }
             _ => {}
         }
     }

@@ -112,7 +112,10 @@ impl HeapAllocator {
     ///
     /// Panics if `start` is not 16-byte aligned or `end <= start`.
     pub fn new(start: u64, end: u64, mode: AllocMode) -> HeapAllocator {
-        assert!(start.is_multiple_of(16), "arena start must be 16-byte aligned");
+        assert!(
+            start.is_multiple_of(16),
+            "arena start must be 16-byte aligned"
+        );
         assert!(end > start, "empty arena");
         HeapAllocator {
             mode,
@@ -165,7 +168,9 @@ impl HeapAllocator {
             AllocMode::Classic => (usable, 16),
             AllocMode::Capability => {
                 let padded = round_representable_length(usable);
-                let align = (!representable_alignment_mask(padded)).wrapping_add(1).max(16);
+                let align = (!representable_alignment_mask(padded))
+                    .wrapping_add(1)
+                    .max(16);
                 (padded, align)
             }
         };
@@ -326,8 +331,7 @@ mod tests {
             addrs.push(x.addr);
             h.free(x.addr).unwrap();
         }
-        let recycled = addrs.windows(2).any(|w| w[0] == w[1])
-            || addrs.contains(&a.addr);
+        let recycled = addrs.windows(2).any(|w| w[0] == w[1]) || addrs.contains(&a.addr);
         assert!(recycled, "quarantine must eventually drain");
     }
 

@@ -127,8 +127,7 @@ impl TaggedMemory {
     }
 
     fn end_addr(addr: u64, len: u64) -> Result<u64, MemError> {
-        addr.checked_add(len)
-            .ok_or(MemError::AddressWrap { addr })
+        addr.checked_add(len).ok_or(MemError::AddressWrap { addr })
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -260,8 +259,7 @@ impl TaggedMemory {
                     let off = gi * CAP_GRANULE as usize;
                     let mut img = [0u8; 16];
                     img.copy_from_slice(&page.data[off..off + 16]);
-                    let cap =
-                        Capability::from_compressed(CompressedCap::from_bytes(img), true);
+                    let cap = Capability::from_compressed(CompressedCap::from_bytes(img), true);
                     if cap.base() >= base && cap.base() < top {
                         page.set_tag(gi, false);
                         revoked += 1;
@@ -486,7 +484,8 @@ mod tests {
         let live = Capability::root_rw().set_bounds_exact(0x9000, 64).unwrap();
         // Three stored capabilities: two stale, one live.
         m.store_cap(0x100, freed.to_compressed(), true).unwrap();
-        m.store_cap(0x200, freed.inc_address(8).to_compressed(), true).unwrap();
+        m.store_cap(0x200, freed.inc_address(8).to_compressed(), true)
+            .unwrap();
         m.store_cap(0x300, live.to_compressed(), true).unwrap();
         let (revoked, scanned) = m.revoke_region(0x8000, 0x8040);
         assert_eq!(revoked, 2);

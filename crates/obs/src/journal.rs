@@ -1,0 +1,116 @@
+//! JSONL run journals — the file-backed [`RunObserver`] the core's
+//! [`Runner::run_observed`](morello_sim::Runner::run_observed) feeds.
+//!
+//! One JSON object per line, one line per completed run. Journals are
+//! opened in append mode, so successive harness invocations accumulate a
+//! single machine-readable lab notebook.
+
+use morello_sim::{RunObserver, RunRecord};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A run journal that appends one JSON line per observed run.
+#[derive(Debug)]
+pub struct JsonlJournal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl JsonlJournal {
+    /// Opens (or creates) a journal at `path` in append mode, creating
+    /// parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<JsonlJournal> {
+        Self::open(path, false)
+    }
+
+    /// Creates a fresh journal at `path`, truncating any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlJournal> {
+        Self::open(path, true)
+    }
+
+    fn open(path: impl AsRef<Path>, truncate: bool) -> std::io::Result<JsonlJournal> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut opts = OpenOptions::new();
+        opts.create(true).write(true);
+        if truncate {
+            opts.truncate(true);
+        } else {
+            opts.append(true);
+        }
+        Ok(JsonlJournal {
+            writer: BufWriter::new(opts.open(path)?),
+            path: path.to_owned(),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes buffered lines to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+impl RunObserver for JsonlJournal {
+    fn observe(&mut self, record: &RunRecord) {
+        match serde_json::to_string(record) {
+            Ok(line) => {
+                if let Err(e) = writeln!(self.writer, "{line}") {
+                    eprintln!(
+                        "warning: journal write to {} failed: {e}",
+                        self.path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: journal record did not serialise: {e}"),
+        }
+    }
+}
+
+impl Drop for JsonlJournal {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Reads a journal back: one [`RunRecord`] per non-empty line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; malformed lines become
+/// `InvalidData` errors.
+pub fn read_journal(path: impl AsRef<Path>) -> std::io::Result<Vec<RunRecord>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = serde_json::from_str::<RunRecord>(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        out.push(record);
+    }
+    Ok(out)
+}

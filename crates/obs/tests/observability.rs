@@ -1,0 +1,156 @@
+//! Integration tests for the observability layer: interval-delta
+//! exactness, profiler determinism, region attribution, and journal
+//! round-trips.
+
+use cheri_isa::Abi;
+use cheri_workloads::{by_key, Scale};
+use morello_obs::{
+    collapsed_stacks, hotspot_table, read_journal, run_profiled, run_sampled, JsonlJournal,
+};
+use morello_pmu::EventCounts;
+use morello_sim::{Platform, Runner};
+
+fn test_platform() -> Platform {
+    Platform::morello().with_scale(Scale::Test)
+}
+
+#[test]
+fn interval_deltas_sum_exactly_to_single_shot_counts() {
+    let platform = test_platform();
+    let w = by_key("omnetpp_520").unwrap();
+    let single = Runner::new(platform).run(&w, Abi::Purecap).unwrap();
+
+    let sampled = run_sampled(&platform, &w, Abi::Purecap, 10_000).unwrap();
+    assert!(
+        sampled.samples.len() >= 2,
+        "want several windows, got {}",
+        sampled.samples.len()
+    );
+
+    let mut summed = EventCounts::new();
+    for s in &sampled.samples {
+        summed.accumulate(&s.counts);
+    }
+    for (e, v) in single.counts.iter() {
+        assert_eq!(
+            summed.get(e),
+            v,
+            "windowed deltas for {e} must sum exactly to the single-shot count"
+        );
+    }
+    // The sampled run's final stats match the unsampled run bit-for-bit.
+    assert_eq!(sampled.stats, single.stats);
+    assert_eq!(sampled.exit_code, single.exit_code);
+}
+
+#[test]
+fn interval_windows_tile_the_run() {
+    let platform = test_platform();
+    let w = by_key("lbm_519").unwrap();
+    let sampled = run_sampled(&platform, &w, Abi::Hybrid, 5_000).unwrap();
+    let mut prev_end = 0;
+    for (i, s) in sampled.samples.iter().enumerate() {
+        assert_eq!(s.index, i);
+        assert_eq!(s.start_cycle, prev_end, "windows must be contiguous");
+        assert!(s.end_cycle > s.start_cycle);
+        prev_end = s.end_cycle;
+    }
+    assert_eq!(prev_end, sampled.stats.cpu_cycles);
+}
+
+#[test]
+fn profiler_is_deterministic() {
+    let platform = test_platform();
+    let w = by_key("sqlite").unwrap();
+    let a = run_profiled(&platform, &w, Abi::Purecap).unwrap();
+    let b = run_profiled(&platform, &w, Abi::Purecap).unwrap();
+    assert_eq!(a.regions, b.regions, "two runs must profile identically");
+    assert_eq!(a.exit_code, b.exit_code);
+}
+
+#[test]
+fn profiler_attributes_all_cycles_and_instructions() {
+    let platform = test_platform();
+    let w = by_key("deepsjeng_531").unwrap();
+    let run = run_profiled(&platform, &w, Abi::Hybrid).unwrap();
+    let cycles: u64 = run.regions.iter().map(|r| r.cycles).sum();
+    let retired: u64 = run.regions.iter().map(|r| r.retired).sum();
+    // Snapshot rounding may strand a cycle at region boundaries.
+    assert!(
+        cycles.abs_diff(run.stats.cpu_cycles) <= run.regions.len() as u64,
+        "region cycles {cycles} vs run total {}",
+        run.stats.cpu_cycles
+    );
+    assert_eq!(retired, run.stats.inst_retired);
+    // Both tagged phases saw work.
+    let named: Vec<&str> = run
+        .regions
+        .iter()
+        .filter(|r| r.retired > 0)
+        .map(|r| r.name.as_str())
+        .collect();
+    assert!(named.contains(&"setup"), "regions with work: {named:?}");
+    assert!(named.contains(&"search"), "regions with work: {named:?}");
+}
+
+#[test]
+fn omnetpp_pointer_chase_dominates_backend_memory() {
+    let platform = test_platform();
+    let w = by_key("omnetpp_520").unwrap();
+    let run = run_profiled(&platform, &w, Abi::Purecap).unwrap();
+    let top = run
+        .regions
+        .iter()
+        .max_by_key(|r| r.backend_mem_cycles)
+        .unwrap();
+    assert_eq!(
+        top.name, "pointer_chase",
+        "the event loop must carry the largest backend-memory share"
+    );
+    let table = hotspot_table(&run.regions).render();
+    assert!(table.contains("pointer_chase"));
+    let stacks = collapsed_stacks(&run.workload, &run.regions);
+    assert!(stacks.contains("520.omnetpp_r;pointer_chase "));
+}
+
+#[test]
+fn journal_roundtrips_through_jsonl() {
+    let platform = test_platform();
+    let runner = Runner::new(platform);
+    let w = by_key("xz_557").unwrap();
+    let path =
+        std::env::temp_dir().join(format!("morello-obs-journal-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut journal = JsonlJournal::create(&path).unwrap();
+    let rep_h = runner.run_observed(&w, Abi::Hybrid, &mut journal).unwrap();
+    let rep_p = runner.run_observed(&w, Abi::Purecap, &mut journal).unwrap();
+    journal.flush().unwrap();
+
+    let records = read_journal(&path).unwrap();
+    assert_eq!(records.len(), 2);
+    for (rec, rep) in records.iter().zip([&rep_h, &rep_p]) {
+        assert_eq!(rec.workload, rep.workload);
+        assert_eq!(rec.key, rep.key);
+        assert_eq!(rec.abi, rep.abi);
+        assert_eq!(rec.scale, Scale::Test);
+        assert_eq!(rec.retired, rep.retired);
+        assert_eq!(rec.exit_code, rep.exit_code);
+        assert_eq!(rec.seconds, rep.seconds);
+        assert_eq!(rec.counts, rep.counts);
+        assert_eq!(
+            rec.uarch_hash,
+            format!("{:016x}", morello_sim::uarch_config_hash(&platform.uarch))
+        );
+        assert!(rec.wall_seconds >= 0.0);
+    }
+
+    // Appending accumulates instead of truncating.
+    let mut journal = JsonlJournal::append(&path).unwrap();
+    runner
+        .run_observed(&w, Abi::Benchmark, &mut journal)
+        .unwrap();
+    journal.flush().unwrap();
+    assert_eq!(read_journal(&path).unwrap().len(), 3);
+    let _ = std::fs::remove_file(&path);
+}

@@ -95,6 +95,29 @@ impl EventCounts {
         }
     }
 
+    /// The per-event difference `self - earlier`, over the events
+    /// present in `self` — the interval arithmetic behind windowed
+    /// (`pmcstat -w`-style) collection. Counters are cumulative and
+    /// monotone, so the subtraction saturates rather than wraps on
+    /// disagreeing snapshots.
+    #[must_use]
+    pub fn delta(&self, earlier: &EventCounts) -> EventCounts {
+        let mut out = EventCounts::new();
+        for (e, v) in &self.counts {
+            out.counts.insert(*e, v.saturating_sub(earlier.get(*e)));
+        }
+        out
+    }
+
+    /// Adds every count of `other` into this set (the inverse of
+    /// [`delta`](EventCounts::delta): summing interval deltas
+    /// reconstructs the final cumulative counts).
+    pub fn accumulate(&mut self, other: &EventCounts) {
+        for (e, v) in &other.counts {
+            *self.counts.entry(*e).or_insert(0) += v;
+        }
+    }
+
     /// Iterates over `(event, count)` pairs in a stable order.
     pub fn iter(&self) -> impl Iterator<Item = (PmuEvent, u64)> + '_ {
         self.counts.iter().map(|(e, v)| (*e, *v))

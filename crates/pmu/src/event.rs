@@ -231,7 +231,10 @@ mod tests {
         assert!(PmuEvent::CapMemAccessRd.is_cheri_specific());
         assert!(!PmuEvent::L1dCache.is_cheri_specific());
         assert_eq!(
-            PmuEvent::ALL.iter().filter(|e| e.is_cheri_specific()).count(),
+            PmuEvent::ALL
+                .iter()
+                .filter(|e| e.is_cheri_specific())
+                .count(),
             4
         );
     }

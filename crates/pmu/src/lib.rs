@@ -35,4 +35,4 @@ pub use correlate::{correlation_matrix, pearson};
 pub use counters::{EventCounts, MultiplexedSession, PmuBank, PMU_SLOTS};
 pub use derived::DerivedMetrics;
 pub use event::PmuEvent;
-pub use report::{fmt_metric, Table};
+pub use report::{fmt_metric, out_flag, write_json_out, Table};

@@ -77,6 +77,42 @@ impl Table {
     }
 }
 
+/// Extracts the value of a `--out <path>` (or `--out=<path>`) flag from a
+/// command line — the shared JSON-export flag of the figure/table
+/// binaries.
+pub fn out_flag<S: AsRef<str>>(args: &[S]) -> Option<std::path::PathBuf> {
+    let mut it = args.iter().map(AsRef::as_ref);
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            return it.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--out=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Writes `value` as pretty-printed JSON to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json_out(
+    path: &std::path::Path,
+    value: &impl serde::Serialize,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
+}
+
 /// Formats a float the way the paper's tables do (3 significant decimals,
 /// no trailing noise).
 pub fn fmt_metric(v: f64) -> String {

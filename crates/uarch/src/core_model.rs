@@ -127,32 +127,46 @@ impl TimingCore {
     }
 
     /// Finalises cycle accounting and returns the full counter set.
-    pub fn finish(mut self) -> UarchStats {
+    pub fn finish(self) -> UarchStats {
+        self.snapshot()
+    }
+
+    /// The full counter set as of now, without consuming the core —
+    /// the cheap hook behind windowed (`pmcstat -w`-style) collection
+    /// and region profiling. Calling this mid-run and feeding more
+    /// events afterwards is fine: counters are cumulative, so
+    /// successive snapshots yield exact interval deltas.
+    pub fn snapshot(&self) -> UarchStats {
         let b = self.buckets;
-        self.s.cpu_cycles = b.total().ceil() as u64;
-        self.s.stall_frontend = (b.frontend + b.pcc).round() as u64;
-        self.s.stall_backend =
-            (b.mem_l1 + b.mem_l2 + b.mem_ext + b.core + b.sb_stall).round() as u64;
-        self.s.bound_mem_l1 = b.mem_l1.round() as u64;
-        self.s.bound_mem_l2 = b.mem_l2.round() as u64;
-        self.s.bound_mem_ext = b.mem_ext.round() as u64;
-        self.s.bound_core = (b.core + b.sb_stall).round() as u64;
-        self.s.badspec_cycles = b.badspec.round() as u64;
-        self.s.pcc_stall_cycles = b.pcc.round() as u64;
-        self.s.store_buffer_stalls = b.sb_stall.round() as u64;
-        self.s.l1i_cache = self.l1i.stats().accesses;
-        self.s.l1i_cache_refill = self.l1i.stats().refills;
-        self.s.l1d_cache = self.l1d.stats().accesses;
-        self.s.l1d_cache_refill = self.l1d.stats().refills;
-        self.s.l2d_cache = self.l2.stats().accesses;
-        self.s.l2d_cache_refill = self.l2.stats().refills;
-        self.s.l1i_tlb = self.itlb.stats().accesses;
-        self.s.l1i_tlb_refill = self.itlb.stats().refills;
-        self.s.l1d_tlb = self.dtlb.stats().accesses;
-        self.s.l1d_tlb_refill = self.dtlb.stats().refills;
-        self.s.l2d_tlb = self.l2tlb.stats().accesses;
-        self.s.l2d_tlb_refill = self.l2tlb.stats().refills;
-        self.s
+        let mut s = self.s;
+        s.cpu_cycles = b.total().ceil() as u64;
+        s.stall_frontend = (b.frontend + b.pcc).round() as u64;
+        s.stall_backend = (b.mem_l1 + b.mem_l2 + b.mem_ext + b.core + b.sb_stall).round() as u64;
+        s.bound_mem_l1 = b.mem_l1.round() as u64;
+        s.bound_mem_l2 = b.mem_l2.round() as u64;
+        s.bound_mem_ext = b.mem_ext.round() as u64;
+        s.bound_core = (b.core + b.sb_stall).round() as u64;
+        s.badspec_cycles = b.badspec.round() as u64;
+        s.pcc_stall_cycles = b.pcc.round() as u64;
+        s.store_buffer_stalls = b.sb_stall.round() as u64;
+        s.l1i_cache = self.l1i.stats().accesses;
+        s.l1i_cache_refill = self.l1i.stats().refills;
+        s.l1d_cache = self.l1d.stats().accesses;
+        s.l1d_cache_refill = self.l1d.stats().refills;
+        s.l2d_cache = self.l2.stats().accesses;
+        s.l2d_cache_refill = self.l2.stats().refills;
+        s.l1i_tlb = self.itlb.stats().accesses;
+        s.l1i_tlb_refill = self.itlb.stats().refills;
+        s.l1d_tlb = self.dtlb.stats().accesses;
+        s.l1d_tlb_refill = self.dtlb.stats().refills;
+        s.l2d_tlb = self.l2tlb.stats().accesses;
+        s.l2d_tlb_refill = self.l2tlb.stats().refills;
+        s
+    }
+
+    /// Total cycles accounted so far (cheap; no counter materialisation).
+    pub fn cycles(&self) -> u64 {
+        self.buckets.total().ceil() as u64
     }
 
     #[inline]
@@ -290,9 +304,7 @@ impl TimingCore {
             Served::L1 => 0.0,
             Served::L2 => (self.cfg.lat_l2 - self.cfg.lat_l1) as f64,
             Served::Llc => (self.cfg.lat_llc - self.cfg.lat_l1) as f64,
-            Served::Dram => {
-                (self.cfg.lat_dram - self.cfg.lat_l1) as f64 + self.dram_queue_delay()
-            }
+            Served::Dram => (self.cfg.lat_dram - self.cfg.lat_l1) as f64 + self.dram_queue_delay(),
         };
         let exposed = if dep {
             base + self.cfg.chase_l1_penalty
@@ -726,7 +738,11 @@ mod tests {
             });
             b.set_entry(main);
         };
-        fn store_ptr_like(f: &mut cheri_isa::FunctionBuilder, arr: cheri_isa::VReg, i: cheri_isa::VReg) {
+        fn store_ptr_like(
+            f: &mut cheri_isa::FunctionBuilder,
+            arr: cheri_isa::VReg,
+            i: cheri_isa::VReg,
+        ) {
             f.store_ptr_idx(arr, arr, i);
         }
         let base = UarchConfig::neoverse_n1_morello();

@@ -23,8 +23,11 @@ fn ev_strategy() -> impl Strategy<Value = Ev> {
         Just(Ev::Vfp),
         Just(Ev::Mul),
         Just(Ev::CapManip),
-        (any::<u32>(), any::<bool>(), any::<bool>())
-            .prop_map(|(addr, cap, dep)| Ev::Load { addr, cap, dep }),
+        (any::<u32>(), any::<bool>(), any::<bool>()).prop_map(|(addr, cap, dep)| Ev::Load {
+            addr,
+            cap,
+            dep
+        }),
         (any::<u32>(), any::<bool>()).prop_map(|(addr, cap)| Ev::Store { addr, cap }),
         (any::<u16>(), any::<bool>()).prop_map(|(pc, taken)| Ev::Cond { pc, taken }),
         any::<bool>().prop_map(|pcc| Ev::CallRet { pcc }),

@@ -38,11 +38,15 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
     };
     let depth: u64 = if speed { 6 } else { 5 };
     let width: u64 = 4; // moves tried per node
-    // Speed runs search twice the total nodes of rate runs.
+                        // Speed runs search twice the total nodes of rate runs.
     let roots: u64 = if speed { f_scale.max(1) } else { f_scale * 2 };
 
     let mut b = ProgramBuilder::new(
-        if speed { "631.deepsjeng_s" } else { "531.deepsjeng_r" },
+        if speed {
+            "631.deepsjeng_s"
+        } else {
+            "531.deepsjeng_r"
+        },
         abi,
     );
 
@@ -177,8 +181,11 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
         f.ret(Some(sc));
     });
 
+    let r_setup = b.region("setup");
+    let r_search = b.region("search");
     let main = b.function("main", 0, |f| {
         // Allocate the TT and the piece ring.
+        f.region(r_setup);
         let tt = f.vreg();
         f.malloc(tt, tt_entries * 16);
         let ttp = f.vreg();
@@ -216,6 +223,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
             f.store_int(v, board, off, MemSize::S8);
         });
         // Iterative deepening over several root positions.
+        f.region(r_search);
         let total = f.vreg();
         f.mov_imm(total, 0);
         let nroots = f.vreg();
@@ -232,6 +240,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
             f.call(search, &[key, dreg, a0], Some(sc));
             f.add(total, total, sc);
         });
+        f.region_end();
         f.halt_code(total);
     });
 

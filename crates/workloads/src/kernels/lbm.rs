@@ -37,7 +37,10 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
     let g_src = b.global_zero("grid_src", grid_bytes);
     let g_dst = b.global_zero("grid_dst", grid_bytes);
 
+    let r_init = b.region("init_grid");
+    let r_sweep = b.region("stream_collide");
     let main = b.function("main", 0, |f| {
+        f.region(r_init);
         let src0 = f.vreg();
         f.lea_global(src0, g_src, 0);
         let dst0 = f.vreg();
@@ -56,6 +59,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
             f.store_f64(v, src0, off);
         });
 
+        f.region(r_sweep);
         let check = f.vreg();
         f.mov_f64(check, 0.0);
         let omega = f.vreg();
@@ -131,6 +135,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
                 });
             });
         });
+        f.region_end();
         let code = f.vreg();
         f.f64_to_int(code, check);
         f.and(code, code, 0xFFFF_FFFFi64);

@@ -30,7 +30,10 @@ pub fn build_matmul(abi: Abi, scale: Scale) -> GenericProgram {
     let g_bm = b.global_zero("mat_b", k * n * 8);
     let g_c = b.global_zero("mat_c", m * n * 8);
 
+    let r_fill = b.region("fill");
+    let r_gemm = b.region("gemm");
     let main = b.function("main", 0, |f| {
+        f.region(r_fill);
         let a = f.vreg();
         f.lea_global(a, g_a, 0);
         let bm = f.vreg();
@@ -57,6 +60,7 @@ pub fn build_matmul(abi: Abi, scale: Scale) -> GenericProgram {
         fill(f, bm, k * n);
 
         // C = A x B, row-major ikj loop (streaming over B).
+        f.region(r_gemm);
         let m_r = f.vreg();
         f.mov_imm(m_r, m);
         f.for_loop(0, m_r, 1, |f, i| {
@@ -92,6 +96,7 @@ pub fn build_matmul(abi: Abi, scale: Scale) -> GenericProgram {
             });
         });
         // Checksum C[0,0] + C[m-1,n-1].
+        f.region_end();
         let v0 = f.vreg();
         f.load_f64(v0, c, 0);
         let vn = f.vreg();
@@ -121,7 +126,10 @@ pub fn build_inference(abi: Abi, scale: Scale) -> GenericProgram {
     let g_x = b.global_zero("activations", cols * 8);
     let g_y = b.global_zero("output", dim * 8);
 
+    let r_init = b.region("init_weights");
+    let r_matvec = b.region("matvec");
     let main = b.function("main", 0, |f| {
+        f.region(r_init);
         let w = f.vreg();
         f.lea_global(w, g_w, 0);
         let scales = f.vreg();
@@ -163,6 +171,7 @@ pub fn build_inference(abi: Abi, scale: Scale) -> GenericProgram {
         });
 
         // Token loop: one full mat-vec sweep per generated token.
+        f.region(r_matvec);
         let toks = f.vreg();
         f.mov_imm(toks, tokens);
         let check = f.vreg();
@@ -215,6 +224,7 @@ pub fn build_inference(abi: Abi, scale: Scale) -> GenericProgram {
                 f.fadd(check, check, acc);
             });
         });
+        f.region_end();
         let code = f.vreg();
         f.f64_to_int(code, check);
         f.and(code, code, 0xFFFF_FFFFi64);

@@ -48,7 +48,14 @@ fn params(scale: Scale, speed: bool) -> Params {
 
 fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
     let p = params(scale, speed);
-    let mut b = ProgramBuilder::new(if speed { "620.omnetpp_s" } else { "520.omnetpp_r" }, abi);
+    let mut b = ProgramBuilder::new(
+        if speed {
+            "620.omnetpp_s"
+        } else {
+            "520.omnetpp_r"
+        },
+        abi,
+    );
     let simlib = b.module("simlib");
 
     // Event: { time, node*, kind }
@@ -188,7 +195,11 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
     });
 
     // --- main ----------------------------------------------------------------
+    let r_setup = b.region("setup");
+    let r_seed = b.region("seed_fes");
+    let r_chase = b.region("pointer_chase");
     let main = b.function("main", 0, |f| {
+        f.region(r_setup);
         let rng = SimRng::init(f, 0x5eed_0411_0e77_a001);
         let nodes_n = f.vreg();
         f.mov_imm(nodes_n, p.nodes);
@@ -230,6 +241,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
         });
 
         // Seed the future-event set.
+        f.region(r_seed);
         let seeds = f.vreg();
         f.mov_imm(seeds, p.seed_events);
         f.for_loop(0, seeds, 1, |f, k| {
@@ -247,7 +259,9 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
             f.call(pq_push, &[e], None);
         });
 
-        // Main simulation loop.
+        // Main simulation loop: pop-min + three dependent gate hops over
+        // the randomly wired node graph — the pointer-chase hot region.
+        f.region(r_chase);
         let steps = f.vreg();
         f.mov_imm(steps, p.steps);
         let checksum = f.vreg();
@@ -313,6 +327,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
             f.bind(keep);
             f.call(pq_push, &[e], None);
         });
+        f.region_end();
         f.halt_code(checksum);
     });
 
@@ -333,7 +348,11 @@ mod tests {
             let res = Interp::new(InterpConfig::default())
                 .run(&lower(&gp), &mut NullSink)
                 .unwrap();
-            assert!(res.retired > 10_000, "suspiciously small run: {}", res.retired);
+            assert!(
+                res.retired > 10_000,
+                "suspiciously small run: {}",
+                res.retired
+            );
             codes.push(res.exit_code);
         }
         assert_eq!(codes[0], codes[1], "hybrid vs benchmark checksum");

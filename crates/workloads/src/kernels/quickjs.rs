@@ -103,8 +103,7 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
     // VM context: { stack*, locals*, obj_cursor*, sp }
     let g_ctx = b.global_zero("vm_ctx", 96);
     let ctx = Layout::new(abi, &[Field::Ptr, Field::Ptr, Field::Ptr, Field::I64]);
-    let (cx_stack, cx_locals, cx_objs, cx_sp) =
-        (ctx.off(0), ctx.off(1), ctx.off(2), ctx.off(3));
+    let (cx_stack, cx_locals, cx_objs, cx_sp) = (ctx.off(0), ctx.off(1), ctx.off(2), ctx.off(3));
     assert!(ctx.size() <= 96);
 
     // JS object: { next*, shape*, val } — two pointers and a payload, the
@@ -124,33 +123,159 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
     const VARIANTS: usize = 32;
     let mut handler_ids = Vec::new();
     for variant in 0..VARIANTS {
+        // Helper fragments are generated per handler to keep them realistic.
+        let h_push = b.function(format!("op_push_v{variant}"), 1, |f| {
+            let arg = f.arg(0);
+            let c = f.vreg();
+            f.lea_global(c, g_ctx, 0);
+            let stack = f.vreg();
+            f.load_ptr(stack, c, cx_stack);
+            let sp = f.vreg();
+            f.load_int(sp, c, cx_sp, MemSize::S8);
+            // Box the value (the allocation churn of JS semantics).
+            let bx = f.vreg();
+            f.malloc(bx, boxv.size());
+            let one = f.vreg();
+            f.mov_imm(one, 1);
+            f.store_int(one, bx, bv_kind, MemSize::S8);
+            f.store_int(arg, bx, bv_val, MemSize::S8);
+            store_ptr_idx(f, abi, stack, sp, bx);
+            f.add(sp, sp, 1);
+            f.store_int(sp, c, cx_sp, MemSize::S8);
+            f.ret(None);
+        });
+        handler_ids.push(h_push);
 
-    // Helper fragments are generated per handler to keep them realistic.
-    let h_push = b.function(format!("op_push_v{variant}"), 1, |f| {
-        let arg = f.arg(0);
-        let c = f.vreg();
-        f.lea_global(c, g_ctx, 0);
-        let stack = f.vreg();
-        f.load_ptr(stack, c, cx_stack);
-        let sp = f.vreg();
-        f.load_int(sp, c, cx_sp, MemSize::S8);
-        // Box the value (the allocation churn of JS semantics).
-        let bx = f.vreg();
-        f.malloc(bx, boxv.size());
-        let one = f.vreg();
-        f.mov_imm(one, 1);
-        f.store_int(one, bx, bv_kind, MemSize::S8);
-        f.store_int(arg, bx, bv_val, MemSize::S8);
-        store_ptr_idx(f, abi, stack, sp, bx);
-        f.add(sp, sp, 1);
-        f.store_int(sp, c, cx_sp, MemSize::S8);
-        f.ret(None);
-    });
-    handler_ids.push(h_push);
+        let box_size = boxv.size();
+        let binop = |b: &mut ProgramBuilder, name: &str, is_mul: bool| {
+            b.function(name, 1, move |f| {
+                let c = f.vreg();
+                f.lea_global(c, g_ctx, 0);
+                let stack = f.vreg();
+                f.load_ptr(stack, c, cx_stack);
+                let sp = f.vreg();
+                f.load_int(sp, c, cx_sp, MemSize::S8);
+                f.sub(sp, sp, 1);
+                let top = load_ptr_idx(f, abi, stack, sp);
+                let sp2 = f.vreg();
+                f.sub(sp2, sp, 1);
+                let under = load_ptr_idx(f, abi, stack, sp2);
+                let a = f.vreg();
+                f.load_int(a, top, bv_val, MemSize::S8);
+                let bval = f.vreg();
+                f.load_int(bval, under, bv_val, MemSize::S8);
+                let r = f.vreg();
+                if is_mul {
+                    f.mul(r, a, bval);
+                    f.and(r, r, 0xFFFF_FFFFi64);
+                } else {
+                    f.add(r, a, bval);
+                }
+                // Result goes into a *fresh* box; operand boxes are freed
+                // (QuickJS refcount death).
+                f.free(top);
+                f.free(under);
+                let bx = f.vreg();
+                f.malloc(bx, box_size);
+                let one = f.vreg();
+                f.mov_imm(one, 1);
+                f.store_int(one, bx, bv_kind, MemSize::S8);
+                f.store_int(r, bx, bv_val, MemSize::S8);
+                store_ptr_idx(f, abi, stack, sp2, bx);
+                f.store_int(sp, c, cx_sp, MemSize::S8);
+                f.ret(None);
+            })
+        };
+        let h_add = binop(&mut b, &format!("op_add_v{variant}"), false);
+        handler_ids.push(h_add);
 
-    let box_size = boxv.size();
-    let binop = |b: &mut ProgramBuilder, name: &str, is_mul: bool| {
-        b.function(name, 1, move |f| {
+        let h_dup = b.function(format!("op_dup_v{variant}"), 1, |f| {
+            let c = f.vreg();
+            f.lea_global(c, g_ctx, 0);
+            let stack = f.vreg();
+            f.load_ptr(stack, c, cx_stack);
+            let sp = f.vreg();
+            f.load_int(sp, c, cx_sp, MemSize::S8);
+            let spm = f.vreg();
+            f.sub(spm, sp, 1);
+            let top = load_ptr_idx(f, abi, stack, spm);
+            let v = f.vreg();
+            f.load_int(v, top, bv_val, MemSize::S8);
+            let bx = f.vreg();
+            f.malloc(bx, boxv.size());
+            let one = f.vreg();
+            f.mov_imm(one, 1);
+            f.store_int(one, bx, bv_kind, MemSize::S8);
+            f.store_int(v, bx, bv_val, MemSize::S8);
+            store_ptr_idx(f, abi, stack, sp, bx);
+            f.add(sp, sp, 1);
+            f.store_int(sp, c, cx_sp, MemSize::S8);
+            f.ret(None);
+        });
+        handler_ids.push(h_dup);
+
+        let h_store = b.function(format!("op_store_v{variant}"), 1, |f| {
+            let arg = f.arg(0);
+            let c = f.vreg();
+            f.lea_global(c, g_ctx, 0);
+            let stack = f.vreg();
+            f.load_ptr(stack, c, cx_stack);
+            let locals = f.vreg();
+            f.load_ptr(locals, c, cx_locals);
+            let sp = f.vreg();
+            f.load_int(sp, c, cx_sp, MemSize::S8);
+            f.sub(sp, sp, 1);
+            let top = load_ptr_idx(f, abi, stack, sp);
+            // Free the local's old box if present, then install the new one.
+            let old = load_ptr_idx(f, abi, locals, arg);
+            let oi = f.vreg();
+            f.ptr_to_int(oi, old);
+            let empty = f.label();
+            f.br(Cond::Eq, oi, 0, empty);
+            f.free(old);
+            f.bind(empty);
+            store_ptr_idx(f, abi, locals, arg, top);
+            f.store_int(sp, c, cx_sp, MemSize::S8);
+            f.ret(None);
+        });
+        handler_ids.push(h_store);
+
+        let h_load = b.function(format!("op_load_v{variant}"), 1, |f| {
+            let arg = f.arg(0);
+            let c = f.vreg();
+            f.lea_global(c, g_ctx, 0);
+            let stack = f.vreg();
+            f.load_ptr(stack, c, cx_stack);
+            let locals = f.vreg();
+            f.load_ptr(locals, c, cx_locals);
+            let sp = f.vreg();
+            f.load_int(sp, c, cx_sp, MemSize::S8);
+            let lv = load_ptr_idx(f, abi, locals, arg);
+            let li = f.vreg();
+            f.ptr_to_int(li, lv);
+            let v = f.vreg();
+            f.mov_imm(v, 7);
+            let undef = f.label();
+            f.br(Cond::Eq, li, 0, undef);
+            f.load_int(v, lv, bv_val, MemSize::S8);
+            f.bind(undef);
+            let bx = f.vreg();
+            f.malloc(bx, boxv.size());
+            let one = f.vreg();
+            f.mov_imm(one, 1);
+            f.store_int(one, bx, bv_kind, MemSize::S8);
+            f.store_int(v, bx, bv_val, MemSize::S8);
+            store_ptr_idx(f, abi, stack, sp, bx);
+            f.add(sp, sp, 1);
+            f.store_int(sp, c, cx_sp, MemSize::S8);
+            f.ret(None);
+        });
+        handler_ids.push(h_load);
+
+        let h_mul = binop(&mut b, &format!("op_mul_v{variant}"), true);
+        handler_ids.push(h_mul);
+
+        let h_swapdrop = b.function(format!("op_swapdrop_v{variant}"), 1, |f| {
             let c = f.vreg();
             f.lea_global(c, g_ctx, 0);
             let stack = f.vreg();
@@ -162,185 +287,57 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
             let sp2 = f.vreg();
             f.sub(sp2, sp, 1);
             let under = load_ptr_idx(f, abi, stack, sp2);
-            let a = f.vreg();
-            f.load_int(a, top, bv_val, MemSize::S8);
-            let bval = f.vreg();
-            f.load_int(bval, under, bv_val, MemSize::S8);
-            let r = f.vreg();
-            if is_mul {
-                f.mul(r, a, bval);
-                f.and(r, r, 0xFFFF_FFFFi64);
-            } else {
-                f.add(r, a, bval);
-            }
-            // Result goes into a *fresh* box; operand boxes are freed
-            // (QuickJS refcount death).
-            f.free(top);
             f.free(under);
+            store_ptr_idx(f, abi, stack, sp2, top);
+            f.store_int(sp, c, cx_sp, MemSize::S8);
+            f.ret(None);
+        });
+        handler_ids.push(h_swapdrop);
+
+        let h_prop = b.function(format!("op_prop_v{variant}"), 1, |f| {
+            let arg = f.arg(0);
+            let c = f.vreg();
+            f.lea_global(c, g_ctx, 0);
+            let stack = f.vreg();
+            f.load_ptr(stack, c, cx_stack);
+            let sp = f.vreg();
+            f.load_int(sp, c, cx_sp, MemSize::S8);
+            // Property access: chase `arg + 1` links of the object chain from
+            // the context's cursor, read the property, advance the cursor.
+            let cur = f.vreg();
+            f.load_ptr(cur, c, cx_objs);
+            let hops = f.vreg();
+            f.add(hops, arg, 1);
+            let i = f.vreg();
+            f.mov_imm(i, 0);
+            let done = f.label();
+            let head = f.here();
+            f.br(Cond::Geu, i, hops, done);
+            f.load_ptr(cur, cur, ob_next);
+            f.add(i, i, 1);
+            f.jump(head);
+            f.bind(done);
+            let shape = f.vreg();
+            f.load_ptr(shape, cur, ob_shape);
+            let v = f.vreg();
+            f.load_int(v, shape, ob_val, MemSize::S8);
+            let v2 = f.vreg();
+            f.load_int(v2, cur, ob_val, MemSize::S8);
+            f.add(v, v, v2);
+            f.store_ptr(cur, c, cx_objs);
+            // Box the property value.
             let bx = f.vreg();
             f.malloc(bx, box_size);
             let one = f.vreg();
             f.mov_imm(one, 1);
             f.store_int(one, bx, bv_kind, MemSize::S8);
-            f.store_int(r, bx, bv_val, MemSize::S8);
-            store_ptr_idx(f, abi, stack, sp2, bx);
+            f.store_int(v, bx, bv_val, MemSize::S8);
+            store_ptr_idx(f, abi, stack, sp, bx);
+            f.add(sp, sp, 1);
             f.store_int(sp, c, cx_sp, MemSize::S8);
             f.ret(None);
-        })
-    };
-    let h_add = binop(&mut b, &format!("op_add_v{variant}"), false);
-    handler_ids.push(h_add);
-
-    let h_dup = b.function(format!("op_dup_v{variant}"), 1, |f| {
-        let c = f.vreg();
-        f.lea_global(c, g_ctx, 0);
-        let stack = f.vreg();
-        f.load_ptr(stack, c, cx_stack);
-        let sp = f.vreg();
-        f.load_int(sp, c, cx_sp, MemSize::S8);
-        let spm = f.vreg();
-        f.sub(spm, sp, 1);
-        let top = load_ptr_idx(f, abi, stack, spm);
-        let v = f.vreg();
-        f.load_int(v, top, bv_val, MemSize::S8);
-        let bx = f.vreg();
-        f.malloc(bx, boxv.size());
-        let one = f.vreg();
-        f.mov_imm(one, 1);
-        f.store_int(one, bx, bv_kind, MemSize::S8);
-        f.store_int(v, bx, bv_val, MemSize::S8);
-        store_ptr_idx(f, abi, stack, sp, bx);
-        f.add(sp, sp, 1);
-        f.store_int(sp, c, cx_sp, MemSize::S8);
-        f.ret(None);
-    });
-    handler_ids.push(h_dup);
-
-    let h_store = b.function(format!("op_store_v{variant}"), 1, |f| {
-        let arg = f.arg(0);
-        let c = f.vreg();
-        f.lea_global(c, g_ctx, 0);
-        let stack = f.vreg();
-        f.load_ptr(stack, c, cx_stack);
-        let locals = f.vreg();
-        f.load_ptr(locals, c, cx_locals);
-        let sp = f.vreg();
-        f.load_int(sp, c, cx_sp, MemSize::S8);
-        f.sub(sp, sp, 1);
-        let top = load_ptr_idx(f, abi, stack, sp);
-        // Free the local's old box if present, then install the new one.
-        let old = load_ptr_idx(f, abi, locals, arg);
-        let oi = f.vreg();
-        f.ptr_to_int(oi, old);
-        let empty = f.label();
-        f.br(Cond::Eq, oi, 0, empty);
-        f.free(old);
-        f.bind(empty);
-        store_ptr_idx(f, abi, locals, arg, top);
-        f.store_int(sp, c, cx_sp, MemSize::S8);
-        f.ret(None);
-    });
-    handler_ids.push(h_store);
-
-    let h_load = b.function(format!("op_load_v{variant}"), 1, |f| {
-        let arg = f.arg(0);
-        let c = f.vreg();
-        f.lea_global(c, g_ctx, 0);
-        let stack = f.vreg();
-        f.load_ptr(stack, c, cx_stack);
-        let locals = f.vreg();
-        f.load_ptr(locals, c, cx_locals);
-        let sp = f.vreg();
-        f.load_int(sp, c, cx_sp, MemSize::S8);
-        let lv = load_ptr_idx(f, abi, locals, arg);
-        let li = f.vreg();
-        f.ptr_to_int(li, lv);
-        let v = f.vreg();
-        f.mov_imm(v, 7);
-        let undef = f.label();
-        f.br(Cond::Eq, li, 0, undef);
-        f.load_int(v, lv, bv_val, MemSize::S8);
-        f.bind(undef);
-        let bx = f.vreg();
-        f.malloc(bx, boxv.size());
-        let one = f.vreg();
-        f.mov_imm(one, 1);
-        f.store_int(one, bx, bv_kind, MemSize::S8);
-        f.store_int(v, bx, bv_val, MemSize::S8);
-        store_ptr_idx(f, abi, stack, sp, bx);
-        f.add(sp, sp, 1);
-        f.store_int(sp, c, cx_sp, MemSize::S8);
-        f.ret(None);
-    });
-    handler_ids.push(h_load);
-
-    let h_mul = binop(&mut b, &format!("op_mul_v{variant}"), true);
-    handler_ids.push(h_mul);
-
-    let h_swapdrop = b.function(format!("op_swapdrop_v{variant}"), 1, |f| {
-        let c = f.vreg();
-        f.lea_global(c, g_ctx, 0);
-        let stack = f.vreg();
-        f.load_ptr(stack, c, cx_stack);
-        let sp = f.vreg();
-        f.load_int(sp, c, cx_sp, MemSize::S8);
-        f.sub(sp, sp, 1);
-        let top = load_ptr_idx(f, abi, stack, sp);
-        let sp2 = f.vreg();
-        f.sub(sp2, sp, 1);
-        let under = load_ptr_idx(f, abi, stack, sp2);
-        f.free(under);
-        store_ptr_idx(f, abi, stack, sp2, top);
-        f.store_int(sp, c, cx_sp, MemSize::S8);
-        f.ret(None);
-    });
-    handler_ids.push(h_swapdrop);
-
-    let h_prop = b.function(format!("op_prop_v{variant}"), 1, |f| {
-        let arg = f.arg(0);
-        let c = f.vreg();
-        f.lea_global(c, g_ctx, 0);
-        let stack = f.vreg();
-        f.load_ptr(stack, c, cx_stack);
-        let sp = f.vreg();
-        f.load_int(sp, c, cx_sp, MemSize::S8);
-        // Property access: chase `arg + 1` links of the object chain from
-        // the context's cursor, read the property, advance the cursor.
-        let cur = f.vreg();
-        f.load_ptr(cur, c, cx_objs);
-        let hops = f.vreg();
-        f.add(hops, arg, 1);
-        let i = f.vreg();
-        f.mov_imm(i, 0);
-        let done = f.label();
-        let head = f.here();
-        f.br(Cond::Geu, i, hops, done);
-        f.load_ptr(cur, cur, ob_next);
-        f.add(i, i, 1);
-        f.jump(head);
-        f.bind(done);
-        let shape = f.vreg();
-        f.load_ptr(shape, cur, ob_shape);
-        let v = f.vreg();
-        f.load_int(v, shape, ob_val, MemSize::S8);
-        let v2 = f.vreg();
-        f.load_int(v2, cur, ob_val, MemSize::S8);
-        f.add(v, v, v2);
-        f.store_ptr(cur, c, cx_objs);
-        // Box the property value.
-        let bx = f.vreg();
-        f.malloc(bx, box_size);
-        let one = f.vreg();
-        f.mov_imm(one, 1);
-        f.store_int(one, bx, bv_kind, MemSize::S8);
-        f.store_int(v, bx, bv_val, MemSize::S8);
-        store_ptr_idx(f, abi, stack, sp, bx);
-        f.add(sp, sp, 1);
-        f.store_int(sp, c, cx_sp, MemSize::S8);
-        f.ret(None);
-    });
-    handler_ids.push(h_prop);
-
+        });
+        handler_ids.push(h_prop);
     } // end variant loop
 
     assert_eq!(handler_ids.len() as u64, N_OPS * VARIANTS as u64);

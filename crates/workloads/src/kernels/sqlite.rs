@@ -250,7 +250,13 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
         f.ret(None);
     });
 
+    let r_build = b.region("build_tree");
+    let r_insert = b.region("inserts");
+    let r_lookup = b.region("lookups");
+    let r_update = b.region("updates");
+    let r_scan = b.region("scans");
     let main = b.function("main", 0, |f| {
+        f.region(r_build);
         let rng = SimRng::init(f, 0x50_11_7e_57);
         let regs = f.vreg();
         f.lea_global(regs, g_regs, 0);
@@ -296,6 +302,7 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
 
         // Phase 1: inserts through a VDBE-ish loop (register slots are
         // pointers: the capability store density driver).
+        f.region(r_insert);
         let n_ins = f.vreg();
         f.mov_imm(n_ins, inserts);
         f.for_loop(0, n_ins, 1, |f, i| {
@@ -310,6 +317,7 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
         });
 
         // Phase 2: point lookups.
+        f.region(r_lookup);
         let n_look = f.vreg();
         f.mov_imm(n_look, lookups);
         f.for_loop(0, n_look, 1, |f, i| {
@@ -327,6 +335,7 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
         });
 
         // Phase 2.5: updates (free + re-allocate row records).
+        f.region(r_update);
         let n_upd = f.vreg();
         f.mov_imm(n_upd, updates);
         f.for_loop(0, n_upd, 1, |f, i| {
@@ -336,6 +345,7 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
 
         // Phase 3: range scans — walk every child of the root and sweep
         // its payload (sequential page reads).
+        f.region(r_scan);
         let n_scan = f.vreg();
         f.mov_imm(n_scan, scans);
         f.for_loop(0, n_scan, 1, |f, _| {
@@ -362,6 +372,7 @@ pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
             f.and(checksum, checksum, 0xFFFF_FFFFi64);
         });
 
+        f.region_end();
         f.halt_code(checksum);
     });
 

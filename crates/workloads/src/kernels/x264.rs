@@ -121,8 +121,9 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
                     f.mov_imm(best, u64::MAX >> 1);
                     let best_mv = f.vreg();
                     f.mov_imm(best_mv, 0);
-                    for (k, (dx, dy)) in
-                        [(0i64, 0i64), (8, 0), (-8, 0), (0, 8), (0, -8)].iter().enumerate()
+                    for (k, (dx, dy)) in [(0i64, 0i64), (8, 0), (-8, 0), (0, 8), (0, -8)]
+                        .iter()
+                        .enumerate()
                     {
                         let cand = f.vreg();
                         let disp = dy * width as i64 + dx;

@@ -36,7 +36,11 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
     let fanout: u64 = 4;
 
     let mut b = ProgramBuilder::new(
-        if speed { "623.xalancbmk_s" } else { "523.xalancbmk_r" },
+        if speed {
+            "623.xalancbmk_s"
+        } else {
+            "523.xalancbmk_r"
+        },
         abi,
     );
     let xerces = b.module("xerces");
@@ -46,8 +50,13 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
         abi,
         &[Field::I64, Field::Ptr, Field::Ptr, Field::Ptr, Field::I64],
     );
-    let (n_kind, n_child, n_sib, n_attr, n_val) =
-        (node.off(0), node.off(1), node.off(2), node.off(3), node.off(4));
+    let (n_kind, n_child, n_sib, n_attr, n_val) = (
+        node.off(0),
+        node.off(1),
+        node.off(2),
+        node.off(3),
+        node.off(4),
+    );
     let ps = abi.pointer_size();
 
     let g_out = b.global_zero("output_buffer", 1 << 16);

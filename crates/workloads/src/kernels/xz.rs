@@ -122,6 +122,8 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
         f.ret(Some(best_len));
     });
 
+    let r_match = b.region("match_find");
+    let r_coder = b.region("range_coder");
     let main = b.function("main", 0, |f| {
         let inp = f.vreg();
         f.lea_global(inp, g_in, 0);
@@ -143,6 +145,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
         f.mov_imm(end, input_len as u64 - max_match as u64);
         f.for_loop(0, end, 1, |f, pos| {
             // h = hash of 3 bytes at pos.
+            f.region(r_match);
             let b0 = f.vreg();
             f.load_int(b0, inp, pos, MemSize::S1);
             let p1 = f.vreg();
@@ -179,6 +182,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
             f.store_int(pos, head, hoff, MemSize::S8);
 
             // Range-coder-flavoured integer mixing per decision.
+            f.region(r_coder);
             f.add(matched_bytes, matched_bytes, best_len);
             f.eor(code_acc, code_acc, best_len);
             f.mul(range, range, 0x0019_660D);
@@ -189,6 +193,7 @@ fn build(abi: Abi, scale: Scale, speed: bool) -> GenericProgram {
             f.and(so, code_acc, 4088);
             f.store_int(range, out, so, MemSize::S8);
         });
+        f.region_end();
         f.and(code_acc, code_acc, 0xFFFF_FFFFi64);
         f.halt_code(code_acc);
     });

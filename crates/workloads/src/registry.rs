@@ -110,27 +110,195 @@ macro_rules! workload {
 /// Every workload of the paper's evaluation, in Table 2 order.
 pub fn registry() -> Vec<Workload> {
     vec![
-        workload!("510.parest_r", "parest_510", SpecRate, Some(0.922), true, Some(1.138), kernels::parest::build_rate),
-        workload!("519.lbm_r", "lbm_519", SpecRate, Some(0.438), true, Some(0.921), kernels::lbm::build_rate),
-        workload!("520.omnetpp_r", "omnetpp_520", SpecRate, Some(1.164), true, Some(1.875), kernels::omnetpp::build_rate),
-        workload!("523.xalancbmk_r", "xalancbmk_523", SpecRate, Some(0.860), true, Some(2.035), kernels::xalancbmk::build_rate),
-        workload!("525.x264_r", "x264_525", SpecRate, None, true, None, kernels::x264::build_rate),
-        workload!("531.deepsjeng_r", "deepsjeng_531", SpecRate, Some(0.489), true, Some(1.170), kernels::deepsjeng::build_rate),
-        workload!("541.leela_r", "leela_541", SpecRate, Some(0.565), true, Some(1.231), kernels::leela::build_rate),
-        workload!("544.nab_r", "nab_544", SpecRate, Some(0.420), true, Some(1.049), kernels::nab::build_rate),
-        workload!("557.xz_r", "xz_557", SpecRate, Some(0.514), true, Some(1.065), kernels::xz::build_rate),
-        workload!("619.lbm_s", "lbm_619", SpecSpeed, None, true, None, kernels::lbm::build_speed),
-        workload!("620.omnetpp_s", "omnetpp_620", SpecSpeed, Some(1.165), true, None, kernels::omnetpp::build_speed),
-        workload!("623.xalancbmk_s", "xalancbmk_623", SpecSpeed, Some(0.860), true, None, kernels::xalancbmk::build_speed),
-        workload!("625.x264_s", "x264_625", SpecSpeed, None, true, None, kernels::x264::build_speed),
-        workload!("631.deepsjeng_s", "deepsjeng_631", SpecSpeed, Some(0.496), true, None, kernels::deepsjeng::build_speed),
-        workload!("641.leela_s", "leela_641", SpecSpeed, Some(0.565), true, None, kernels::leela::build_speed),
-        workload!("644.nab_s", "nab_644", SpecSpeed, Some(0.424), true, None, kernels::nab::build_speed),
-        workload!("657.xz_s", "xz_657", SpecSpeed, Some(0.504), true, None, kernels::xz::build_speed),
-        workload!("QuickJS", "quickjs", Application, Some(0.680), false, Some(2.660), kernels::quickjs::build),
-        workload!("SQLite", "sqlite", Application, Some(0.816), true, Some(1.612), kernels::sqlite::build),
-        workload!("LLaMA.cpp (inference)", "llama_inference", Application, Some(0.309), true, Some(1.013), kernels::llama::build_inference),
-        workload!("LLaMA.cpp (matmult)", "llama_matmul", Application, Some(0.432), true, Some(0.987), kernels::llama::build_matmul),
+        workload!(
+            "510.parest_r",
+            "parest_510",
+            SpecRate,
+            Some(0.922),
+            true,
+            Some(1.138),
+            kernels::parest::build_rate
+        ),
+        workload!(
+            "519.lbm_r",
+            "lbm_519",
+            SpecRate,
+            Some(0.438),
+            true,
+            Some(0.921),
+            kernels::lbm::build_rate
+        ),
+        workload!(
+            "520.omnetpp_r",
+            "omnetpp_520",
+            SpecRate,
+            Some(1.164),
+            true,
+            Some(1.875),
+            kernels::omnetpp::build_rate
+        ),
+        workload!(
+            "523.xalancbmk_r",
+            "xalancbmk_523",
+            SpecRate,
+            Some(0.860),
+            true,
+            Some(2.035),
+            kernels::xalancbmk::build_rate
+        ),
+        workload!(
+            "525.x264_r",
+            "x264_525",
+            SpecRate,
+            None,
+            true,
+            None,
+            kernels::x264::build_rate
+        ),
+        workload!(
+            "531.deepsjeng_r",
+            "deepsjeng_531",
+            SpecRate,
+            Some(0.489),
+            true,
+            Some(1.170),
+            kernels::deepsjeng::build_rate
+        ),
+        workload!(
+            "541.leela_r",
+            "leela_541",
+            SpecRate,
+            Some(0.565),
+            true,
+            Some(1.231),
+            kernels::leela::build_rate
+        ),
+        workload!(
+            "544.nab_r",
+            "nab_544",
+            SpecRate,
+            Some(0.420),
+            true,
+            Some(1.049),
+            kernels::nab::build_rate
+        ),
+        workload!(
+            "557.xz_r",
+            "xz_557",
+            SpecRate,
+            Some(0.514),
+            true,
+            Some(1.065),
+            kernels::xz::build_rate
+        ),
+        workload!(
+            "619.lbm_s",
+            "lbm_619",
+            SpecSpeed,
+            None,
+            true,
+            None,
+            kernels::lbm::build_speed
+        ),
+        workload!(
+            "620.omnetpp_s",
+            "omnetpp_620",
+            SpecSpeed,
+            Some(1.165),
+            true,
+            None,
+            kernels::omnetpp::build_speed
+        ),
+        workload!(
+            "623.xalancbmk_s",
+            "xalancbmk_623",
+            SpecSpeed,
+            Some(0.860),
+            true,
+            None,
+            kernels::xalancbmk::build_speed
+        ),
+        workload!(
+            "625.x264_s",
+            "x264_625",
+            SpecSpeed,
+            None,
+            true,
+            None,
+            kernels::x264::build_speed
+        ),
+        workload!(
+            "631.deepsjeng_s",
+            "deepsjeng_631",
+            SpecSpeed,
+            Some(0.496),
+            true,
+            None,
+            kernels::deepsjeng::build_speed
+        ),
+        workload!(
+            "641.leela_s",
+            "leela_641",
+            SpecSpeed,
+            Some(0.565),
+            true,
+            None,
+            kernels::leela::build_speed
+        ),
+        workload!(
+            "644.nab_s",
+            "nab_644",
+            SpecSpeed,
+            Some(0.424),
+            true,
+            None,
+            kernels::nab::build_speed
+        ),
+        workload!(
+            "657.xz_s",
+            "xz_657",
+            SpecSpeed,
+            Some(0.504),
+            true,
+            None,
+            kernels::xz::build_speed
+        ),
+        workload!(
+            "QuickJS",
+            "quickjs",
+            Application,
+            Some(0.680),
+            false,
+            Some(2.660),
+            kernels::quickjs::build
+        ),
+        workload!(
+            "SQLite",
+            "sqlite",
+            Application,
+            Some(0.816),
+            true,
+            Some(1.612),
+            kernels::sqlite::build
+        ),
+        workload!(
+            "LLaMA.cpp (inference)",
+            "llama_inference",
+            Application,
+            Some(0.309),
+            true,
+            Some(1.013),
+            kernels::llama::build_inference
+        ),
+        workload!(
+            "LLaMA.cpp (matmult)",
+            "llama_matmul",
+            Application,
+            Some(0.432),
+            true,
+            Some(0.987),
+            kernels::llama::build_matmul
+        ),
     ]
 }
 
@@ -154,8 +322,14 @@ mod tests {
     #[test]
     fn category_counts_match_paper() {
         let r = registry();
-        let rate = r.iter().filter(|w| w.category == Category::SpecRate).count();
-        let speed = r.iter().filter(|w| w.category == Category::SpecSpeed).count();
+        let rate = r
+            .iter()
+            .filter(|w| w.category == Category::SpecRate)
+            .count();
+        let speed = r
+            .iter()
+            .filter(|w| w.category == Category::SpecSpeed)
+            .count();
         let apps = r
             .iter()
             .filter(|w| w.category == Category::Application)
@@ -177,7 +351,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "NA in the paper")]
     fn building_quickjs_benchmark_panics() {
-        by_key("quickjs").unwrap().build(Abi::Benchmark, Scale::Test);
+        by_key("quickjs")
+            .unwrap()
+            .build(Abi::Benchmark, Scale::Test);
     }
 
     #[test]

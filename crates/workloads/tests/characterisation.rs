@@ -133,9 +133,15 @@ fn purecap_working_set_grows_for_pointer_workloads_only() {
         let h = characterise(key, Abi::Hybrid).working_set_bytes() as f64;
         let p = characterise(key, Abi::Purecap).working_set_bytes() as f64;
         if must_grow {
-            assert!(p > 1.2 * h, "{key}: purecap working set must grow ({h} -> {p})");
+            assert!(
+                p > 1.2 * h,
+                "{key}: purecap working set must grow ({h} -> {p})"
+            );
         } else {
-            assert!(p < 1.15 * h, "{key}: working set should be stable ({h} -> {p})");
+            assert!(
+                p < 1.15 * h,
+                "{key}: working set should be stable ({h} -> {p})"
+            );
         }
     }
 }

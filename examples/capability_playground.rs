@@ -54,7 +54,10 @@ fn main() {
 
     // Compression: 129 bits in memory — and why big mallocs get padded.
     let cc = obj.to_compressed();
-    println!("compressed image: meta={:#018x} addr={:#018x}", cc.meta, cc.addr);
+    println!(
+        "compressed image: meta={:#018x} addr={:#018x}",
+        cc.meta, cc.addr
+    );
     assert_eq!(Capability::from_compressed(cc, obj.tag()), obj);
 
     for req in [100u64, 5000, 1 << 20, (1 << 20) + 1, 100 << 20] {

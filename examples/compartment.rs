@@ -113,7 +113,10 @@ fn library_demo() {
     let handle = secret.seal(&authority).unwrap();
     // The handle is useless to its holder...
     assert_eq!(
-        handle.check_access(0x9000, 8, Perms::LOAD).unwrap_err().kind,
+        handle
+            .check_access(0x9000, 8, Perms::LOAD)
+            .unwrap_err()
+            .kind,
         FaultKind::SealViolation
     );
     println!("sealed handle is opaque: {handle}");

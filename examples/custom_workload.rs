@@ -88,7 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let res = Interp::new(InterpConfig::default()).run(&prog, &mut core)?;
         let stats = core.finish();
         let m = DerivedMetrics::from_counts(&EventCounts::from_uarch(&stats));
-        let norm = hybrid.map(|h: u64| stats.cpu_cycles as f64 / h as f64).unwrap_or(1.0);
+        let norm = hybrid
+            .map(|h: u64| stats.cpu_cycles as f64 / h as f64)
+            .unwrap_or(1.0);
         if abi == Abi::Hybrid {
             hybrid = Some(stats.cpu_cycles);
         }

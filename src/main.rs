@@ -75,14 +75,21 @@ fn parse_opts(args: &[String]) -> Option<Opts> {
 }
 
 fn cmd_list() -> ExitCode {
-    println!("{:<24} {:<16} {:>9} {:>14}", "key", "name", "MI(paper)", "benchmark-ABI");
+    println!(
+        "{:<24} {:<16} {:>9} {:>14}",
+        "key", "name", "MI(paper)", "benchmark-ABI"
+    );
     for w in registry() {
         println!(
             "{:<24} {:<16} {:>9} {:>14}",
             w.key,
             w.name,
             w.table2_mi.map_or("-".into(), |v| format!("{v:.3}")),
-            if w.supports_benchmark_abi { "yes" } else { "NA" },
+            if w.supports_benchmark_abi {
+                "yes"
+            } else {
+                "NA"
+            },
         );
     }
     ExitCode::SUCCESS
@@ -145,7 +152,12 @@ fn cmd_suite(o: &Opts) -> ExitCode {
                     r.normalized_time(abi)
                         .map_or("NA".to_owned(), |v| format!("{v:.3}x"))
                 };
-                println!("{:<24} {:>10} {:>10}", r.name, f(Abi::Benchmark), f(Abi::Purecap));
+                println!(
+                    "{:<24} {:>10} {:>10}",
+                    r.name,
+                    f(Abi::Benchmark),
+                    f(Abi::Purecap)
+                );
             }
             ExitCode::SUCCESS
         }
@@ -173,7 +185,10 @@ fn cmd_project(o: &Opts) -> ExitCode {
             println!("  + wide cap SB     : {:.3}x", row.wide_sb_slowdown);
             println!("  + cap MADD        : {:.3}x", row.cap_madd_slowdown);
             println!("  projected (all)   : {:.3}x", row.projected_slowdown);
-            println!("  overhead removed  : {:.0}%", row.overhead_removed() * 100.0);
+            println!(
+                "  overhead removed  : {:.0}%",
+                row.overhead_removed() * 100.0
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -223,7 +238,10 @@ fn cmd_disasm(o: &Opts) -> ExitCode {
         None => (0..prog.funcs.len()).collect(),
     };
     for i in selected {
-        println!("{}", cheri_isa::disassemble(&prog, cheri_isa::FuncId(i as u32)));
+        println!(
+            "{}",
+            cheri_isa::disassemble(&prog, cheri_isa::FuncId(i as u32))
+        );
     }
     ExitCode::SUCCESS
 }

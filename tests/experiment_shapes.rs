@@ -64,10 +64,7 @@ fn pointer_heavy_workloads_suffer_most() {
     assert!(omnetpp > 1.15, "omnetpp must suffer: {omnetpp}");
     assert!(sqlite > 1.1, "sqlite must suffer: {sqlite}");
     for (name, v) in [("lbm", lbm), ("llama-inference", llama), ("matmul", matmul)] {
-        assert!(
-            v < 1.08,
-            "{name} must be near-free under purecap, got {v}"
-        );
+        assert!(v < 1.08, "{name} must be near-free under purecap, got {v}");
     }
     // Ordering of the extremes.
     assert!(xalan > sqlite && xalan > lbm);
@@ -118,7 +115,10 @@ fn capability_density_shifts_with_abi() {
         let h = r.get(Abi::Hybrid).unwrap().derived.cap_load_density;
         let p = r.get(Abi::Purecap).unwrap().derived.cap_load_density;
         assert!(h < 0.05, "{key}: hybrid cap density should be ~0, got {h}");
-        assert!(p > 0.2, "{key}: purecap cap density should be large, got {p}");
+        assert!(
+            p > 0.2,
+            "{key}: purecap cap density should be large, got {p}"
+        );
     }
     // Streaming FP kernels stay capability-free even under purecap.
     for key in ["lbm_519", "llama_matmul"] {

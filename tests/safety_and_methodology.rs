@@ -33,7 +33,10 @@ fn heap_overflow_caught_only_by_capability_abis() {
         });
         b.set_entry(main);
     };
-    assert!(run(Abi::Hybrid, build).is_ok(), "hybrid reads past the end silently");
+    assert!(
+        run(Abi::Hybrid, build).is_ok(),
+        "hybrid reads past the end silently"
+    );
     for abi in [Abi::Purecap, Abi::Benchmark] {
         match run(abi, build) {
             Err(InterpError::Fault { fault, .. }) => {

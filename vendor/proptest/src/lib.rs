@@ -1,0 +1,290 @@
+//! Vendored, registry-free stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros the workspace's
+//! property tests use: `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_assume!`, `prop_oneof!`, `any::<T>()`, `Just`, integer-range
+//! strategies, tuple strategies, `prop_map`, and `collection::vec`.
+//!
+//! Differences from upstream: case generation is seeded
+//! deterministically (reproducible across runs and machines) and there
+//! is no shrinking — a failing case reports its generated inputs via the
+//! assertion message instead.
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!` — generate another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+pub mod test_runner {
+    //! Test-loop configuration and the deterministic case RNG.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG driving strategy sampling.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed RNG used by every `proptest!` test.
+        pub fn deterministic() -> TestRng {
+            TestRng {
+                state: 0x5EED_CAFE_F00D_D00D,
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `span` (> 0).
+        pub fn below(&mut self, span: u128) -> u128 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128) * span) >> 64
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, as in upstream proptest.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs one property over `cases` accepted cases — the engine behind the
+/// `proptest!` macro.
+pub fn run_property<F>(cfg: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = test_runner::TestRng::deterministic();
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = cfg.cases as u64 * 20 + 1000;
+    while accepted < cfg.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest: too many rejected cases ({attempts} attempts for {} cases)",
+            cfg.cases
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case #{accepted} failed: {msg}")
+            }
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { fn name(x in strategy) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::run_property(&__cfg, |__rng| {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), __rng); )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($a),
+                        stringify!($b),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} != {}` (both {:?})",
+                        stringify!($a),
+                        stringify!($b),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Vetoes the current case, drawing a fresh one instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

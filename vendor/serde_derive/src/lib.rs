@@ -1,0 +1,449 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde.
+//!
+//! The environment has no registry access, so `syn`/`quote` are not
+//! available; this macro parses the derive input token stream directly
+//! and emits generated impls by formatting Rust source strings. It
+//! supports exactly the shapes this workspace uses:
+//!
+//! - structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`),
+//! - tuple / newtype / unit structs,
+//! - enums with unit, tuple, and struct variants,
+//! - no generic parameters.
+//!
+//! The external representation mirrors serde_json: named structs are
+//! maps, newtype structs are transparent, unit enum variants are
+//! strings, and data-carrying variants are single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---- parsing ----
+
+/// Consumes leading attributes (`#[...]`), folding any `#[serde(...)]`
+/// flags into the returned attrs.
+fn take_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    merge_serde_attr(&g.stream(), &mut attrs);
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// If the bracket group is `serde(...)`, records its flags.
+fn merge_serde_attr(inner: &TokenStream, attrs: &mut FieldAttrs) {
+    let mut it = inner.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(args)) = it.next() {
+        for t in args.stream() {
+            if let TokenTree::Ident(id) = t {
+                match id.to_string().as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+    }
+}
+
+/// Consumes a visibility qualifier if present.
+fn take_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            // `pub(crate)` / `pub(in ...)`
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type (or discriminant expression) up to a top-level comma,
+/// tracking `<...>` nesting so `BTreeMap<K, V>` stays one field.
+fn skip_to_comma(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                toks.next();
+                return;
+            }
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut toks);
+        take_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_to_comma(&mut toks);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts tuple-struct / tuple-variant fields (top-level commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut n = 0;
+    while toks.peek().is_some() {
+        take_attrs(&mut toks);
+        take_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_to_comma(&mut toks);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Struct(parse_named_fields(g.stream()));
+                toks.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional `= discriminant`, then the separating comma.
+        skip_to_comma(&mut toks);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    take_attrs(&mut toks);
+    take_vis(&mut toks);
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic types ({name})");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    };
+    Input { name, shape }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                let fname = &f.name;
+                let _ = writeln!(
+                    s,
+                    "m.push((\"{fname}\".to_string(), \
+                     ::serde::Serialize::serialize(&self.{fname})));"
+                );
+            }
+            s.push_str("::serde::Value::Map(m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        let inner = if *n == 1 {
+                            sers[0].clone()
+                        } else {
+                            format!("::serde::Value::Seq(vec![{}])", sers.join(", "))
+                        };
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), {inner})]),",
+                            binds = binds.join(", "),
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let sers: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), \
+                                     ::serde::Serialize::serialize({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), \
+                             ::serde::Value::Map(vec![{sers}]))]),",
+                            binds = binds.join(", "),
+                            sers = sers.join(", "),
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_field_expr(container: &str, f: &Field) -> String {
+    if f.attrs.skip {
+        return format!("{}: ::core::default::Default::default()", f.name);
+    }
+    let fallback = if f.attrs.default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!("return Err(::serde::Error::missing_field(\"{}\"))", f.name)
+    };
+    format!(
+        "{fname}: match ::serde::map_get({container}, \"{fname}\") {{\n\
+         Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+         None => {fallback},\n}}",
+        fname = f.name,
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let field_exprs: Vec<String> =
+                fields.iter().map(|f| named_field_expr("m", f)).collect();
+            format!(
+                "let m = ::serde::as_map(v)?;\n\
+                 Ok({name} {{\n{}\n}})",
+                field_exprs.join(",\n")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = ::serde::as_seq(v, {n})?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v;\nOk({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(unit_arms, "\"{vname}\" => Ok({name}::{vname}),");
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vname}\" => {{ let s = ::serde::as_seq(inner, {n})?; \
+                             Ok({name}::{vname}({})) }},",
+                            items.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let field_exprs: Vec<String> =
+                            fields.iter().map(|f| named_field_expr("fm", f)).collect();
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vname}\" => {{ let fm = ::serde::as_map(inner)?; \
+                             Ok({name}::{vname} {{ {} }}) }},",
+                            field_exprs.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = &m[0];\n\
+                 match k.as_str() {{\n{data_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"expected {name}, got {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
