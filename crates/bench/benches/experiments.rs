@@ -5,29 +5,48 @@ use cheri_isa::Abi;
 use cheri_workloads::Scale;
 use criterion::{criterion_group, criterion_main, Criterion};
 use morello_bench::experiments;
-use morello_sim::suite::{run_suite, select, SuiteRow, TABLE4_KEYS};
-use morello_sim::{project, Platform, Runner};
+use morello_sim::suite::{run_suite_with, select, SuiteConfig, SuiteRow, TABLE4_KEYS};
+use morello_sim::{project, Platform, ProgramCache, Runner};
 
-fn test_rows() -> Vec<SuiteRow> {
+const BENCH_KEYS: [&str; 5] = [
+    "lbm_519",
+    "omnetpp_520",
+    "xalancbmk_523",
+    "sqlite",
+    "quickjs",
+];
+
+fn rows_with_jobs(jobs: usize, cache: &ProgramCache) -> Vec<SuiteRow> {
     let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
-    run_suite(
+    run_suite_with(
         &runner,
-        &select(&[
-            "lbm_519",
-            "omnetpp_520",
-            "xalancbmk_523",
-            "sqlite",
-            "quickjs",
-        ]),
+        &select(&BENCH_KEYS),
+        cache,
+        &SuiteConfig::with_jobs(jobs),
     )
     .expect("suite runs")
+}
+
+fn test_rows() -> Vec<SuiteRow> {
+    rows_with_jobs(0, &ProgramCache::new())
 }
 
 fn bench_tables_and_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
 
-    g.bench_function("suite_run_test_scale", |b| b.iter(test_rows));
+    // The engine at one worker vs the host's parallelism, each with a
+    // cold cache, plus the default path on a warm shared cache — the
+    // three points that make the tentpole speedup visible in CI logs.
+    g.bench_function("suite_run_test_scale_jobs1_cold", |b| {
+        b.iter(|| rows_with_jobs(1, &ProgramCache::new()))
+    });
+    g.bench_function("suite_run_test_scale_cold", |b| b.iter(test_rows));
+    let warm = ProgramCache::new();
+    rows_with_jobs(0, &warm);
+    g.bench_function("suite_run_test_scale_warm_cache", |b| {
+        b.iter(|| rows_with_jobs(0, &warm))
+    });
 
     let rows = test_rows();
     g.bench_function("fig1_overall", |b| {

@@ -10,12 +10,16 @@
 //! a separate column.
 //!
 //! `cargo run --release -p morello-bench --bin ablation_cachescale`
+//!
+//! All four platform variants share one lowered-program cache — lowering
+//! depends only on (workload, ABI, scale), so each workload lowers twice
+//! (hybrid + purecap) for the whole ladder.
 
 use cheri_isa::Abi;
 use cheri_workloads::by_key;
 use morello_bench::{harness_runner, write_json};
 use morello_pmu::Table;
-use morello_sim::{Platform, RunError, Runner};
+use morello_sim::{Platform, ProgramCache, RunError, Runner};
 use morello_uarch::{CacheGeometry, UarchConfig};
 use serde::Serialize;
 
@@ -38,11 +42,11 @@ fn scaled(cfg: UarchConfig, factor: u32) -> UarchConfig {
     }
 }
 
-fn slowdown(platform: Platform, key: &str) -> Result<f64, RunError> {
+fn slowdown(platform: Platform, key: &str, cache: &ProgramCache) -> Result<f64, RunError> {
     let runner = Runner::new(platform);
     let w = by_key(key).expect("known workload");
-    let h = runner.run(&w, Abi::Hybrid)?;
-    let p = runner.run(&w, Abi::Purecap)?;
+    let h = runner.run_with_cache(&w, Abi::Hybrid, cache)?;
+    let p = runner.run_with_cache(&w, Abi::Purecap, cache)?;
     Ok(p.seconds / h.seconds)
 }
 
@@ -57,6 +61,7 @@ struct Row {
 
 fn main() {
     let base = *harness_runner().platform();
+    let cache = ProgramCache::new();
     let mut t = Table::new(&[
         "Benchmark",
         "purecap @1x caches",
@@ -69,11 +74,15 @@ fn main() {
         let w = by_key(key).expect("known workload");
         let row = Row {
             name: w.name.to_owned(),
-            base_1x: slowdown(base, key).expect("runs"),
-            caches_2x: slowdown(base.with_uarch(scaled(base.uarch, 2)), key).expect("runs"),
-            caches_4x: slowdown(base.with_uarch(scaled(base.uarch, 4)), key).expect("runs"),
-            with_tag_table: slowdown(base.with_uarch(base.uarch.with_tag_table_model(true)), key)
-                .expect("runs"),
+            base_1x: slowdown(base, key, &cache).expect("runs"),
+            caches_2x: slowdown(base.with_uarch(scaled(base.uarch, 2)), key, &cache).expect("runs"),
+            caches_4x: slowdown(base.with_uarch(scaled(base.uarch, 4)), key, &cache).expect("runs"),
+            with_tag_table: slowdown(
+                base.with_uarch(base.uarch.with_tag_table_model(true)),
+                key,
+                &cache,
+            )
+            .expect("runs"),
         };
         t.row(&[
             row.name.clone(),

@@ -5,7 +5,7 @@
 use cheri_workloads::by_key;
 use morello_bench::{harness_runner, write_json};
 use morello_pmu::Table;
-use morello_sim::project;
+use morello_sim::{project_with, ProgramCache};
 
 const KEYS: [&str; 7] = [
     "omnetpp_520",
@@ -20,6 +20,7 @@ const KEYS: [&str; 7] = [
 fn main() {
     let runner = harness_runner();
     let platform = *runner.platform();
+    let cache = ProgramCache::new();
     let mut t = Table::new(&[
         "Benchmark",
         "morello",
@@ -32,7 +33,7 @@ fn main() {
     let mut rows = Vec::new();
     for key in KEYS {
         let w = by_key(key).expect("known workload");
-        let row = project(platform, &w).expect("projection runs");
+        let row = project_with(platform, &w, &cache).expect("projection runs");
         t.row(&[
             row.name.clone(),
             format!("{:.3}x", row.morello_slowdown),

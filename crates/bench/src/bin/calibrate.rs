@@ -2,18 +2,19 @@
 //! workload, side by side with the paper's values where available.
 //!
 //! Usage: `MORELLO_SCALE=small cargo run --release -p morello-bench --bin calibrate`
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
 use cheri_isa::Abi;
 use cheri_workloads::registry;
-use morello_bench::harness_runner;
+use morello_bench::{harness_runner, suite_rows};
 use morello_pmu::Table;
-use morello_sim::suite::run_full_suite;
 
 fn main() {
     let runner = harness_runner();
-    let t0 = std::time::Instant::now();
-    let rows = run_full_suite(&runner).expect("suite runs");
-    eprintln!("(suite simulated in {:.1?})", t0.elapsed());
+    let rows = suite_rows(&runner, None);
 
     let reg = registry();
     let mut t = Table::new(&[

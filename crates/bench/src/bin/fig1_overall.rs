@@ -2,13 +2,16 @@
 //! three ABIs, normalised to hybrid.
 //!
 //! `MORELLO_SCALE=small cargo run --release -p morello-bench --bin fig1_overall`
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
-use morello_bench::{experiments, harness_runner, write_json};
-use morello_sim::suite::run_full_suite;
+use morello_bench::{experiments, harness_runner, suite_rows, write_json};
 
 fn main() {
     let runner = harness_runner();
-    let rows = run_full_suite(&runner).expect("suite runs");
+    let rows = suite_rows(&runner, None);
     let (table, data) = experiments::fig1_overall(&rows);
     println!("Figure 1: execution time normalised to the hybrid ABI");
     println!("{}", table.render());

@@ -1,12 +1,15 @@
 //! Figure 2: binary-section sizes under the three ABIs, normalised to
 //! hybrid (median across workloads).
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
-use morello_bench::{experiments, harness_runner, write_json};
-use morello_sim::suite::run_full_suite;
+use morello_bench::{experiments, harness_runner, suite_rows, write_json};
 
 fn main() {
     let runner = harness_runner();
-    let rows = run_full_suite(&runner).expect("suite runs");
+    let rows = suite_rows(&runner, None);
     let (table, data) = experiments::fig2_binsize(&rows);
     println!("Figure 2: program-section sizes (median ratio to hybrid)");
     println!("{}", table.render());

@@ -1,12 +1,16 @@
 //! Figure 3 / Table 4: top-down pipeline breakdown for the six selected
 //! workloads, three ABIs per cell.
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
-use morello_bench::{experiments, harness_runner, write_json};
-use morello_sim::suite::{run_suite, select, TABLE4_KEYS};
+use morello_bench::{experiments, harness_runner, suite_rows, write_json};
+use morello_sim::suite::TABLE4_KEYS;
 
 fn main() {
     let runner = harness_runner();
-    let rows = run_suite(&runner, &select(&TABLE4_KEYS)).expect("suite runs");
+    let rows = suite_rows(&runner, Some(&TABLE4_KEYS));
     let table = experiments::fig3_table4_topdown(&rows);
     println!("Figure 3 / Table 4: top-down breakdown (hybrid, benchmark, purecap)");
     println!("{}", table.render());

@@ -1,12 +1,15 @@
 //! Figure 4: percentage of cycles bound on the core vs the memory
 //! hierarchy, per workload and ABI.
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
-use morello_bench::{experiments, harness_runner, write_json};
-use morello_sim::suite::run_full_suite;
+use morello_bench::{experiments, harness_runner, suite_rows, write_json};
 
 fn main() {
     let runner = harness_runner();
-    let rows = run_full_suite(&runner).expect("suite runs");
+    let rows = suite_rows(&runner, None);
     let table = experiments::fig4_bounds(&rows);
     println!("Figure 4: core-bound vs memory-bound cycles");
     println!("{}", table.render());

@@ -1,13 +1,16 @@
 //! Figure 7: Pearson correlation matrix of derived metrics across the
 //! workload population, hybrid vs purecap.
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
 use cheri_isa::Abi;
-use morello_bench::{experiments, harness_runner, write_json};
-use morello_sim::suite::run_full_suite;
+use morello_bench::{experiments, harness_runner, suite_rows, write_json};
 
 fn main() {
     let runner = harness_runner();
-    let rows = run_full_suite(&runner).expect("suite runs");
+    let rows = suite_rows(&runner, None);
     for abi in [Abi::Hybrid, Abi::Purecap] {
         let (table, matrix) = experiments::fig7_correlation(&rows, abi);
         println!("Figure 7 ({abi}): metric correlation matrix");

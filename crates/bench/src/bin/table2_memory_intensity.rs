@@ -1,12 +1,15 @@
 //! Table 2: memory-intensity classification of every workload (measured
 //! vs the paper's values).
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
-use morello_bench::{experiments, harness_runner, write_json};
-use morello_sim::suite::run_full_suite;
+use morello_bench::{experiments, harness_runner, suite_rows, write_json};
 
 fn main() {
     let runner = harness_runner();
-    let rows = run_full_suite(&runner).expect("suite runs");
+    let rows = suite_rows(&runner, None);
     let table = experiments::table2_memory_intensity(&rows);
     println!("Table 2: benchmark memory-intensity values");
     println!("{}", table.render());

@@ -1,12 +1,16 @@
 //! Table 3: aggregated key performance metrics for the twelve
 //! representative workloads, three ABIs each.
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
 
-use morello_bench::{experiments, harness_runner, write_json};
-use morello_sim::suite::{run_suite, select, TABLE3_KEYS};
+use morello_bench::{experiments, harness_runner, suite_rows, write_json};
+use morello_sim::suite::TABLE3_KEYS;
 
 fn main() {
     let runner = harness_runner();
-    let rows = run_suite(&runner, &select(&TABLE3_KEYS)).expect("suite runs");
+    let rows = suite_rows(&runner, Some(&TABLE3_KEYS));
     let table = experiments::table3_key_metrics(&rows);
     println!("Table 3: aggregated key performance metrics");
     println!("{}", table.render());

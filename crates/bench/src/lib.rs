@@ -12,8 +12,10 @@
 
 pub mod experiments;
 
-use cheri_workloads::Scale;
-use morello_sim::{Platform, Runner};
+use cheri_workloads::{registry, Scale};
+use morello_obs::JsonlJournal;
+use morello_sim::suite::{run_suite_observed, run_suite_with, select, SuiteConfig, SuiteRow};
+use morello_sim::{Platform, ProgramCache, Runner};
 
 /// Reads the harness scale from `MORELLO_SCALE` (`test`, `small`, or
 /// `default`). Binaries default to the full (`default`) size; set
@@ -29,6 +31,75 @@ pub fn scale_from_env() -> Scale {
 /// The standard harness runner at the environment-selected scale.
 pub fn harness_runner() -> Runner {
     Runner::new(Platform::morello().with_scale(scale_from_env()))
+}
+
+/// The suite worker count for this invocation: `--jobs N` on the command
+/// line, else the `MORELLO_JOBS` environment variable, else the host's
+/// available parallelism. An unparsable value aborts with exit code 2
+/// rather than silently running at a default.
+pub fn jobs_from_env() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match morello_pmu::jobs_flag(&args) {
+        Some(Ok(n)) => return n,
+        Some(Err(raw)) => {
+            eprintln!("invalid --jobs value `{raw}` (expected a number)");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    match std::env::var("MORELLO_JOBS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("invalid MORELLO_JOBS value `{raw}` (expected a number)");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => morello_sim::suite::default_jobs(),
+    }
+}
+
+/// Runs a suite the way every figure/table binary does: workloads are
+/// the full registry (`keys: None`) or a key selection, cells are
+/// scheduled over the parallel suite engine (`--jobs N` /
+/// `MORELLO_JOBS`, default available parallelism) with a shared
+/// lowered-program cache, and — when `--journal <path>` is on the
+/// command line — one [`morello_sim::RunRecord`] per cell (with its
+/// host wall-time) is appended to the JSONL run journal at that path.
+///
+/// A one-line engine summary (cells, jobs, cache hit rate, wall-time)
+/// goes to stderr so the tables on stdout stay machine-diffable.
+pub fn suite_rows(runner: &Runner, keys: Option<&[&str]>) -> Vec<SuiteRow> {
+    let workloads = match keys {
+        Some(keys) => select(keys),
+        None => registry(),
+    };
+    let cache = ProgramCache::new();
+    let config = SuiteConfig::with_jobs(jobs_from_env());
+    let args: Vec<String> = std::env::args().collect();
+    let started = std::time::Instant::now();
+    let rows = match morello_pmu::journal_flag(&args) {
+        Some(path) => {
+            let mut journal = JsonlJournal::append(&path).unwrap_or_else(|e| {
+                eprintln!("could not open journal {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let rows = run_suite_observed(runner, &workloads, &cache, &config, &mut journal)
+                .expect("suite runs");
+            eprintln!("(run journal: {})", path.display());
+            rows
+        }
+        None => run_suite_with(runner, &workloads, &cache, &config).expect("suite runs"),
+    };
+    eprintln!(
+        "(suite: {} workloads, jobs={}, lowered {} cells ({} cache hits), {:.2?})",
+        workloads.len(),
+        config.effective_jobs(),
+        cache.misses(),
+        cache.hits(),
+        started.elapsed()
+    );
+    rows
 }
 
 /// Writes an experiment's JSON artefact. Every figure/table binary

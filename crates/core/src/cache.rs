@@ -1,0 +1,128 @@
+//! The lowered-program cache shared by the parallel suite engine.
+//!
+//! Building a workload's generic program and lowering it for an ABI is
+//! pure — it depends only on the workload, the ABI, and the problem
+//! scale, never on the microarchitecture — so the suite engine lowers
+//! each (workload, abi, scale) cell shape exactly once and shares the
+//! [`Program`] across every run that needs it: repeated suite sweeps,
+//! uarch ablation ladders, and all worker threads of one sweep.
+
+use cheri_isa::{lower, Abi, Program};
+use cheri_workloads::{Scale, Workload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cell shape: everything lowering depends on.
+type CacheKey = (&'static str, Abi, Scale);
+
+/// A thread-safe cache of lowered programs keyed by
+/// (workload key, ABI, scale).
+///
+/// Each entry is initialised at most once even under concurrent misses:
+/// the map lock is held only to look up the entry's [`OnceLock`], so one
+/// cell's lowering never blocks a different cell's.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    slots: Mutex<HashMap<CacheKey, Arc<OnceLock<Arc<Program>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Returns the lowered program for the cell, building and lowering it
+    /// on first use. Concurrent callers for the same cell block until the
+    /// single lowering finishes; callers for different cells proceed
+    /// independently.
+    ///
+    /// The cache is keyed by [`Workload::key`], which is assumed to
+    /// identify the builder (true for the registry and any well-formed
+    /// custom workload set).
+    pub fn get_or_lower(&self, workload: &Workload, abi: Abi, scale: Scale) -> Arc<Program> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache lock never poisoned");
+            slots.entry((workload.key, abi, scale)).or_default().clone()
+        };
+        let mut lowered_here = false;
+        let prog = slot
+            .get_or_init(|| {
+                lowered_here = true;
+                Arc::new(lower(&workload.build(abi, scale)))
+            })
+            .clone();
+        if lowered_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        prog
+    }
+
+    /// How many lookups found an already-lowered program.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many lookups had to lower (once per distinct cell shape).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The number of distinct cell shapes seen so far.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache lock never poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_workloads::by_key;
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_program() {
+        let cache = ProgramCache::new();
+        let w = by_key("lbm_519").unwrap();
+        let a = cache.get_or_lower(&w, Abi::Hybrid, Scale::Test);
+        let b = cache.get_or_lower(&w, Abi::Hybrid, Scale::Test);
+        assert!(Arc::ptr_eq(&a, &b), "cache must return the same program");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_cells_get_distinct_entries() {
+        let cache = ProgramCache::new();
+        let w = by_key("lbm_519").unwrap();
+        cache.get_or_lower(&w, Abi::Hybrid, Scale::Test);
+        cache.get_or_lower(&w, Abi::Purecap, Scale::Test);
+        cache.get_or_lower(&w, Abi::Hybrid, Scale::Small);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn concurrent_misses_lower_once() {
+        let cache = ProgramCache::new();
+        let w = by_key("xz_557").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| cache.get_or_lower(&w, Abi::Purecap, Scale::Test));
+            }
+        });
+        assert_eq!(cache.misses(), 1, "exactly one thread lowers");
+        assert_eq!(cache.hits(), 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! A bounded work-stealing pool for independent experiment cells.
+//!
+//! The suite's workload × ABI matrix is embarrassingly parallel: every
+//! cell is a pure simulation. The engine deals the cells round-robin
+//! over `jobs` worker queues; a worker drains its own queue from the
+//! front and, when empty, steals from the back of its neighbours', so
+//! long-running cells (one slow workload) do not leave the other
+//! workers idle. Results land in per-cell slots, which makes the
+//! reduction deterministic: callers always read outcomes in cell-index
+//! order, regardless of which worker finished which cell when.
+//!
+//! A panicking cell is isolated: it poisons neither the pool nor its
+//! siblings, and surfaces as [`CellOutcome::Panicked`] with the payload
+//! message so the caller can turn it into a typed error
+//! ([`RunError::WorkerPanicked`](crate::RunError::WorkerPanicked)).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// What became of one scheduled cell.
+#[derive(Debug)]
+pub(crate) enum CellOutcome<T> {
+    /// The cell ran to completion (which may still be a domain error).
+    Done(T),
+    /// The cell's closure panicked; the payload message is attached.
+    Panicked(String),
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Runs `run(cell)` for every cell index in `0..n_cells` on a pool of at
+/// most `jobs` std threads and returns the outcomes **in cell order**.
+///
+/// `jobs` is clamped to `[1, n_cells]`; `jobs == 1` degenerates to a
+/// single worker draining the cells in order (the sequential reference
+/// the determinism tests compare against).
+pub(crate) fn run_cells<T, F>(n_cells: usize, jobs: usize, run: F) -> Vec<CellOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n_cells.max(1));
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((0..n_cells).filter(|c| c % jobs == w).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<CellOutcome<T>>>> =
+        (0..n_cells).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            let run = &run;
+            scope.spawn(move || {
+                while let Some(cell) = next_cell(queues, me) {
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| run(cell))) {
+                        Ok(v) => CellOutcome::Done(v),
+                        Err(payload) => CellOutcome::Panicked(panic_message(payload)),
+                    };
+                    *slots[cell].lock().expect("slot lock never poisoned") = Some(outcome);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock never poisoned")
+                .expect("every scheduled cell ran")
+        })
+        .collect()
+}
+
+/// Pops the next cell for worker `me`: own queue front first, then steal
+/// from the back of the other workers' queues. Cells never enqueue new
+/// cells, so one full scan finding nothing means the matrix is drained.
+fn next_cell(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(c) = queues[me]
+        .lock()
+        .expect("queue lock never poisoned")
+        .pop_front()
+    {
+        return Some(c);
+    }
+    let n = queues.len();
+    for d in 1..n {
+        if let Some(c) = queues[(me + d) % n]
+            .lock()
+            .expect("queue lock never poisoned")
+            .pop_back()
+        {
+            return Some(c);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outcomes_come_back_in_cell_order() {
+        for jobs in [1, 2, 4, 7] {
+            let out = run_cells(13, jobs, |i| i * i);
+            let values: Vec<usize> = out
+                .into_iter()
+                .map(|o| match o {
+                    CellOutcome::Done(v) => v,
+                    CellOutcome::Panicked(m) => panic!("unexpected panic: {m}"),
+                })
+                .collect();
+            assert_eq!(values, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = run_cells(100, 4, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn a_panicking_cell_is_isolated() {
+        let out = run_cells(5, 2, |i| {
+            assert!(i != 3, "cell 3 exploded");
+            i
+        });
+        for (i, o) in out.iter().enumerate() {
+            match o {
+                CellOutcome::Done(v) => {
+                    assert_eq!(*v, i);
+                    assert!(i != 3);
+                }
+                CellOutcome::Panicked(msg) => {
+                    assert_eq!(i, 3);
+                    assert!(msg.contains("cell 3 exploded"), "got: {msg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let out = run_cells(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+}

@@ -24,13 +24,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+mod engine;
 mod observe;
 mod projection;
 mod report;
 mod runner;
 pub mod suite;
 
+pub use cache::ProgramCache;
 pub use observe::{uarch_config_hash, RunObserver, RunRecord, VecObserver};
-pub use projection::{project, ProjectionRow};
+pub use projection::{project, project_with, ProjectionRow};
 pub use report::{HeapSummary, RunReport, TopDown};
 pub use runner::{Platform, RunError, Runner};

@@ -1,6 +1,7 @@
 //! The paper's §5 projection: how much of the purecap overhead would a
 //! CHERI-native microarchitecture remove?
 
+use crate::cache::ProgramCache;
 use crate::runner::{Platform, RunError, Runner};
 use cheri_isa::Abi;
 use cheri_workloads::Workload;
@@ -37,10 +38,10 @@ impl ProjectionRow {
     }
 }
 
-fn slowdown(platform: Platform, w: &Workload) -> Result<f64, RunError> {
+fn slowdown(platform: Platform, w: &Workload, cache: &ProgramCache) -> Result<f64, RunError> {
     let runner = Runner::new(platform);
-    let h = runner.run(w, Abi::Hybrid)?;
-    let p = runner.run(w, Abi::Purecap)?;
+    let h = runner.run_with_cache(w, Abi::Hybrid, cache)?;
+    let p = runner.run_with_cache(w, Abi::Purecap, cache)?;
     Ok(p.seconds / h.seconds)
 }
 
@@ -49,10 +50,27 @@ fn slowdown(platform: Platform, w: &Workload) -> Result<f64, RunError> {
 /// re-measured per configuration so each slowdown is internally
 /// consistent.
 ///
+/// Lowering is shared across the whole ladder through a private
+/// [`ProgramCache`] — the ten runs use two lowered programs. Pass your
+/// own cache via [`project_with`] to share across workloads too.
+///
 /// # Errors
 ///
 /// Fails if any run fails.
 pub fn project(base: Platform, w: &Workload) -> Result<ProjectionRow, RunError> {
+    project_with(base, w, &ProgramCache::new())
+}
+
+/// As [`project`], sharing an external lowered-program cache.
+///
+/// # Errors
+///
+/// Fails if any run fails.
+pub fn project_with(
+    base: Platform,
+    w: &Workload,
+    cache: &ProgramCache,
+) -> Result<ProjectionRow, RunError> {
     let morello = UarchConfig {
         pcc_aware_branch_predictor: false,
         wide_cap_store_buffer: false,
@@ -61,10 +79,18 @@ pub fn project(base: Platform, w: &Workload) -> Result<ProjectionRow, RunError> 
     };
     Ok(ProjectionRow {
         name: w.name.to_owned(),
-        morello_slowdown: slowdown(base.with_uarch(morello), w)?,
-        pcc_aware_slowdown: slowdown(base.with_uarch(morello.with_pcc_aware_bp(true)), w)?,
-        wide_sb_slowdown: slowdown(base.with_uarch(morello.with_wide_cap_store_buffer(true)), w)?,
-        cap_madd_slowdown: slowdown(base.with_uarch(morello.with_cap_madd_fusion(true)), w)?,
+        morello_slowdown: slowdown(base.with_uarch(morello), w, cache)?,
+        pcc_aware_slowdown: slowdown(base.with_uarch(morello.with_pcc_aware_bp(true)), w, cache)?,
+        wide_sb_slowdown: slowdown(
+            base.with_uarch(morello.with_wide_cap_store_buffer(true)),
+            w,
+            cache,
+        )?,
+        cap_madd_slowdown: slowdown(
+            base.with_uarch(morello.with_cap_madd_fusion(true)),
+            w,
+            cache,
+        )?,
         projected_slowdown: slowdown(
             base.with_uarch(UarchConfig {
                 pcc_aware_branch_predictor: true,
@@ -74,6 +100,7 @@ pub fn project(base: Platform, w: &Workload) -> Result<ProjectionRow, RunError> 
                 ..morello
             }),
             w,
+            cache,
         )?,
     })
 }

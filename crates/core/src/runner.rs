@@ -15,7 +15,9 @@ pub struct Platform {
     /// The timing-model configuration.
     pub uarch: UarchConfig,
     /// Interpreter limits (fuel, call depth, dependence window).
-    #[serde(skip, default)]
+    /// `default` keeps journals written before this field serialised
+    /// loadable.
+    #[serde(default)]
     pub interp: InterpConfig,
     /// Problem scale for workload builders.
     pub scale: Scale,
@@ -141,10 +143,46 @@ impl Runner {
         }
         let generic = workload.build(abi, self.platform.scale);
         let prog = lower(&generic);
+        self.run_lowered(workload, abi, &prog)
+    }
+
+    /// As [`run`](Runner::run), but fetches the lowered program from
+    /// `cache` (lowering it on first use) instead of re-lowering per
+    /// call. Lowering depends only on (workload, ABI, scale), so the
+    /// cache can safely be shared across platforms that differ in
+    /// microarchitecture or interpreter limits — the suite engine and
+    /// the ablation ladders exploit exactly that.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Runner::run).
+    pub fn run_with_cache(
+        &self,
+        workload: &Workload,
+        abi: Abi,
+        cache: &crate::ProgramCache,
+    ) -> Result<RunReport, RunError> {
+        if !workload.supports(abi) {
+            return Err(RunError::UnsupportedAbi {
+                workload: workload.name.to_owned(),
+                abi,
+            });
+        }
+        let prog = cache.get_or_lower(workload, abi, self.platform.scale);
+        self.run_lowered(workload, abi, &prog)
+    }
+
+    /// Executes an already-lowered program and assembles the report.
+    fn run_lowered(
+        &self,
+        workload: &Workload,
+        abi: Abi,
+        prog: &cheri_isa::Program,
+    ) -> Result<RunReport, RunError> {
         let mut core = TimingCore::new(self.platform.uarch);
-        let result = Interp::new(self.platform.interp).run(&prog, &mut core)?;
+        let result = Interp::new(self.platform.interp).run(prog, &mut core)?;
         let stats = core.finish();
-        Ok(self.assemble(workload, abi, stats, &prog, result))
+        Ok(self.assemble(workload, abi, stats, prog, result))
     }
 
     /// Runs one workload under one ABI and, on success, appends a
@@ -225,14 +263,9 @@ impl Runner {
                 match h.join() {
                     Ok(res) => out[i] = Some(res?),
                     Err(payload) => {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_owned())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".to_owned());
                         return Err(RunError::WorkerPanicked {
                             abi: Abi::ALL[i],
-                            message,
+                            message: crate::engine::panic_message(payload),
                         });
                     }
                 }
@@ -300,6 +333,24 @@ mod tests {
         assert!(t.frontend_bound >= 0.0 && t.frontend_bound < 1.0);
         assert!(t.backend_bound >= 0.0 && t.backend_bound < 1.0);
         assert!((t.l1_bound + t.l2_bound + t.ext_mem_bound - t.memory_bound).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_run_matches_direct_run() {
+        let r = test_runner();
+        let w = by_key("xz_557").unwrap();
+        let cache = crate::ProgramCache::new();
+        let direct = r.run(&w, Abi::Purecap).unwrap();
+        let first = r.run_with_cache(&w, Abi::Purecap, &cache).unwrap();
+        let second = r.run_with_cache(&w, Abi::Purecap, &cache).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        for rep in [&first, &second] {
+            assert_eq!(rep.counts, direct.counts);
+            assert_eq!(rep.stats, direct.stats);
+            assert_eq!(rep.exit_code, direct.exit_code);
+            assert!((rep.seconds - direct.seconds).abs() < 1e-15);
+        }
     }
 
     #[test]

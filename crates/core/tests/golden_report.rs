@@ -1,0 +1,99 @@
+//! Golden-report snapshot test: the canonical JSON for a 4-workload ×
+//! 3-ABI mini-suite is committed under `tests/golden/` and the suite
+//! engine must reproduce it **byte for byte**. This is the conformance
+//! lock for the whole measurement pipeline — workload builders, ABI
+//! lowering, the interpreter, the timing model, derived metrics, and
+//! report serialisation. Any intentional model change must regenerate
+//! the snapshot:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p morello-sim --test golden_report
+//! ```
+//!
+//! and the diff of `tests/golden/mini_suite.json` becomes part of the
+//! review.
+
+use cheri_workloads::Scale;
+use morello_sim::suite::{run_suite_with, select, SuiteConfig, SuiteRow};
+use morello_sim::{Platform, ProgramCache, Runner};
+
+/// Streaming FP, pointer-chasing C++, integer/dictionary compression,
+/// and the NA-bearing interpreter: a small slice that still exercises
+/// every report shape (including an absent benchmark-ABI cell).
+const GOLDEN_KEYS: [&str; 4] = ["lbm_519", "omnetpp_520", "xz_557", "quickjs"];
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mini_suite.json");
+
+fn mini_suite() -> Vec<SuiteRow> {
+    let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
+    run_suite_with(
+        &runner,
+        &select(&GOLDEN_KEYS),
+        &ProgramCache::new(),
+        &SuiteConfig::default(),
+    )
+    .expect("mini suite runs")
+}
+
+fn canonical_json(rows: &[SuiteRow]) -> String {
+    let mut json = serde_json::to_string_pretty(rows).expect("suite rows serialise");
+    json.push('\n');
+    json
+}
+
+#[test]
+fn mini_suite_matches_golden_byte_for_byte() {
+    let json = canonical_json(&mini_suite());
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &json).expect("golden snapshot written");
+        eprintln!("golden snapshot updated: {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "could not read golden snapshot {GOLDEN_PATH}: {e}\n\
+             (generate it with `UPDATE_GOLDEN=1 cargo test -p morello-sim \
+             --test golden_report`)"
+        )
+    });
+    if json != golden {
+        let mismatch = json
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "suite report drifted from the golden snapshot at line {}:\n  \
+                 got:  {got}\n  want: {want}\n\
+                 (intentional model changes: re-run with UPDATE_GOLDEN=1 and \
+                 commit the diff)",
+                i + 1
+            ),
+            None => panic!(
+                "suite report drifted from the golden snapshot: lengths differ \
+                 ({} vs {} bytes) with a common prefix\n\
+                 (intentional model changes: re-run with UPDATE_GOLDEN=1 and \
+                 commit the diff)",
+                json.len(),
+                golden.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn golden_snapshot_deserialises_back_to_the_same_rows() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden snapshot present");
+    let rows: Vec<SuiteRow> = serde_json::from_str(&golden).expect("golden parses");
+    assert_eq!(rows.len(), GOLDEN_KEYS.len());
+    // The NA cell survives the round trip as a genuine absence.
+    let quickjs = rows
+        .iter()
+        .find(|r| r.key == "quickjs")
+        .expect("quickjs row");
+    assert!(quickjs.reports[1].is_none(), "benchmark ABI is NA");
+    // Re-serialising the parsed rows reproduces the snapshot exactly:
+    // the serialisation itself is canonical, not just this process run.
+    assert_eq!(canonical_json(&rows), golden);
+}

@@ -1,0 +1,67 @@
+//! Property tests for the lowered-program cache: for an arbitrary
+//! (workload, ABI, scale) cell, running through the cache — cold or
+//! warm — must be observationally identical to lowering fresh. The
+//! cache is a pure memoisation of `lower`, so event counts, modelled
+//! cycles, simulated seconds, and exit codes may not move by a single
+//! bit.
+
+use cheri_isa::Abi;
+use cheri_workloads::{by_key, Scale};
+use morello_sim::{Platform, ProgramCache, Runner};
+use proptest::prelude::*;
+
+const KEYS: [&str; 8] = [
+    "lbm_519",
+    "omnetpp_520",
+    "xalancbmk_523",
+    "xz_557",
+    "deepsjeng_531",
+    "leela_541",
+    "sqlite",
+    "quickjs",
+];
+
+fn cell_strategy() -> impl Strategy<Value = (usize, usize, Scale)> {
+    // Scale::Small cells cost seconds each; keep most cases at
+    // Scale::Test so the property still crosses scales without
+    // dominating the test wall-time.
+    (
+        0usize..KEYS.len(),
+        0usize..Abi::ALL.len(),
+        (0usize..4).prop_map(|i| if i == 0 { Scale::Small } else { Scale::Test }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cached and freshly-lowered programs are indistinguishable to the
+    /// whole modelling pipeline, and a warm hit is as good as a miss.
+    #[test]
+    fn cached_cell_matches_fresh_cell(cell in cell_strategy()) {
+        let (wi, ai, scale) = cell;
+        let w = by_key(KEYS[wi]).expect("known workload");
+        let abi = Abi::ALL[ai];
+        prop_assume!(w.supports(abi));
+
+        let runner = Runner::new(Platform::morello().with_scale(scale));
+        let fresh = runner.run(&w, abi).expect("fresh run succeeds");
+
+        let cache = ProgramCache::new();
+        let cold = runner.run_with_cache(&w, abi, &cache).expect("cold cached run");
+        let warm = runner.run_with_cache(&w, abi, &cache).expect("warm cached run");
+        prop_assert_eq!(cache.misses(), 1, "one cell shape lowers once");
+        prop_assert_eq!(cache.hits(), 1, "second run must reuse the program");
+
+        for cached in [&cold, &warm] {
+            prop_assert_eq!(&fresh.counts, &cached.counts, "event counts drifted");
+            prop_assert_eq!(&fresh.stats, &cached.stats, "uarch stats drifted");
+            prop_assert_eq!(fresh.exit_code, cached.exit_code);
+            prop_assert_eq!(
+                fresh.seconds.to_bits(),
+                cached.seconds.to_bits(),
+                "simulated time must be bit-identical"
+            );
+        }
+    }
+}

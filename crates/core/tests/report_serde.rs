@@ -36,6 +36,46 @@ fn platform_json_roundtrip() {
     let back: Platform = serde_json::from_str(&json).expect("deserialises");
     assert_eq!(back.uarch, p.uarch);
     assert_eq!(back.scale, p.scale);
+    assert_eq!(back.interp, p.interp);
+}
+
+#[test]
+fn platform_interp_limits_serialise_faithfully() {
+    let mut p = Platform::morello();
+    p.interp.max_insts = 123_456_789;
+    p.interp.dep_window = 7;
+    p.interp.max_call_depth = 42;
+    let json = serde_json::to_string(&p).expect("serialises");
+    // Journals must record the interpreter budget a run was taken
+    // under, not silently drop it.
+    assert!(json.contains("\"max_insts\":123456789"), "json: {json}");
+    assert!(json.contains("\"dep_window\":7"));
+    assert!(json.contains("\"max_call_depth\":42"));
+    let back: Platform = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(back.interp, p.interp);
+}
+
+#[test]
+fn platform_json_without_interp_field_still_loads() {
+    // Journals written while `interp` was `#[serde(skip)]` have no such
+    // field; they must keep deserialising, falling back to the default
+    // interpreter configuration.
+    let p = Platform::morello().with_scale(Scale::Test);
+    let json = serde_json::to_string(&p).expect("serialises");
+    let mut v: serde::Value = serde_json::from_str(&json).expect("parses");
+    match &mut v {
+        serde::Value::Map(fields) => {
+            let before = fields.len();
+            fields.retain(|(name, _)| name != "interp");
+            assert_eq!(fields.len(), before - 1, "interp field was present");
+        }
+        _ => panic!("platform serialises as an object"),
+    }
+    let legacy = serde_json::to_string(&v).expect("re-serialises");
+    let back: Platform = serde_json::from_str(&legacy).expect("legacy json loads");
+    assert_eq!(back.uarch, p.uarch);
+    assert_eq!(back.scale, p.scale);
+    assert_eq!(back.interp, cheri_isa::InterpConfig::default());
 }
 
 #[test]

@@ -140,7 +140,11 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
 }
 
 /// Interpreter configuration.
-#[derive(Clone, Copy, Debug)]
+///
+/// Serialisable so a [`Platform`](../morello_sim/struct.Platform.html)
+/// snapshot (and therefore a run journal) records the interpreter limits
+/// it ran under, not just the microarchitecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct InterpConfig {
     /// Abort after this many retired instructions.
     pub max_insts: u64,

@@ -35,4 +35,6 @@ pub use correlate::{correlation_matrix, pearson};
 pub use counters::{EventCounts, MultiplexedSession, PmuBank, PMU_SLOTS};
 pub use derived::DerivedMetrics;
 pub use event::PmuEvent;
-pub use report::{fmt_metric, out_flag, write_json_out, Table};
+pub use report::{
+    flag_value, fmt_metric, jobs_flag, journal_flag, out_flag, write_json_out, Table,
+};

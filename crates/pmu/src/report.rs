@@ -77,20 +77,42 @@ impl Table {
     }
 }
 
+/// Extracts the value of a `--<name> <value>` (or `--<name>=<value>`)
+/// flag from a command line. `name` is given without the leading dashes.
+pub fn flag_value<S: AsRef<str>>(args: &[S], name: &str) -> Option<String> {
+    let bare = format!("--{name}");
+    let eq = format!("--{name}=");
+    let mut it = args.iter().map(AsRef::as_ref);
+    while let Some(a) = it.next() {
+        if a == bare {
+            return it.next().map(str::to_owned);
+        }
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
 /// Extracts the value of a `--out <path>` (or `--out=<path>`) flag from a
 /// command line — the shared JSON-export flag of the figure/table
 /// binaries.
 pub fn out_flag<S: AsRef<str>>(args: &[S]) -> Option<std::path::PathBuf> {
-    let mut it = args.iter().map(AsRef::as_ref);
-    while let Some(a) = it.next() {
-        if a == "--out" {
-            return it.next().map(std::path::PathBuf::from);
-        }
-        if let Some(p) = a.strip_prefix("--out=") {
-            return Some(std::path::PathBuf::from(p));
-        }
-    }
-    None
+    flag_value(args, "out").map(std::path::PathBuf::from)
+}
+
+/// Extracts the value of a `--jobs <n>` (or `--jobs=<n>`) flag — the
+/// shared worker-count flag of the suite-driving binaries. A present but
+/// unparsable value comes back as `Some(Err(raw))` so binaries can
+/// reject it instead of silently running with a default.
+pub fn jobs_flag<S: AsRef<str>>(args: &[S]) -> Option<Result<usize, String>> {
+    flag_value(args, "jobs").map(|v| v.parse::<usize>().map_err(|_| v))
+}
+
+/// Extracts the value of a `--journal <path>` flag — the shared run
+/// journal destination of the suite-driving binaries.
+pub fn journal_flag<S: AsRef<str>>(args: &[S]) -> Option<std::path::PathBuf> {
+    flag_value(args, "journal").map(std::path::PathBuf::from)
 }
 
 /// Writes `value` as pretty-printed JSON to `path`, creating parent
@@ -154,6 +176,24 @@ mod tests {
         assert!(!t.is_empty());
         let s = t.render();
         assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = ["bin", "--jobs", "4", "--out=x.json", "--journal", "j.jsonl"];
+        assert_eq!(jobs_flag(&args), Some(Ok(4)));
+        assert_eq!(out_flag(&args), Some(std::path::PathBuf::from("x.json")));
+        assert_eq!(
+            journal_flag(&args),
+            Some(std::path::PathBuf::from("j.jsonl"))
+        );
+        assert_eq!(jobs_flag(&["bin", "--jobs=16"]), Some(Ok(16)));
+        assert_eq!(
+            jobs_flag(&["bin", "--jobs", "lots"]),
+            Some(Err("lots".to_owned()))
+        );
+        assert_eq!(jobs_flag(&["bin"]), None);
+        assert_eq!(journal_flag(&["bin", "--out", "x"]), None);
     }
 
     #[test]
