@@ -1,0 +1,69 @@
+//! Figure 8: heap temporal-safety revocation overhead vs quarantine
+//! threshold — the allocator-strategy lab's headline curve.
+//!
+//! Runs the `alloc_stress` churn workload under all three ABIs, once
+//! with the padded baseline allocator (quarantines, never sweeps) and
+//! once per quarantine-byte threshold with the sweeping strategy. The
+//! capability ABIs pay a load-side tag sweep whose frequency falls as
+//! the quarantine grows (Cornucopia-style amortisation); the hybrid ABI
+//! runs the classic allocator and pays nothing.
+//!
+//! Suite flags: `--jobs N` (engine worker threads; default: available
+//! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+
+use morello_bench::{experiments, harness_runner, jobs_from_env, write_json};
+use morello_obs::JsonlJournal;
+use morello_sim::suite::{run_suite_observed, run_suite_with, select, SuiteConfig, SuiteRow};
+use morello_sim::{ProgramCache, Runner, StrategyKind};
+
+/// The quarantine-byte threshold ladder, in KiB.
+const THRESHOLDS_KIB: [u64; 4] = [16, 32, 64, 256];
+
+fn main() {
+    let base = harness_runner();
+    let workloads = select(&["alloc_stress"]);
+    let cache = ProgramCache::new();
+    let config = SuiteConfig::with_jobs(jobs_from_env());
+    let args: Vec<String> = std::env::args().collect();
+    let mut journal = morello_pmu::journal_flag(&args).map(|path| {
+        let j = JsonlJournal::append(&path).unwrap_or_else(|e| {
+            eprintln!("could not open journal {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!("(run journal: {})", path.display());
+        j
+    });
+
+    let started = std::time::Instant::now();
+    let mut sets: Vec<(u64, Vec<SuiteRow>)> = Vec::new();
+    let mut run_at = |runner: &Runner, kib: u64, journal: &mut Option<JsonlJournal>| {
+        let rows = match journal {
+            Some(j) => run_suite_observed(runner, &workloads, &cache, &config, j),
+            None => run_suite_with(runner, &workloads, &cache, &config),
+        }
+        .expect("suite runs");
+        sets.push((kib, rows));
+    };
+    run_at(&base, 0, &mut journal);
+    for kib in THRESHOLDS_KIB {
+        let runner = Runner::new(
+            base.platform()
+                .with_cap_alloc(StrategyKind::swept_bytes(kib * 1024)),
+        );
+        run_at(&runner, kib, &mut journal);
+    }
+    eprintln!(
+        "(ladder: {} strategies, jobs={}, lowered {} cells ({} cache hits), {:.2?})",
+        sets.len(),
+        config.effective_jobs(),
+        cache.misses(),
+        cache.hits(),
+        started.elapsed()
+    );
+
+    let (table, points) = experiments::fig8_revocation(&sets);
+    println!("Figure 8: revocation overhead vs quarantine threshold (alloc_stress)");
+    println!("{}", table.render());
+    write_json("fig8_revocation", &points);
+}

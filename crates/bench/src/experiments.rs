@@ -2,7 +2,7 @@
 
 use cheri_isa::Abi;
 use cheri_workloads::by_key;
-use morello_pmu::{correlation_matrix, fmt_metric, Table};
+use morello_pmu::{correlation_matrix, fmt_metric, PmuEvent, Table};
 use morello_sim::suite::SuiteRow;
 use serde::Serialize;
 
@@ -375,17 +375,34 @@ pub fn fig7_correlation(rows: &[SuiteRow], abi: Abi) -> (Table, Vec<Vec<f64>>) {
 /// Table 2: memory-intensity classification, with the paper's value for
 /// comparison.
 pub fn table2_memory_intensity(rows: &[SuiteRow]) -> Table {
-    let mut t = Table::new(&["Benchmark", "MI (measured)", "MI (paper)", "class"]);
+    let mut t = Table::new(&[
+        "Benchmark",
+        "MI (measured)",
+        "MI (paper)",
+        "class",
+        "quar hwm (KiB)",
+        "epochs",
+    ]);
     for r in rows {
         if let Some(h) = r.get(Abi::Hybrid) {
             let paper = by_key(&r.key)
                 .and_then(|w| w.table2_mi)
                 .map_or("-".to_owned(), |v| format!("{v:.3}"));
+            // Quarantine columns come from the purecap run: the hybrid
+            // ABI always uses the classic (non-quarantining) allocator.
+            let (quar, epochs) = r.get(Abi::Purecap).map_or(("-".into(), "-".into()), |p| {
+                (
+                    format!("{:.1}", p.heap.quarantine_bytes_hwm as f64 / 1024.0),
+                    p.heap.revocation_epochs.to_string(),
+                )
+            });
             t.row(&[
                 r.name.clone(),
                 format!("{:.3}", h.derived.memory_intensity),
                 paper,
                 h.derived.intensity_class().to_owned(),
+                quar,
+                epochs,
             ]);
         }
     }
@@ -435,6 +452,87 @@ pub fn table3_key_metrics(rows: &[SuiteRow]) -> Table {
         }
     }
     t
+}
+
+/// One point of the Figure 8 revocation-overhead curves: one ABI at one
+/// quarantine threshold (`0` = the padded baseline, which quarantines
+/// but never tag-sweeps).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig8Point {
+    /// Quarantine byte threshold in KiB (`0` = padded baseline).
+    pub quarantine_kib: u64,
+    /// The ABI of this point.
+    pub abi: Abi,
+    /// Simulated execution time in seconds.
+    pub seconds: f64,
+    /// Time normalised to the same threshold's hybrid run.
+    pub overhead_vs_hybrid: Option<f64>,
+    /// Revocation epochs triggered.
+    pub revocation_epochs: u64,
+    /// Capability granules visited by tag sweeps.
+    pub sweep_granules_visited: u64,
+    /// Stale tags cleared by tag sweeps.
+    pub sweep_tags_cleared: u64,
+    /// Quarantine occupancy high-water mark in bytes.
+    pub quarantine_bytes_hwm: u64,
+}
+
+/// Figure 8: revocation overhead vs quarantine threshold. `sets` pairs
+/// each threshold (KiB; `0` = padded baseline) with the suite rows run
+/// under that allocator strategy — the binary runs `alloc_stress`, but
+/// any selection works.
+pub fn fig8_revocation(sets: &[(u64, Vec<SuiteRow>)]) -> (Table, Vec<Fig8Point>) {
+    let mut t = Table::new(&[
+        "Quarantine",
+        "Benchmark",
+        "ABI",
+        "time (s)",
+        "vs hybrid",
+        "epochs",
+        "granules swept",
+        "tags cleared",
+        "quar hwm (KiB)",
+    ]);
+    let mut data = Vec::new();
+    for (kib, rows) in sets {
+        for r in rows {
+            let hybrid_secs = r.get(Abi::Hybrid).map(|h| h.seconds);
+            for abi in Abi::ALL {
+                let rep = match r.get(abi) {
+                    Some(rep) => rep,
+                    None => continue,
+                };
+                let over = hybrid_secs.filter(|h| *h > 0.0).map(|h| rep.seconds / h);
+                let label = if *kib == 0 {
+                    "padded".to_owned()
+                } else {
+                    format!("{kib} KiB")
+                };
+                t.row(&[
+                    label,
+                    r.name.clone(),
+                    abi.to_string(),
+                    format!("{:.4}", rep.seconds),
+                    over.map_or("-".into(), |v| format!("{v:.3}")),
+                    rep.heap.revocation_epochs.to_string(),
+                    rep.counts.get(PmuEvent::SweepGranulesVisited).to_string(),
+                    rep.counts.get(PmuEvent::SweepTagsCleared).to_string(),
+                    format!("{:.1}", rep.heap.quarantine_bytes_hwm as f64 / 1024.0),
+                ]);
+                data.push(Fig8Point {
+                    quarantine_kib: *kib,
+                    abi,
+                    seconds: rep.seconds,
+                    overhead_vs_hybrid: over,
+                    revocation_epochs: rep.heap.revocation_epochs,
+                    sweep_granules_visited: rep.counts.get(PmuEvent::SweepGranulesVisited),
+                    sweep_tags_cleared: rep.counts.get(PmuEvent::SweepTagsCleared),
+                    quarantine_bytes_hwm: rep.heap.quarantine_bytes_hwm,
+                });
+            }
+        }
+    }
+    (t, data)
 }
 
 #[cfg(test)]
@@ -498,5 +596,50 @@ mod tests {
         let rows = tiny_rows();
         let s = fig5_shift_summary(&rows);
         assert!(s.dp_growth_max > 0.0, "purecap must add DP work");
+    }
+
+    #[test]
+    fn fig8_curves_are_monotone_and_hybrid_is_free() {
+        use morello_sim::suite::{run_suite_with, SuiteConfig};
+        use morello_sim::{ProgramCache, StrategyKind};
+        let base = Platform::morello().with_scale(Scale::Test);
+        let workloads = select(&["alloc_stress"]);
+        let cache = ProgramCache::new();
+        let config = SuiteConfig::with_jobs(1);
+        let mut sets = Vec::new();
+        for kib in [0u64, 16, 32, 64, 256] {
+            let platform = if kib == 0 {
+                base
+            } else {
+                base.with_cap_alloc(StrategyKind::swept_bytes(kib * 1024))
+            };
+            let rows = run_suite_with(&Runner::new(platform), &workloads, &cache, &config).unwrap();
+            sets.push((kib, rows));
+        }
+        let (t, points) = fig8_revocation(&sets);
+        assert_eq!(t.len(), 5 * 3);
+        assert_eq!(points.len(), 5 * 3);
+        // Hybrid never sweeps and costs the same at every threshold.
+        let hybrid: Vec<_> = points.iter().filter(|p| p.abi == Abi::Hybrid).collect();
+        for h in &hybrid {
+            assert_eq!(h.sweep_granules_visited, 0);
+            assert_eq!(h.revocation_epochs, 0);
+            assert_eq!(h.seconds, hybrid[0].seconds);
+        }
+        // Purecap: sweeping strategies sweep, and a larger quarantine
+        // amortises — overhead decreases monotonically with threshold.
+        let pc: Vec<_> = points.iter().filter(|p| p.abi == Abi::Purecap).collect();
+        assert!(pc[1].sweep_granules_visited > 0, "16 KiB threshold sweeps");
+        for w in pc[1..].windows(2) {
+            assert!(
+                w[1].overhead_vs_hybrid.unwrap() <= w[0].overhead_vs_hybrid.unwrap(),
+                "larger quarantine must not cost more: {:?} -> {:?}",
+                w[0].quarantine_kib,
+                w[1].quarantine_kib
+            );
+            assert!(w[1].revocation_epochs <= w[0].revocation_epochs);
+        }
+        // The program cache was shared across every strategy platform.
+        assert_eq!(cache.misses(), 3);
     }
 }

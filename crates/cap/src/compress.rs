@@ -275,6 +275,21 @@ pub fn representable_alignment_mask(len: u64) -> u64 {
     !((1u64 << (e + EXP_LOW_BITS)) - 1)
 }
 
+/// Returns the base alignment, in bytes, required for a region of the
+/// given length to be representable — the two's-complement of
+/// [`representable_alignment_mask`], as an allocator would compute it.
+///
+/// Exactly-representable lengths need no alignment (the result is 1).
+///
+/// ```
+/// use cheri_cap::representable_alignment;
+/// assert_eq!(representable_alignment(64), 1);
+/// assert_eq!(representable_alignment(1 << 20), 2048); // E = 8
+/// ```
+pub fn representable_alignment(len: u64) -> u64 {
+    (!representable_alignment_mask(len)).wrapping_add(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

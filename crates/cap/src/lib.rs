@@ -43,8 +43,8 @@ mod perms;
 
 pub use capability::Capability;
 pub use compress::{
-    representable_alignment_mask, round_representable_length, CompressedCap, BOT_WIDTH,
-    EXP_LOW_BITS, MAX_EXPONENT,
+    representable_alignment, representable_alignment_mask, round_representable_length,
+    CompressedCap, BOT_WIDTH, EXP_LOW_BITS, MAX_EXPONENT,
 };
 pub use error::{CapFault, FaultKind};
 pub use otype::Otype;

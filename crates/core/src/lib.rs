@@ -36,4 +36,8 @@ pub use cache::ProgramCache;
 pub use observe::{uarch_config_hash, RunObserver, RunRecord, VecObserver};
 pub use projection::{project, project_with, ProjectionRow};
 pub use report::{HeapSummary, RunReport, TopDown};
-pub use runner::{Platform, RunError, Runner};
+pub use runner::{fold_heap_stats, Platform, RunError, Runner};
+
+// Re-exported so experiment drivers can select allocator strategies
+// without depending on `cheri-revoke` directly.
+pub use cheri_revoke::StrategyKind;

@@ -40,6 +40,10 @@ pub struct RunRecord {
     pub retired: u64,
     /// The program's exit code (architectural checksum).
     pub exit_code: u64,
+    /// Heap summary, including quarantine occupancy and revocation
+    /// epochs (`default` keeps pre-revocation journals loadable).
+    #[serde(default)]
+    pub heap: crate::HeapSummary,
     /// Host wall-clock seconds the simulation itself took.
     pub wall_seconds: f64,
 }
@@ -64,6 +68,7 @@ impl RunRecord {
             seconds: report.seconds,
             retired: report.retired,
             exit_code: report.exit_code,
+            heap: report.heap,
             wall_seconds,
         }
     }

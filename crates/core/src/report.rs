@@ -66,6 +66,17 @@ pub struct HeapSummary {
     pub padding_bytes: u64,
     /// Distinct 4 KiB pages touched ("memory footprint").
     pub pages_touched: u64,
+    /// High-water mark of bytes held in the revocation quarantine
+    /// (`default` keeps journals from before the revocation subsystem
+    /// loadable).
+    #[serde(default)]
+    pub quarantine_bytes_hwm: u64,
+    /// High-water mark of blocks held in the revocation quarantine.
+    #[serde(default)]
+    pub quarantine_blocks_hwm: u64,
+    /// Revocation epochs (quarantine drains / tag sweeps) triggered.
+    #[serde(default)]
+    pub revocation_epochs: u64,
 }
 
 /// Everything measured about one (workload, ABI) execution.

@@ -2,6 +2,8 @@
 
 use crate::report::{HeapSummary, RunReport, TopDown};
 use cheri_isa::{lower, Abi, BinaryLayout, Interp, InterpConfig, InterpError};
+use cheri_mem::HeapStats;
+use cheri_revoke::StrategyKind;
 use cheri_workloads::{Scale, Workload};
 use core::fmt;
 use morello_pmu::{DerivedMetrics, EventCounts, MultiplexedSession};
@@ -53,6 +55,15 @@ impl Platform {
     #[must_use]
     pub fn with_uarch(mut self, uarch: UarchConfig) -> Platform {
         self.uarch = uarch;
+        self
+    }
+
+    /// Returns a copy with a different capability-heap allocator
+    /// strategy (ignored by non-capability ABIs, which always run the
+    /// classic allocator).
+    #[must_use]
+    pub fn with_cap_alloc(mut self, kind: StrategyKind) -> Platform {
+        self.interp.cap_alloc = kind;
         self
     }
 }
@@ -235,9 +246,10 @@ impl Runner {
         let session = MultiplexedSession::plan_full();
         let counts = session.collect(|_group| {
             let mut core = TimingCore::new(self.platform.uarch);
-            Interp::new(self.platform.interp)
-                .run(&prog, &mut core)
-                .map(|_| core.finish())
+            let result = Interp::new(self.platform.interp).run(&prog, &mut core)?;
+            let mut stats = core.finish();
+            fold_heap_stats(&mut stats, &result.heap_stats);
+            Ok::<_, InterpError>(stats)
         })?;
         Ok((counts, session.required_runs()))
     }
@@ -279,10 +291,11 @@ impl Runner {
         &self,
         workload: &Workload,
         abi: Abi,
-        stats: UarchStats,
+        mut stats: UarchStats,
         prog: &cheri_isa::Program,
         result: cheri_isa::RunResult,
     ) -> RunReport {
+        fold_heap_stats(&mut stats, &result.heap_stats);
         let counts = EventCounts::from_uarch(&stats);
         let derived = DerivedMetrics::from_counts(&counts);
         let topdown = TopDown::from_stats(&stats, &derived);
@@ -299,6 +312,9 @@ impl Runner {
                 peak_live_bytes: result.heap_stats.peak_live_bytes,
                 padding_bytes: result.heap_stats.padding_bytes,
                 pages_touched: result.pages_touched,
+                quarantine_bytes_hwm: result.heap_stats.quarantine_bytes_hwm,
+                quarantine_blocks_hwm: result.heap_stats.quarantine_blocks_hwm,
+                revocation_epochs: result.heap_stats.revocation_epochs,
             },
             binary: BinaryLayout::of(prog),
             stats,
@@ -307,6 +323,18 @@ impl Runner {
             topdown,
         }
     }
+}
+
+/// Copies the allocator's revocation counters into the microarchitectural
+/// stats so they surface as PMU events. Called on every execution path
+/// (direct runs, each leg of a multiplexed session, and observability
+/// front-ends like `morello-obs`) so the synthetic counters stay
+/// consistent with the hardware-modelled ones.
+pub fn fold_heap_stats(stats: &mut UarchStats, heap: &HeapStats) {
+    stats.sweep_granules_visited = heap.sweep_granules_visited;
+    stats.sweep_tags_cleared = heap.sweep_tags_cleared;
+    stats.revocation_epochs = heap.revocation_epochs;
+    stats.quarantine_bytes_hwm = heap.quarantine_bytes_hwm;
 }
 
 #[cfg(test)]
@@ -374,6 +402,33 @@ mod tests {
             assert_eq!(multi.get(e), v, "mismatch on {e}");
         }
         assert!(multi.get(PmuEvent::CapMemAccessRd) > 0);
+    }
+
+    #[test]
+    fn swept_strategy_surfaces_revocation_events() {
+        let w = by_key("alloc_stress").unwrap();
+        let swept = Runner::new(
+            Platform::morello()
+                .with_scale(Scale::Test)
+                .with_cap_alloc(StrategyKind::swept_bytes(16 * 1024)),
+        );
+        let p = swept.run(&w, Abi::Purecap).unwrap();
+        assert!(p.counts.get(PmuEvent::RevocationEpochs) > 0);
+        assert!(p.counts.get(PmuEvent::SweepGranulesVisited) > 0);
+        assert!(p.counts.get(PmuEvent::QuarantineBytesHighWater) > 0);
+        assert!(p.heap.quarantine_bytes_hwm > 0);
+        assert!(p.heap.revocation_epochs > 0);
+        // The sweep's memory traffic must be visible to the cache model.
+        let d = test_runner().run(&w, Abi::Purecap).unwrap();
+        assert!(p.stats.mem_access_rd > d.stats.mem_access_rd);
+        // Hybrid runs the classic allocator: no sweeps, whatever the knob.
+        let h = swept.run(&w, Abi::Hybrid).unwrap();
+        assert_eq!(h.counts.get(PmuEvent::SweepGranulesVisited), 0);
+        assert_eq!(h.heap.revocation_epochs, 0);
+        assert_eq!(h.heap.quarantine_bytes_hwm, 0);
+        // The default padded strategy quarantines but never tag-sweeps.
+        assert_eq!(d.counts.get(PmuEvent::SweepTagsCleared), 0);
+        assert!(d.heap.quarantine_blocks_hwm > 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Golden-report snapshot test: the canonical JSON for a 4-workload ×
+//! Golden-report snapshot test: the canonical JSON for a 5-workload ×
 //! 3-ABI mini-suite is committed under `tests/golden/` and the suite
 //! engine must reproduce it **byte for byte**. This is the conformance
 //! lock for the whole measurement pipeline — workload builders, ABI
@@ -18,9 +18,16 @@ use morello_sim::suite::{run_suite_with, select, SuiteConfig, SuiteRow};
 use morello_sim::{Platform, ProgramCache, Runner};
 
 /// Streaming FP, pointer-chasing C++, integer/dictionary compression,
-/// and the NA-bearing interpreter: a small slice that still exercises
-/// every report shape (including an absent benchmark-ABI cell).
-const GOLDEN_KEYS: [&str; 4] = ["lbm_519", "omnetpp_520", "xz_557", "quickjs"];
+/// the NA-bearing interpreter, and the allocation-churn stressor: a
+/// small slice that still exercises every report shape (including an
+/// absent benchmark-ABI cell and the revocation quarantine counters).
+const GOLDEN_KEYS: [&str; 5] = [
+    "lbm_519",
+    "omnetpp_520",
+    "xz_557",
+    "quickjs",
+    "alloc_stress",
+];
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/mini_suite.json");
 

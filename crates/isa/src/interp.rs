@@ -18,10 +18,11 @@ use crate::inst::{
     BranchKind, CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, InstClass, IntOp, LoadKind, MemSize,
     Operand, VecKind,
 };
-use crate::lower::{RT_FREE_PC, RT_MALLOC_PC, STACK_SIZE};
+use crate::lower::{RT_FREE_PC, RT_MALLOC_PC, RT_SWEEP_PC, STACK_SIZE};
 use crate::program::{FuncId, Program, PtrInit, VReg};
 use cheri_cap::{CapFault, Capability, Perms};
-use cheri_mem::{AllocMode, HeapAllocator, HeapStats, MemError, MemStats, TaggedMemory};
+use cheri_mem::{HeapAllocator, HeapStats, MemError, MemStats, TaggedMemory};
+use cheri_revoke::{RevokingHeap, StrategyKind, SweepOutcome};
 use core::fmt;
 
 /// One retired instruction, as observed by the timing model.
@@ -153,6 +154,12 @@ pub struct InterpConfig {
     pub dep_window: u64,
     /// Maximum call depth.
     pub max_call_depth: u32,
+    /// Allocator discipline for the capability ABIs (hybrid always runs
+    /// classic `malloc`). [`StrategyKind::Classic`] is promoted to
+    /// [`StrategyKind::CapabilityPadded`] here, because capability ABIs
+    /// need representable bounds.
+    #[serde(default)]
+    pub cap_alloc: StrategyKind,
 }
 
 impl Default for InterpConfig {
@@ -161,6 +168,7 @@ impl Default for InterpConfig {
             max_insts: 2_000_000_000,
             dep_window: 6,
             max_call_depth: 4096,
+            cap_alloc: StrategyKind::CapabilityPadded,
         }
     }
 }
@@ -319,7 +327,7 @@ struct Machine<'p> {
     prog: &'p Program,
     cfg: InterpConfig,
     mem: TaggedMemory,
-    heap: HeapAllocator,
+    heap: RevokingHeap,
     frames: Vec<Frame>,
     sp: u64,
     stack_cap: Capability,
@@ -345,14 +353,20 @@ macro_rules! emit {
 impl<'p> Machine<'p> {
     fn new(prog: &'p Program, cfg: InterpConfig) -> Result<Machine<'p>, InterpError> {
         let cap_abi = prog.abi.is_capability();
-        let mode = if cap_abi {
-            AllocMode::Capability
+        let kind = if cap_abi {
+            match cfg.cap_alloc {
+                // Capability ABIs need representable bounds: classic
+                // layout would hand out unencodable large blocks.
+                StrategyKind::Classic => StrategyKind::CapabilityPadded,
+                k => k,
+            }
         } else {
-            AllocMode::Classic
+            StrategyKind::Classic
         };
-        // First MiB of the arena is allocator metadata.
+        // First MiB of the arena is allocator metadata; the revocation
+        // bitmap window sits in its upper half.
         let (heap_lo, heap_hi) = prog.map.heap;
-        let heap = HeapAllocator::new(heap_lo + (1 << 20), heap_hi, mode);
+        let heap = RevokingHeap::new(heap_lo + (1 << 20), heap_hi, heap_lo + (1 << 19), kind);
         let stack_base = prog.map.stack_top - STACK_SIZE;
         let stack_cap = Capability::root_rw()
             .set_bounds(stack_base, STACK_SIZE)
@@ -1598,8 +1612,9 @@ impl<'p> Machine<'p> {
                 pcc_change: pcc,
             }
         );
-        self.heap
-            .free(addr)
+        let outcome = self
+            .heap
+            .free(&mut self.mem, addr)
             .map_err(|e| InterpError::BadProgram { msg: e.to_string() })?;
         for i in 0..8u64 {
             emit!(
@@ -1678,6 +1693,9 @@ impl<'p> Machine<'p> {
                 }
             );
         }
+        if let Some(sweep) = outcome.sweep {
+            self.emit_sweep(&sweep, sink);
+        }
         emit!(
             self,
             sink,
@@ -1690,6 +1708,67 @@ impl<'p> Machine<'p> {
             }
         );
         Ok(())
+    }
+
+    /// Replays a revocation epoch's tag-sweep traffic as retired events,
+    /// so the sweep is charged through the cache/TLB hierarchy exactly
+    /// like Cornucopia's load-side barrier: each probe/load/clear becomes
+    /// a load or store in a small sweep loop at [`RT_SWEEP_PC`], with a
+    /// dash of loop-control DP work and a backward branch per page.
+    fn emit_sweep<S: EventSink>(&mut self, sweep: &SweepOutcome, sink: &mut S) {
+        for i in 0..4u64 {
+            emit!(
+                self,
+                sink,
+                RT_SWEEP_PC + i * 4,
+                RetiredInfo::Simple(InstClass::Dp)
+            );
+        }
+        let mut page_boundary = 0u64;
+        for (i, acc) in sweep.accesses.iter().enumerate() {
+            let pc = RT_SWEEP_PC + 16 + (i as u64 % 48) * 4;
+            if acc.write {
+                emit!(
+                    self,
+                    sink,
+                    pc,
+                    RetiredInfo::Store {
+                        addr: acc.addr,
+                        size: acc.size,
+                        is_cap: acc.is_cap,
+                    }
+                );
+            } else {
+                emit!(
+                    self,
+                    sink,
+                    pc,
+                    RetiredInfo::Load {
+                        addr: acc.addr,
+                        size: acc.size,
+                        is_cap: acc.is_cap,
+                        dep_load: false,
+                    }
+                );
+            }
+            // Loop control: one DP op per access, and a taken backward
+            // branch at each page boundary of the walk.
+            emit!(self, sink, pc + 4, RetiredInfo::Simple(InstClass::Dp));
+            if acc.addr >> 12 != page_boundary {
+                page_boundary = acc.addr >> 12;
+                emit!(
+                    self,
+                    sink,
+                    RT_SWEEP_PC + 16 + 49 * 4,
+                    RetiredInfo::Branch {
+                        kind: BranchKind::Immediate,
+                        taken: true,
+                        target: RT_SWEEP_PC + 16,
+                        pcc_change: false,
+                    }
+                );
+            }
+        }
     }
 }
 

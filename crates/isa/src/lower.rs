@@ -36,6 +36,9 @@ pub(crate) const CODE_BASE: u64 = 0x1_0000;
 pub(crate) const RT_MALLOC_PC: u64 = 0xE000;
 /// Pseudo code region of `free`.
 pub(crate) const RT_FREE_PC: u64 = 0xE800;
+/// Pseudo code region of the revocation tag-sweep loop (the Cornucopia
+/// epoch the `cheri-revoke` subsystem replays through the timing model).
+pub(crate) const RT_SWEEP_PC: u64 = 0xF000;
 /// Capability-table (GOT) base address.
 pub(crate) const CAPTABLE_BASE: u64 = 0x0800_0000;
 /// Global data base address.

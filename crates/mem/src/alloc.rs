@@ -1,6 +1,6 @@
 //! A CHERI-aware heap allocator model.
 
-use cheri_cap::{representable_alignment_mask, round_representable_length};
+use cheri_cap::{representable_alignment, round_representable_length};
 use core::fmt;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -42,6 +42,13 @@ pub enum AllocError {
         /// The bogus address.
         addr: u64,
     },
+    /// `free` of a block that is already sitting in the temporal-safety
+    /// quarantine — a double free, as opposed to a wild free of an address
+    /// the allocator never handed out.
+    DoubleFreeQuarantined {
+        /// Base address of the quarantined block.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -51,6 +58,9 @@ impl fmt::Display for AllocError {
                 write!(f, "heap arena exhausted allocating {requested} bytes")
             }
             AllocError::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            AllocError::DoubleFreeQuarantined { addr } => {
+                write!(f, "double free of quarantined block {addr:#x}")
+            }
         }
     }
 }
@@ -78,6 +88,29 @@ pub struct HeapStats {
     pub padding_bytes: u64,
     /// Arena high-water mark (bytes of address space consumed).
     pub arena_used: u64,
+    /// Bytes currently parked in the temporal-safety quarantine.
+    #[serde(default)]
+    pub quarantine_bytes: u64,
+    /// Blocks currently parked in the temporal-safety quarantine.
+    #[serde(default)]
+    pub quarantine_blocks: u64,
+    /// High-water mark of `quarantine_bytes`.
+    #[serde(default)]
+    pub quarantine_bytes_hwm: u64,
+    /// High-water mark of `quarantine_blocks`.
+    #[serde(default)]
+    pub quarantine_blocks_hwm: u64,
+    /// Revocation epochs triggered (quarantine drains / tag sweeps).
+    #[serde(default)]
+    pub revocation_epochs: u64,
+    /// Capability granules visited by revocation tag sweeps (populated by
+    /// the `cheri-revoke` epoch engine; always 0 for the plain allocator).
+    #[serde(default)]
+    pub sweep_granules_visited: u64,
+    /// Capability tags cleared by revocation tag sweeps (populated by the
+    /// `cheri-revoke` epoch engine; always 0 for the plain allocator).
+    #[serde(default)]
+    pub sweep_tags_cleared: u64,
 }
 
 /// A size-class heap allocator over a fixed arena, with optional CHERI
@@ -168,9 +201,7 @@ impl HeapAllocator {
             AllocMode::Classic => (usable, 16),
             AllocMode::Capability => {
                 let padded = round_representable_length(usable);
-                let align = (!representable_alignment_mask(padded))
-                    .wrapping_add(1)
-                    .max(16);
+                let align = representable_alignment(padded).max(16);
                 (padded, align)
             }
         };
@@ -215,13 +246,19 @@ impl HeapAllocator {
     ///
     /// # Errors
     ///
+    /// [`AllocError::DoubleFreeQuarantined`] when `addr` is a block still
+    /// sitting in the quarantine (a double free);
     /// [`AllocError::InvalidFree`] when `addr` is not a live allocation
-    /// base (double free or wild free).
+    /// base at all (a wild free, or a double free of a long-recycled
+    /// block).
     pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
-        let alloc = self
-            .live
-            .remove(&addr)
-            .ok_or(AllocError::InvalidFree { addr })?;
+        let alloc = match self.live.remove(&addr) {
+            Some(a) => a,
+            None if self.quarantine.iter().any(|&(a, _)| a == addr) => {
+                return Err(AllocError::DoubleFreeQuarantined { addr });
+            }
+            None => return Err(AllocError::InvalidFree { addr }),
+        };
         self.stats.total_frees += 1;
         self.stats.live_bytes -= alloc.padded;
         match self.mode {
@@ -232,9 +269,22 @@ impl HeapAllocator {
                 // Temporal safety: the block stays unreusable until a
                 // revocation epoch has scanned for stale capabilities.
                 self.quarantine.push_back((addr, alloc.padded));
+                self.stats.quarantine_bytes += alloc.padded;
+                self.stats.quarantine_blocks += 1;
+                self.stats.quarantine_bytes_hwm = self
+                    .stats
+                    .quarantine_bytes_hwm
+                    .max(self.stats.quarantine_bytes);
+                self.stats.quarantine_blocks_hwm = self
+                    .stats
+                    .quarantine_blocks_hwm
+                    .max(self.stats.quarantine_blocks);
                 if self.quarantine.len() > QUARANTINE_BLOCKS {
+                    self.stats.revocation_epochs += 1;
                     for _ in 0..QUARANTINE_BLOCKS / 2 {
                         if let Some((a, sz)) = self.quarantine.pop_front() {
+                            self.stats.quarantine_bytes -= sz;
+                            self.stats.quarantine_blocks -= 1;
                             self.free_lists.entry(sz).or_default().push(a);
                         }
                     }
@@ -340,11 +390,49 @@ mod tests {
         let mut h = cap_heap();
         let a = h.malloc(64).unwrap();
         h.free(a.addr).unwrap();
+        // Regression: a double free of a *quarantined* block must be
+        // diagnosed as such, not as a generic wild free.
         assert_eq!(
             h.free(a.addr).unwrap_err(),
-            AllocError::InvalidFree { addr: a.addr }
+            AllocError::DoubleFreeQuarantined { addr: a.addr }
         );
-        assert!(h.free(0xdead).is_err());
+        // A wild free stays the generic error.
+        assert_eq!(
+            h.free(0xdea0).unwrap_err(),
+            AllocError::InvalidFree { addr: 0xdea0 }
+        );
+        // Classic mode recycles immediately, so its double free is a plain
+        // invalid free (the block is back on the free list).
+        let mut c = HeapAllocator::new(0x1000, 0x10_0000, AllocMode::Classic);
+        let b = c.malloc(64).unwrap();
+        c.free(b.addr).unwrap();
+        assert_eq!(
+            c.free(b.addr).unwrap_err(),
+            AllocError::InvalidFree { addr: b.addr }
+        );
+    }
+
+    #[test]
+    fn quarantine_occupancy_tracked() {
+        let mut h = cap_heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        h.free(b.addr).unwrap();
+        let s = h.stats();
+        assert_eq!(s.quarantine_blocks, 2);
+        assert_eq!(s.quarantine_bytes, a.padded + b.padded);
+        assert_eq!(s.quarantine_blocks_hwm, 2);
+        assert_eq!(s.revocation_epochs, 0);
+        // Push past the epoch threshold and check the drain is accounted.
+        for _ in 0..600 {
+            let x = h.malloc(64).unwrap();
+            h.free(x.addr).unwrap();
+        }
+        let s = h.stats();
+        assert!(s.revocation_epochs > 0, "epochs must trigger: {s:?}");
+        assert!(s.quarantine_blocks <= QUARANTINE_BLOCKS as u64 + 1);
+        assert!(s.quarantine_blocks_hwm > s.quarantine_blocks / 2);
     }
 
     #[test]

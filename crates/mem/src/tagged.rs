@@ -270,6 +270,77 @@ impl TaggedMemory {
         (revoked, scanned)
     }
 
+    // -- Sweep support (used by the `cheri-revoke` epoch engine) -----------
+
+    /// Base addresses of the materialised pages intersecting `[lo, hi)`,
+    /// in ascending order (the deterministic page walk a revocation sweep
+    /// performs). Untouched pages hold no tags and are skipped, exactly
+    /// like CheriBSD's revoker skips unmapped ranges.
+    pub fn touched_pages_in(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let lo_page = lo >> PAGE_SHIFT;
+        let hi_page = hi.saturating_add(PAGE_SIZE - 1) >> PAGE_SHIFT;
+        let mut pages: Vec<u64> = self
+            .pages
+            .keys()
+            .copied()
+            .filter(|p| *p >= lo_page && *p < hi_page)
+            .map(|p| p << PAGE_SHIFT)
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Addresses of every tagged (capability-holding) granule in
+    /// `[lo, hi)`, in ascending order.
+    pub fn tagged_granules_in(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for page_base in self.touched_pages_in(lo, hi) {
+            let page = &self.pages[&(page_base >> PAGE_SHIFT)];
+            for w in 0..TAG_WORDS {
+                let mut bits = page.tags[w];
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let addr = page_base + ((w * 64 + bit) as u64) * CAP_GRANULE;
+                    if addr >= lo && addr < hi {
+                        out.push(addr);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reads the capability image and tag of the granule containing
+    /// `addr` without materialising pages or counting an access (a
+    /// revoker-side inspection, not an architectural load). Returns
+    /// `None` for an untouched page.
+    pub fn peek_cap(&self, addr: u64) -> Option<(CompressedCap, bool)> {
+        let base = addr & !(CAP_GRANULE - 1);
+        let page = self.pages.get(&(base >> PAGE_SHIFT))?;
+        let in_page = (base & (PAGE_SIZE - 1)) as usize;
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&page.data[in_page..in_page + 16]);
+        Some((
+            CompressedCap::from_bytes(bytes),
+            page.tag(in_page / CAP_GRANULE as usize),
+        ))
+    }
+
+    /// Clears the tag of the granule containing `addr` (a revocation
+    /// tag-write). Returns whether a tag was actually cleared.
+    pub fn clear_tag(&mut self, addr: u64) -> bool {
+        let page_no = addr >> PAGE_SHIFT;
+        let gi = ((addr & (PAGE_SIZE - 1)) / CAP_GRANULE) as usize;
+        match self.pages.get_mut(&page_no) {
+            Some(page) if page.tag(gi) => {
+                page.set_tag(gi, false);
+                true
+            }
+            _ => false,
+        }
+    }
+
     // -- Convenience scalar accessors (little-endian) ----------------------
 
     /// Reads a `u8`.
@@ -495,6 +566,32 @@ mod tests {
         assert!(m.load_cap(0x300).unwrap().1, "live capability survives");
         // Idempotent: nothing left to revoke.
         assert_eq!(m.revoke_region(0x8000, 0x8040), (0, 1));
+    }
+
+    #[test]
+    fn sweep_accessors_enumerate_and_clear() {
+        let mut m = TaggedMemory::new();
+        let c = Capability::root_rw().set_bounds_exact(0x8000, 64).unwrap();
+        m.store_cap(0x40, c.to_compressed(), true).unwrap();
+        m.store_cap(PAGE_SIZE * 3 + 0x20, c.to_compressed(), true)
+            .unwrap();
+        m.write_u8(PAGE_SIZE * 9, 1).unwrap(); // touched, untagged page
+        assert_eq!(
+            m.touched_pages_in(0, PAGE_SIZE * 10),
+            vec![0, PAGE_SIZE * 3, PAGE_SIZE * 9]
+        );
+        assert_eq!(
+            m.tagged_granules_in(0, PAGE_SIZE * 10),
+            vec![0x40, PAGE_SIZE * 3 + 0x20]
+        );
+        assert_eq!(m.tagged_granules_in(0x50, PAGE_SIZE * 10).len(), 1);
+        let (cc, tag) = m.peek_cap(0x44).unwrap();
+        assert!(tag);
+        assert_eq!(cc, c.to_compressed());
+        assert!(m.peek_cap(PAGE_SIZE * 20).is_none());
+        assert!(m.clear_tag(0x40));
+        assert!(!m.clear_tag(0x40), "second clear is a no-op");
+        assert_eq!(m.tagged_granules_in(0, PAGE_SIZE * 10).len(), 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use cheri_isa::{lower, Abi, EventSink, Interp, RetiredEvent};
 use cheri_workloads::Workload;
-use morello_pmu::{DerivedMetrics, EventCounts};
+use morello_pmu::{DerivedMetrics, EventCounts, PmuEvent};
 use morello_sim::{Platform, RunError};
 use morello_uarch::{TimingCore, UarchConfig, UarchStats};
 use serde::{Deserialize, Serialize};
@@ -155,7 +155,23 @@ pub fn run_sampled(
     let prog = lower(&workload.build(abi, platform.scale));
     let mut sampler = IntervalSampler::new(platform.uarch, window);
     let result = Interp::new(platform.interp).run(&prog, &mut sampler)?;
-    let (stats, samples) = sampler.finish();
+    let (mut stats, mut samples) = sampler.finish();
+    // The allocator's revocation counters are run totals read at exit
+    // (not cycle-attributed), so fold them into the final statistics and
+    // credit them to the last window — the deltas still telescope.
+    morello_sim::fold_heap_stats(&mut stats, &result.heap_stats);
+    if let Some(last) = samples.last_mut() {
+        let full = EventCounts::from_uarch(&stats);
+        for event in [
+            PmuEvent::SweepGranulesVisited,
+            PmuEvent::SweepTagsCleared,
+            PmuEvent::RevocationEpochs,
+            PmuEvent::QuarantineBytesHighWater,
+        ] {
+            last.counts.set(event, full.get(event));
+        }
+        last.derived = DerivedMetrics::from_counts(&last.counts);
+    }
     Ok(SampledRun {
         workload: workload.name.to_owned(),
         abi,

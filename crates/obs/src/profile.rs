@@ -191,7 +191,10 @@ pub fn run_profiled(
     let prog = lower(&workload.build(abi, platform.scale));
     let mut profiler = Profiler::new(platform.uarch, prog.regions.clone());
     let result = Interp::new(platform.interp).run(&prog, &mut profiler)?;
-    let (stats, regions) = profiler.finish();
+    let (mut stats, regions) = profiler.finish();
+    // Run-total allocator counters, as in an unsampled `Runner` run;
+    // the per-region rows keep hardware-attributed statistics only.
+    morello_sim::fold_heap_stats(&mut stats, &result.heap_stats);
     Ok(ProfiledRun {
         workload: workload.name.to_owned(),
         abi,

@@ -26,7 +26,7 @@ impl EventCounts {
     /// statistics — what an ideal PMU with unlimited counters would see.
     pub fn from_uarch(s: &UarchStats) -> EventCounts {
         let mut c = EventCounts::new();
-        let pairs: [(PmuEvent, u64); 38] = [
+        let pairs: [(PmuEvent, u64); 42] = [
             (PmuEvent::CpuCycles, s.cpu_cycles),
             (PmuEvent::InstRetired, s.inst_retired),
             (PmuEvent::StallFrontend, s.stall_frontend),
@@ -65,6 +65,10 @@ impl EventCounts {
             (PmuEvent::CapMemAccessWr, s.cap_mem_access_wr),
             (PmuEvent::MemAccessRdCtag, s.mem_access_rd_ctag),
             (PmuEvent::MemAccessWrCtag, s.mem_access_wr_ctag),
+            (PmuEvent::SweepGranulesVisited, s.sweep_granules_visited),
+            (PmuEvent::SweepTagsCleared, s.sweep_tags_cleared),
+            (PmuEvent::RevocationEpochs, s.revocation_epochs),
+            (PmuEvent::QuarantineBytesHighWater, s.quarantine_bytes_hwm),
         ];
         for (e, v) in pairs {
             c.counts.insert(e, v);
@@ -313,7 +317,7 @@ mod tests {
     #[test]
     fn full_plan_covers_all_events() {
         let plan = MultiplexedSession::plan_full();
-        // 36 non-fixed non-anchor events at 5 per group.
+        // 40 non-fixed non-anchor events at 5 per group.
         assert_eq!(plan.required_runs(), 8);
         let mut seen = std::collections::BTreeSet::new();
         for g in plan.groups() {

@@ -70,6 +70,14 @@ pub struct DerivedMetrics {
     pub cap_tag_overhead: f64,
     /// `(LD_SPEC + ST_SPEC) / (DP_SPEC + ASE_SPEC + VFP_SPEC)`.
     pub memory_intensity: f64,
+    /// `SWEEP_GRANULES_VISITED / INST_RETIRED * 1000` — revocation sweep
+    /// work per kilo-instruction (0 without a sweeping allocator).
+    #[serde(default)]
+    pub sweep_granules_pki: f64,
+    /// `SWEEP_TAGS_CLEARED / SWEEP_GRANULES_VISITED` — how much of the
+    /// swept heap actually held stale capabilities.
+    #[serde(default)]
+    pub sweep_clear_rate: f64,
 }
 
 impl DerivedMetrics {
@@ -127,6 +135,8 @@ impl DerivedMetrics {
                 c.get(E::LdSpec) + c.get(E::StSpec),
                 c.get(E::DpSpec) + c.get(E::AseSpec) + c.get(E::VfpSpec),
             ),
+            sweep_granules_pki: per_kilo(c.get(E::SweepGranulesVisited), retired),
+            sweep_clear_rate: ratio(c.get(E::SweepTagsCleared), c.get(E::SweepGranulesVisited)),
         }
     }
 
@@ -228,6 +238,19 @@ mod tests {
         assert_eq!(m.intensity_class(), "balanced");
         m.memory_intensity = 1.16;
         assert_eq!(m.intensity_class(), "memory-centric");
+    }
+
+    #[test]
+    fn sweep_metrics_derived() {
+        let mut c = sample_counts();
+        c.set(PmuEvent::SweepGranulesVisited, 4000);
+        c.set(PmuEvent::SweepTagsCleared, 400);
+        let m = DerivedMetrics::from_counts(&c);
+        assert!((m.sweep_granules_pki - 2000.0).abs() < 1e-12);
+        assert!((m.sweep_clear_rate - 0.1).abs() < 1e-12);
+        let none = DerivedMetrics::from_counts(&sample_counts());
+        assert_eq!(none.sweep_granules_pki, 0.0);
+        assert_eq!(none.sweep_clear_rate, 0.0);
     }
 
     #[test]

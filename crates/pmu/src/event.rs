@@ -51,11 +51,15 @@ pub enum PmuEvent {
     CapMemAccessWr,
     MemAccessRdCtag,
     MemAccessWrCtag,
+    SweepGranulesVisited,
+    SweepTagsCleared,
+    RevocationEpochs,
+    QuarantineBytesHighWater,
 }
 
 impl PmuEvent {
     /// Every event, in Table 1 order.
-    pub const ALL: [PmuEvent; 38] = [
+    pub const ALL: [PmuEvent; 42] = [
         PmuEvent::CpuCycles,
         PmuEvent::InstRetired,
         PmuEvent::StallFrontend,
@@ -94,6 +98,10 @@ impl PmuEvent {
         PmuEvent::CapMemAccessWr,
         PmuEvent::MemAccessRdCtag,
         PmuEvent::MemAccessWrCtag,
+        PmuEvent::SweepGranulesVisited,
+        PmuEvent::SweepTagsCleared,
+        PmuEvent::RevocationEpochs,
+        PmuEvent::QuarantineBytesHighWater,
     ];
 
     /// The Arm PMU mnemonic.
@@ -137,6 +145,10 @@ impl PmuEvent {
             PmuEvent::CapMemAccessWr => "CAP_MEM_ACCESS_WR",
             PmuEvent::MemAccessRdCtag => "MEM_ACCESS_RD_CTAG",
             PmuEvent::MemAccessWrCtag => "MEM_ACCESS_WR_CTAG",
+            PmuEvent::SweepGranulesVisited => "SWEEP_GRANULES_VISITED",
+            PmuEvent::SweepTagsCleared => "SWEEP_TAGS_CLEARED",
+            PmuEvent::RevocationEpochs => "REVOCATION_EPOCHS",
+            PmuEvent::QuarantineBytesHighWater => "QUARANTINE_BYTES_HWM",
         }
     }
 
@@ -182,6 +194,10 @@ impl PmuEvent {
             PmuEvent::CapMemAccessWr => "capability (tagged, 16-byte) memory writes",
             PmuEvent::MemAccessRdCtag => "reads performing a capability-tag check",
             PmuEvent::MemAccessWrCtag => "writes performing a capability-tag update",
+            PmuEvent::SweepGranulesVisited => "capability granules visited by revocation sweeps",
+            PmuEvent::SweepTagsCleared => "stale capability tags cleared by revocation sweeps",
+            PmuEvent::RevocationEpochs => "revocation epochs (quarantine drains / tag sweeps)",
+            PmuEvent::QuarantineBytesHighWater => "high-water mark of quarantined heap bytes",
         }
     }
 
@@ -193,6 +209,10 @@ impl PmuEvent {
                 | PmuEvent::CapMemAccessWr
                 | PmuEvent::MemAccessRdCtag
                 | PmuEvent::MemAccessWrCtag
+                | PmuEvent::SweepGranulesVisited
+                | PmuEvent::SweepTagsCleared
+                | PmuEvent::RevocationEpochs
+                | PmuEvent::QuarantineBytesHighWater
         )
     }
 
@@ -235,7 +255,7 @@ mod tests {
                 .iter()
                 .filter(|e| e.is_cheri_specific())
                 .count(),
-            4
+            8
         );
     }
 

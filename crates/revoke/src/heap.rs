@@ -1,0 +1,316 @@
+//! The strategy-driven heap: `cheri-mem`'s allocator mechanics with a
+//! pluggable discipline and a revocation epoch engine attached.
+
+use crate::epoch::{RevocationEpoch, SweepOutcome};
+use crate::strategy::{AllocStrategy, EpochAction, StrategyKind};
+use cheri_mem::{AllocError, Allocation, HeapAllocator, HeapStats, TaggedMemory};
+use std::collections::{HashMap, VecDeque};
+
+/// What a [`RevokingHeap::free`] did beyond releasing the block.
+#[derive(Debug, Default)]
+pub struct FreeOutcome {
+    /// The tag sweep an epoch trigger performed, if any — the caller
+    /// replays its accesses through the timing model.
+    pub sweep: Option<SweepOutcome>,
+}
+
+/// A size-class heap allocator over a fixed arena whose padding,
+/// quarantine, and revocation behaviour is decided by an
+/// [`AllocStrategy`].
+///
+/// Mechanically this mirrors [`cheri_mem::HeapAllocator`] (same size
+/// classes, free lists, and bump arena, so the
+/// [`StrategyKind::CapabilityPadded`] discipline reproduces it
+/// address-for-address); the difference is the policy object and the
+/// attached [`RevocationEpoch`] engine.
+pub struct RevokingHeap {
+    strategy: Box<dyn AllocStrategy + Send + Sync>,
+    kind: StrategyKind,
+    start: u64,
+    end: u64,
+    bump: u64,
+    free_lists: HashMap<u64, Vec<u64>>,
+    live: HashMap<u64, Allocation>,
+    quarantine: VecDeque<(u64, u64)>,
+    epoch: RevocationEpoch,
+    stats: HeapStats,
+}
+
+impl core::fmt::Debug for RevokingHeap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RevokingHeap")
+            .field("strategy", &self.strategy.name())
+            .field("arena", &(self.start..self.end))
+            .field("live", &self.live.len())
+            .field("quarantined", &self.quarantine.len())
+            .finish()
+    }
+}
+
+impl RevokingHeap {
+    /// Creates a heap over the arena `[start, end)` with the revocation
+    /// bitmap window at `bitmap_base` (outside the arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not 16-byte aligned or `end <= start`.
+    pub fn new(start: u64, end: u64, bitmap_base: u64, kind: StrategyKind) -> RevokingHeap {
+        assert!(
+            start.is_multiple_of(16),
+            "arena start must be 16-byte aligned"
+        );
+        assert!(end > start, "empty arena");
+        RevokingHeap {
+            strategy: kind.strategy(),
+            kind,
+            start,
+            end,
+            bump: start,
+            free_lists: HashMap::new(),
+            live: HashMap::new(),
+            quarantine: VecDeque::new(),
+            epoch: RevocationEpoch::new(bitmap_base, start),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The discipline selector this heap was built with.
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// Cumulative statistics (including quarantine occupancy and sweep
+    /// counters).
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Number of currently live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of blocks currently in quarantine.
+    pub fn quarantined_blocks(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// The epoch engine (bitmap geometry).
+    pub fn epoch_engine(&self) -> &RevocationEpoch {
+        &self.epoch
+    }
+
+    /// Allocates `size` bytes under the configured discipline.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when the arena is exhausted.
+    pub fn malloc(&mut self, size: u64) -> Result<Allocation, AllocError> {
+        let usable = HeapAllocator::size_class(size);
+        let (padded, align) = self.strategy.layout(usable);
+        let addr = self.free_lists.get_mut(&padded).and_then(|list| list.pop());
+        let addr = match addr {
+            Some(a) => a,
+            None => {
+                let base = (self.bump + align - 1) & !(align - 1);
+                let next = base
+                    .checked_add(padded)
+                    .ok_or(AllocError::OutOfMemory { requested: size })?;
+                if next > self.end {
+                    return Err(AllocError::OutOfMemory { requested: size });
+                }
+                self.bump = next;
+                self.stats.arena_used = self.bump - self.start;
+                base
+            }
+        };
+
+        let alloc = Allocation {
+            addr,
+            usable,
+            padded,
+        };
+        self.live.insert(addr, alloc);
+        self.stats.total_allocs += 1;
+        self.stats.requested_bytes += size;
+        self.stats.live_bytes += padded;
+        self.stats.padding_bytes += padded - usable;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        Ok(alloc)
+    }
+
+    /// Releases a block; may trigger a revocation epoch per the
+    /// discipline's thresholds.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::DoubleFreeQuarantined`] for a double free of a block
+    /// still in quarantine, [`AllocError::InvalidFree`] for a wild free.
+    pub fn free(&mut self, mem: &mut TaggedMemory, addr: u64) -> Result<FreeOutcome, AllocError> {
+        let alloc = match self.live.remove(&addr) {
+            Some(a) => a,
+            None if self.quarantine.iter().any(|&(a, _)| a == addr) => {
+                return Err(AllocError::DoubleFreeQuarantined { addr });
+            }
+            None => return Err(AllocError::InvalidFree { addr }),
+        };
+        self.stats.total_frees += 1;
+        self.stats.live_bytes -= alloc.padded;
+
+        if !self.strategy.quarantines() {
+            self.free_lists.entry(alloc.padded).or_default().push(addr);
+            return Ok(FreeOutcome::default());
+        }
+
+        self.quarantine.push_back((addr, alloc.padded));
+        self.stats.quarantine_bytes += alloc.padded;
+        self.stats.quarantine_blocks += 1;
+        self.stats.quarantine_bytes_hwm = self
+            .stats
+            .quarantine_bytes_hwm
+            .max(self.stats.quarantine_bytes);
+        self.stats.quarantine_blocks_hwm = self
+            .stats
+            .quarantine_blocks_hwm
+            .max(self.stats.quarantine_blocks);
+        if self.strategy.maintains_bitmap() {
+            self.epoch.mark_range(mem, addr, alloc.padded, true);
+        }
+
+        let action = self
+            .strategy
+            .epoch_after_free(self.stats.quarantine_bytes, self.quarantine.len());
+        match action {
+            None => Ok(FreeOutcome::default()),
+            Some(EpochAction::SilentDrain { count }) => {
+                self.stats.revocation_epochs += 1;
+                for _ in 0..count {
+                    if let Some((a, sz)) = self.quarantine.pop_front() {
+                        self.recycle(mem, a, sz);
+                    }
+                }
+                Ok(FreeOutcome::default())
+            }
+            Some(EpochAction::TagSweep) => {
+                self.stats.revocation_epochs += 1;
+                let ranges: Vec<(u64, u64)> = self.quarantine.iter().copied().collect();
+                let mut sweep = self.epoch.sweep(mem, &ranges, self.start, self.bump);
+                while let Some((a, sz)) = self.quarantine.pop_front() {
+                    sweep.bytes_recycled += sz;
+                    sweep.blocks_recycled += 1;
+                    self.recycle(mem, a, sz);
+                }
+                self.stats.sweep_granules_visited += sweep.granules_visited;
+                self.stats.sweep_tags_cleared += sweep.tags_cleared;
+                Ok(FreeOutcome { sweep: Some(sweep) })
+            }
+        }
+    }
+
+    fn recycle(&mut self, mem: &mut TaggedMemory, addr: u64, size: u64) {
+        self.stats.quarantine_bytes -= size;
+        self.stats.quarantine_blocks -= 1;
+        if self.strategy.maintains_bitmap() {
+            self.epoch.mark_range(mem, addr, size, false);
+        }
+        self.free_lists.entry(size).or_default().push(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_mem::AllocMode;
+
+    const LO: u64 = 0x4010_0000;
+    const HI: u64 = 0x5000_0000;
+    const BM: u64 = 0x4008_0000;
+
+    #[test]
+    fn capability_padded_matches_legacy_allocator_addresses() {
+        let mut legacy = HeapAllocator::new(LO, HI, AllocMode::Capability);
+        let mut new = RevokingHeap::new(LO, HI, BM, StrategyKind::CapabilityPadded);
+        let mut mem = TaggedMemory::new();
+        let mut live = Vec::new();
+        for i in 0..800u64 {
+            let sz = 16 + (i * 977) % 60_000;
+            let a = legacy.malloc(sz).unwrap();
+            let b = new.malloc(sz).unwrap();
+            assert_eq!(a, b, "allocation {i} diverged");
+            live.push(a.addr);
+            if i % 3 == 0 {
+                let victim = live.remove((i as usize * 7) % live.len());
+                legacy.free(victim).unwrap();
+                new.free(&mut mem, victim).unwrap();
+            }
+        }
+        assert_eq!(legacy.stats(), new.stats());
+        assert_eq!(mem.pages_touched(), 0, "padded discipline keeps no bitmap");
+    }
+
+    #[test]
+    fn classic_recycles_immediately_without_traffic() {
+        let mut h = RevokingHeap::new(LO, HI, BM, StrategyKind::Classic);
+        let mut mem = TaggedMemory::new();
+        let a = h.malloc(64).unwrap();
+        let out = h.free(&mut mem, a.addr).unwrap();
+        assert!(out.sweep.is_none());
+        let b = h.malloc(64).unwrap();
+        assert_eq!(a.addr, b.addr);
+        assert_eq!(h.stats().revocation_epochs, 0);
+        assert_eq!(h.stats().quarantine_blocks_hwm, 0);
+    }
+
+    #[test]
+    fn swept_epoch_triggers_on_byte_threshold_and_recycles() {
+        let mut h = RevokingHeap::new(LO, HI, BM, StrategyKind::swept_bytes(4096));
+        let mut mem = TaggedMemory::new();
+        let mut swept = None;
+        for _ in 0..200 {
+            let a = h.malloc(256).unwrap();
+            mem.write_u64(a.addr, 1).unwrap(); // touch the heap page
+            if let Some(s) = h.free(&mut mem, a.addr).unwrap().sweep {
+                swept = Some(s);
+                break;
+            }
+        }
+        let s = swept.expect("byte threshold must trigger an epoch");
+        assert!(s.blocks_recycled > 0);
+        assert!(s.pages_visited > 0);
+        assert!(h.stats().revocation_epochs == 1);
+        assert_eq!(h.stats().quarantine_blocks, 0, "sweep drains everything");
+        // Freed blocks are reusable: the next malloc comes off the free
+        // lists without growing the arena.
+        let used = h.stats().arena_used;
+        h.malloc(256).unwrap();
+        assert_eq!(h.stats().arena_used, used, "post-sweep reuse, not bump");
+    }
+
+    #[test]
+    fn sweep_revokes_stale_heap_capabilities() {
+        use cheri_cap::Capability;
+        let mut h = RevokingHeap::new(LO, HI, BM, StrategyKind::swept_bytes(1024));
+        let mut mem = TaggedMemory::new();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        // Store a capability to block `a` inside block `b` (a dangling
+        // pointer once `a` is freed).
+        let cap_a = Capability::root_rw()
+            .set_bounds_exact(a.addr, a.padded)
+            .unwrap();
+        mem.store_cap(b.addr, cap_a.to_compressed(), true).unwrap();
+        h.free(&mut mem, a.addr).unwrap();
+        // Flood frees until the epoch fires.
+        let mut sweep = None;
+        for _ in 0..100 {
+            let x = h.malloc(512).unwrap();
+            if let Some(s) = h.free(&mut mem, x.addr).unwrap().sweep {
+                sweep = Some(s);
+                break;
+            }
+        }
+        let s = sweep.expect("epoch fires");
+        assert!(s.tags_cleared >= 1);
+        assert!(!mem.peek_cap(b.addr).unwrap().1, "dangling cap revoked");
+    }
+}

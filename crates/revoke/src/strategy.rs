@@ -1,0 +1,265 @@
+//! Allocation disciplines: the policy half of the revocation subsystem.
+
+use cheri_cap::{representable_alignment, round_representable_length};
+use serde::{Deserialize, Serialize};
+
+/// What a strategy wants done once a free has been quarantined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochAction {
+    /// Recycle the `count` oldest quarantined blocks without scanning for
+    /// stale capabilities — the pre-revocation behaviour, unsound against
+    /// use-after-free but free of sweep traffic.
+    SilentDrain {
+        /// Blocks to recycle from the front of the quarantine.
+        count: usize,
+    },
+    /// Run a full load-side tag sweep over the heap, revoke every
+    /// capability into quarantined blocks, then recycle the whole
+    /// quarantine (Cornucopia's epoch).
+    TagSweep,
+}
+
+/// An allocation discipline: how blocks are laid out, whether frees are
+/// quarantined, and when a revocation epoch fires.
+///
+/// Strategies are stateless policy objects; all bookkeeping lives in
+/// [`RevokingHeap`](crate::RevokingHeap).
+pub trait AllocStrategy {
+    /// Short human-readable discipline name.
+    fn name(&self) -> &'static str;
+
+    /// Reserved size and base alignment for a size-class-rounded request.
+    /// Returns `(padded, align)` with `padded >= usable` and
+    /// `align >= 16`.
+    fn layout(&self, usable: u64) -> (u64, u64);
+
+    /// Whether frees are parked in the temporal-safety quarantine (false
+    /// means immediate free-list reuse).
+    fn quarantines(&self) -> bool;
+
+    /// Whether the per-granule revocation bitmap in `TaggedMemory` is
+    /// maintained (only sweeping strategies consult it).
+    fn maintains_bitmap(&self) -> bool {
+        false
+    }
+
+    /// Epoch decision, evaluated after every quarantined free against the
+    /// current quarantine occupancy.
+    fn epoch_after_free(
+        &self,
+        quarantine_bytes: u64,
+        quarantine_blocks: usize,
+    ) -> Option<EpochAction>;
+}
+
+/// Capability-style layout shared by the padded disciplines: the
+/// size-class-rounded block is grown to a representable length and its
+/// base aligned per the compressed-bounds contract, so
+/// `set_bounds_exact(addr, padded)` always succeeds.
+fn capability_layout(usable: u64) -> (u64, u64) {
+    let padded = round_representable_length(usable);
+    let align = representable_alignment(padded).max(16);
+    (padded, align)
+}
+
+/// Classic `malloc`: 16-byte alignment, no representability padding,
+/// immediate free-list reuse, no revocation. The hybrid-ABI discipline —
+/// structurally zero sweep cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Classic;
+
+impl AllocStrategy for Classic {
+    fn name(&self) -> &'static str {
+        "classic"
+    }
+
+    fn layout(&self, usable: u64) -> (u64, u64) {
+        (usable, 16)
+    }
+
+    fn quarantines(&self) -> bool {
+        false
+    }
+
+    fn epoch_after_free(&self, _bytes: u64, _blocks: usize) -> Option<EpochAction> {
+        None
+    }
+}
+
+/// Blocks a [`CapabilityPadded`] quarantine holds before silently
+/// recycling half of them (the legacy fixed-size quarantine).
+pub const PADDED_QUARANTINE_BLOCKS: usize = 256;
+
+/// CHERI-aware padding plus the legacy fixed-size quarantine: freed
+/// blocks park until the quarantine exceeds
+/// [`PADDED_QUARANTINE_BLOCKS`], then half drain to the free lists with
+/// no sweep. This is the pre-`cheri-revoke` purecap behaviour, refactored
+/// onto the strategy trait.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CapabilityPadded;
+
+impl AllocStrategy for CapabilityPadded {
+    fn name(&self) -> &'static str {
+        "capability-padded"
+    }
+
+    fn layout(&self, usable: u64) -> (u64, u64) {
+        capability_layout(usable)
+    }
+
+    fn quarantines(&self) -> bool {
+        true
+    }
+
+    fn epoch_after_free(&self, _bytes: u64, blocks: usize) -> Option<EpochAction> {
+        (blocks > PADDED_QUARANTINE_BLOCKS).then_some(EpochAction::SilentDrain {
+            count: PADDED_QUARANTINE_BLOCKS / 2,
+        })
+    }
+}
+
+/// CHERI-aware padding plus a swept quarantine: freed blocks park until
+/// either threshold is exceeded, then a revocation epoch tag-sweeps the
+/// heap and recycles the whole quarantine. Larger thresholds mean fewer,
+/// larger sweeps — the amortisation knob `fig8_revocation` characterises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantineSwept {
+    /// Epoch fires once quarantined bytes exceed this.
+    pub quarantine_bytes: u64,
+    /// Epoch fires once quarantined blocks exceed this.
+    pub quarantine_blocks: usize,
+}
+
+impl AllocStrategy for QuarantineSwept {
+    fn name(&self) -> &'static str {
+        "quarantine-swept"
+    }
+
+    fn layout(&self, usable: u64) -> (u64, u64) {
+        capability_layout(usable)
+    }
+
+    fn quarantines(&self) -> bool {
+        true
+    }
+
+    fn maintains_bitmap(&self) -> bool {
+        true
+    }
+
+    fn epoch_after_free(&self, bytes: u64, blocks: usize) -> Option<EpochAction> {
+        (bytes > self.quarantine_bytes || blocks > self.quarantine_blocks)
+            .then_some(EpochAction::TagSweep)
+    }
+}
+
+/// Serialisable strategy selector, carried by interpreter/platform
+/// configuration (and therefore by run journals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// [`Classic`].
+    Classic,
+    /// [`CapabilityPadded`] — the default capability-ABI discipline.
+    #[default]
+    CapabilityPadded,
+    /// [`QuarantineSwept`] with the given thresholds.
+    QuarantineSwept {
+        /// Byte threshold (see [`QuarantineSwept::quarantine_bytes`]).
+        quarantine_bytes: u64,
+        /// Block threshold (see [`QuarantineSwept::quarantine_blocks`]).
+        quarantine_blocks: usize,
+    },
+}
+
+impl StrategyKind {
+    /// A swept quarantine with the given byte budget and an effectively
+    /// unbounded block budget (the `fig8_revocation` knob).
+    pub fn swept_bytes(quarantine_bytes: u64) -> StrategyKind {
+        StrategyKind::QuarantineSwept {
+            quarantine_bytes,
+            quarantine_blocks: usize::MAX,
+        }
+    }
+
+    /// Instantiates the discipline.
+    pub fn strategy(self) -> Box<dyn AllocStrategy + Send + Sync> {
+        match self {
+            StrategyKind::Classic => Box::new(Classic),
+            StrategyKind::CapabilityPadded => Box::new(CapabilityPadded),
+            StrategyKind::QuarantineSwept {
+                quarantine_bytes,
+                quarantine_blocks,
+            } => Box::new(QuarantineSwept {
+                quarantine_bytes,
+                quarantine_blocks,
+            }),
+        }
+    }
+
+    /// Short human-readable discipline name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Classic => "classic",
+            StrategyKind::CapabilityPadded => "capability-padded",
+            StrategyKind::QuarantineSwept { .. } => "quarantine-swept",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_never_pads_or_quarantines() {
+        let s = Classic;
+        assert_eq!(s.layout(48), (48, 16));
+        assert!(!s.quarantines());
+        assert!(!s.maintains_bitmap());
+        assert_eq!(s.epoch_after_free(u64::MAX, usize::MAX), None);
+    }
+
+    #[test]
+    fn padded_matches_representability_contract() {
+        let s = CapabilityPadded;
+        let (padded, align) = s.layout(5 << 20);
+        assert_eq!(padded, round_representable_length(5 << 20));
+        assert_eq!(align, representable_alignment(padded).max(16));
+        assert!(s.quarantines());
+        assert!(!s.maintains_bitmap());
+        assert_eq!(
+            s.epoch_after_free(0, PADDED_QUARANTINE_BLOCKS + 1),
+            Some(EpochAction::SilentDrain {
+                count: PADDED_QUARANTINE_BLOCKS / 2
+            })
+        );
+        assert_eq!(s.epoch_after_free(u64::MAX, 1), None, "byte-blind");
+    }
+
+    #[test]
+    fn swept_triggers_on_either_threshold() {
+        let s = QuarantineSwept {
+            quarantine_bytes: 1024,
+            quarantine_blocks: 8,
+        };
+        assert!(s.maintains_bitmap());
+        assert_eq!(s.epoch_after_free(1024, 8), None, "thresholds inclusive");
+        assert_eq!(s.epoch_after_free(1025, 1), Some(EpochAction::TagSweep));
+        assert_eq!(s.epoch_after_free(16, 9), Some(EpochAction::TagSweep));
+    }
+
+    #[test]
+    fn kind_roundtrips_and_instantiates() {
+        for kind in [
+            StrategyKind::Classic,
+            StrategyKind::CapabilityPadded,
+            StrategyKind::swept_bytes(64 << 10),
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: StrategyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(kind, back);
+            assert_eq!(kind.strategy().name(), kind.name());
+        }
+        assert_eq!(StrategyKind::default(), StrategyKind::CapabilityPadded);
+    }
+}

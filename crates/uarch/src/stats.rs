@@ -128,6 +128,21 @@ pub struct UarchStats {
     pub tag_cache_access: u64,
     /// Tag-cache misses (second DRAM access for the tag line).
     pub tag_cache_miss: u64,
+
+    // --- Revocation subsystem (folded in from the allocator's heap stats;
+    // --- zero unless a sweeping strategy ran) --------------------------------
+    /// Capability granules visited by revocation tag sweeps.
+    #[serde(default)]
+    pub sweep_granules_visited: u64,
+    /// Stale capability tags cleared by revocation tag sweeps.
+    #[serde(default)]
+    pub sweep_tags_cleared: u64,
+    /// Revocation epochs (quarantine drains / tag sweeps) triggered.
+    #[serde(default)]
+    pub revocation_epochs: u64,
+    /// High-water mark of quarantined bytes.
+    #[serde(default)]
+    pub quarantine_bytes_hwm: u64,
 }
 
 impl UarchStats {

@@ -1,0 +1,265 @@
+//! `alloc_stress` — allocation-churn microbenchmark for the revocation
+//! subsystem.
+//!
+//! Not a paper workload: a synthetic stressor whose entire behaviour is
+//! heap churn, built to expose the allocator-strategy axis that the
+//! SPEC proxies only brush against. Two phases alternate:
+//!
+//! 1. **Binary-tree build/teardown** (the classic `binary-trees`
+//!    shootout shape): a full tree of pointer-linked nodes is built by
+//!    recursion, summed, and torn down post-order — every node a
+//!    `malloc` that later becomes quarantine occupancy under a
+//!    quarantining strategy.
+//! 2. **Fragmenting malloc/free mix**: a slot table is filled and
+//!    drained in PRNG order with size-varied blocks, so the free list
+//!    fragments across size classes and frees arrive interleaved with
+//!    allocations rather than in convenient batches.
+//!
+//! The architectural checksum folds only *stored values* (never
+//! addresses), so the exit code is identical across ABIs even though
+//! layouts, padding, and allocator placement all differ.
+
+use crate::common::{load_ptr_idx, store_ptr_idx, Field, Layout, SimRng};
+use crate::registry::Scale;
+use cheri_isa::{Abi, Cond, GenericProgram, MemSize, ProgramBuilder};
+
+struct Params {
+    rounds: u64,
+    depth: u64,
+    churn: u64,
+    slots: u64,
+}
+
+fn params(scale: Scale) -> Params {
+    let f = scale.factor();
+    Params {
+        rounds: 2 * f,
+        depth: 6,
+        churn: 1200 * f,
+        slots: 128,
+    }
+}
+
+/// Builds the allocation-churn stressor.
+pub fn build(abi: Abi, scale: Scale) -> GenericProgram {
+    let p = params(scale);
+    let mut b = ProgramBuilder::new("alloc_stress", abi);
+
+    // Tree node: { value, left*, right* } — 24 B hybrid, 48 B purecap.
+    let node = Layout::new(abi, &[Field::I64, Field::Ptr, Field::Ptr]);
+    let (n_val, n_left, n_right) = (node.off(0), node.off(1), node.off(2));
+    // Churn block header: { size, value } then payload.
+    let blk = Layout::new(abi, &[Field::I64, Field::I64]);
+    let (k_size, k_val) = (blk.off(0), blk.off(1));
+
+    // tree_build(depth, tag) -> node* — a full binary tree, every node
+    // tagged with its heap-order index so the sum is layout-independent.
+    let tree_build = b.declare("tree_build", 2);
+    b.define(tree_build, |f| {
+        let depth = f.arg(0);
+        let tag = f.arg(1);
+        let leaf = f.label();
+        f.br(Cond::Eq, depth, 0, leaf);
+        let nd = f.vreg();
+        f.malloc(nd, node.size());
+        f.store_int(tag, nd, n_val, MemSize::S8);
+        let d1 = f.vreg();
+        f.sub(d1, depth, 1);
+        let lt = f.vreg();
+        f.lsl(lt, tag, 1);
+        let l = f.vreg();
+        f.call(tree_build, &[d1, lt], Some(l));
+        f.store_ptr(l, nd, n_left);
+        let rt = f.vreg();
+        f.add(rt, lt, 1);
+        let r = f.vreg();
+        f.call(tree_build, &[d1, rt], Some(r));
+        f.store_ptr(r, nd, n_right);
+        f.ret(Some(nd));
+        f.bind(leaf);
+        let nil = f.vreg();
+        f.mov_null_ptr(nil);
+        f.ret(Some(nil));
+    });
+
+    // tree_sum(node*) -> sum of tags (pointer-chasing reduction).
+    let tree_sum = b.declare("tree_sum", 1);
+    b.define(tree_sum, |f| {
+        let nd = f.arg(0);
+        let ni = f.vreg();
+        f.ptr_to_int(ni, nd);
+        let empty = f.label();
+        f.br(Cond::Eq, ni, 0, empty);
+        let acc = f.vreg();
+        f.load_int(acc, nd, n_val, MemSize::S8);
+        let l = f.vreg();
+        f.load_ptr(l, nd, n_left);
+        let ls = f.vreg();
+        f.call(tree_sum, &[l], Some(ls));
+        f.add(acc, acc, ls);
+        let r = f.vreg();
+        f.load_ptr(r, nd, n_right);
+        let rs = f.vreg();
+        f.call(tree_sum, &[r], Some(rs));
+        f.add(acc, acc, rs);
+        f.ret(Some(acc));
+        f.bind(empty);
+        let zero = f.vreg();
+        f.mov_imm(zero, 0);
+        f.ret(Some(zero));
+    });
+
+    // tree_free(node*) — post-order teardown; the burst of frees that
+    // fills a quarantine fast.
+    let tree_free = b.declare("tree_free", 1);
+    b.define(tree_free, |f| {
+        let nd = f.arg(0);
+        let ni = f.vreg();
+        f.ptr_to_int(ni, nd);
+        let empty = f.label();
+        f.br(Cond::Eq, ni, 0, empty);
+        let l = f.vreg();
+        f.load_ptr(l, nd, n_left);
+        f.call(tree_free, &[l], None);
+        let r = f.vreg();
+        f.load_ptr(r, nd, n_right);
+        f.call(tree_free, &[r], None);
+        f.free(nd);
+        f.bind(empty);
+        f.ret(None);
+    });
+
+    let r_tree = b.region("tree_churn");
+    let r_mix = b.region("fragment_mix");
+    let main = b.function("main", 0, |f| {
+        let checksum = f.vreg();
+        f.mov_imm(checksum, 0);
+
+        // Phase 1: build / sum / tear down a full tree per round.
+        f.region(r_tree);
+        let rounds = f.vreg();
+        f.mov_imm(rounds, p.rounds);
+        f.for_loop(0, rounds, 1, |f, round| {
+            let depth = f.vreg();
+            f.mov_imm(depth, p.depth);
+            let one = f.vreg();
+            f.mov_imm(one, 1);
+            let t = f.vreg();
+            f.call(tree_build, &[depth, one], Some(t));
+            let s = f.vreg();
+            f.call(tree_sum, &[t], Some(s));
+            f.add(s, s, round);
+            f.eor(checksum, checksum, s);
+            f.call(tree_free, &[t], None);
+        });
+
+        // Phase 2: fragmenting malloc/free mix over a slot table.
+        f.region(r_mix);
+        let slab = f.vreg();
+        f.malloc(slab, p.slots * abi.pointer_size());
+        let nil0 = f.vreg();
+        f.mov_null_ptr(nil0);
+        let nslots = f.vreg();
+        f.mov_imm(nslots, p.slots);
+        f.for_loop(0, nslots, 1, |f, i| {
+            store_ptr_idx(f, abi, slab, i, nil0);
+        });
+
+        let rng = SimRng::init(f, 0x005e_eda1_10c5_7e55);
+        let iters = f.vreg();
+        f.mov_imm(iters, p.churn);
+        f.for_loop(0, iters, 1, |f, i| {
+            let idx = rng.next(f);
+            let m = f.vreg();
+            f.mov_imm(m, p.slots - 1);
+            f.and(idx, idx, m);
+            let cur = load_ptr_idx(f, abi, slab, idx);
+            let ci = f.vreg();
+            f.ptr_to_int(ci, cur);
+            let occupied = f.label();
+            let done = f.label();
+            f.br(Cond::Ne, ci, 0, occupied);
+            // Empty slot: allocate a size-varied block (16..=512 B in
+            // 16 B steps — spans several size classes, so the free list
+            // fragments) and record a layout-independent value.
+            let sz = rng.next(f);
+            let szm = f.vreg();
+            f.mov_imm(szm, 0x1F0);
+            f.and(sz, sz, szm);
+            f.add(sz, sz, blk.size().max(16) as i64);
+            let np = f.vreg();
+            f.malloc(np, sz);
+            f.store_int(sz, np, k_size, MemSize::S8);
+            let v = f.vreg();
+            f.eor(v, sz, i);
+            f.store_int(v, np, k_val, MemSize::S8);
+            store_ptr_idx(f, abi, slab, idx, np);
+            f.jump(done);
+            // Occupied slot: fold its value into the checksum and free
+            // it — frees arrive interleaved with allocations.
+            f.bind(occupied);
+            let v2 = f.vreg();
+            f.load_int(v2, cur, k_val, MemSize::S8);
+            f.add(checksum, checksum, v2);
+            f.free(cur);
+            let nil = f.vreg();
+            f.mov_null_ptr(nil);
+            store_ptr_idx(f, abi, slab, idx, nil);
+            f.bind(done);
+        });
+
+        // Drain surviving slots so every allocation is freed.
+        f.for_loop(0, nslots, 1, |f, i| {
+            let cur = load_ptr_idx(f, abi, slab, i);
+            let ci = f.vreg();
+            f.ptr_to_int(ci, cur);
+            let skip = f.label();
+            f.br(Cond::Eq, ci, 0, skip);
+            let v = f.vreg();
+            f.load_int(v, cur, k_val, MemSize::S8);
+            f.eor(checksum, checksum, v);
+            f.free(cur);
+            f.bind(skip);
+        });
+        f.free(slab);
+        f.region_end();
+
+        f.and(checksum, checksum, 0xFFFF_FFFFi64);
+        f.halt_code(checksum);
+    });
+
+    b.set_entry(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::{lower, Interp, InterpConfig, NullSink};
+
+    #[test]
+    fn deterministic_across_abis() {
+        let mut codes = Vec::new();
+        for abi in Abi::ALL {
+            let res = Interp::new(InterpConfig::default())
+                .run(&lower(&build(abi, Scale::Test)), &mut NullSink)
+                .unwrap();
+            assert_eq!(res.heap_stats.live_bytes, 0);
+            codes.push(res.exit_code);
+        }
+        assert_eq!(codes[0], codes[1]);
+        assert_eq!(codes[0], codes[2]);
+    }
+
+    #[test]
+    fn churn_volume_scales() {
+        let prog = lower(&build(Abi::Purecap, Scale::Test));
+        let res = Interp::new(InterpConfig::default())
+            .run(&prog, &mut NullSink)
+            .unwrap();
+        // 2 rounds x 63 tree nodes plus the slot mix: hundreds of
+        // allocations even at test scale, and every one freed.
+        assert!(res.heap_stats.total_allocs > 500);
+        assert_eq!(res.heap_stats.total_allocs, res.heap_stats.total_frees);
+    }
+}

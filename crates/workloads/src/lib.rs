@@ -4,7 +4,8 @@
 //! benchmarks plus QuickJS, SQLite, and LLaMA.cpp (inference and matmul) —
 //! written once against `cheri-isa`'s pointer-aware program builder and
 //! compiled three ways (hybrid / purecap / benchmark) like the paper's
-//! binaries.
+//! binaries. One extra microbenchmark (`alloc_stress`) stresses the
+//! revocation allocator lab beyond what the paper's suite exercises.
 //!
 //! Each kernel is engineered to match its original along the axes the
 //! paper characterises workloads by: **memory intensity** (Table 2),
@@ -20,7 +21,7 @@
 //! use cheri_isa::Abi;
 //!
 //! let all = registry();
-//! assert_eq!(all.len(), 21);
+//! assert_eq!(all.len(), 22);
 //! let omnetpp = cheri_workloads::by_key("omnetpp_520").unwrap();
 //! let prog = omnetpp.build(Abi::Purecap, Scale::Test);
 //! assert_eq!(prog.abi, Abi::Purecap);
@@ -34,6 +35,7 @@ mod registry;
 
 pub mod kernels {
     //! One module per workload family.
+    pub mod alloc_stress;
     pub mod deepsjeng;
     pub mod lbm;
     pub mod leela;

@@ -13,6 +13,9 @@ pub enum Category {
     SpecSpeed,
     /// Real-world application proxy (QuickJS, SQLite, LLaMA.cpp).
     Application,
+    /// Synthetic microbenchmark targeting one subsystem (not a paper
+    /// workload; e.g. `alloc_stress` for the revocation allocator lab).
+    Microbench,
 }
 
 /// Problem scale. `Test` keeps unit tests fast; `Small` suits interactive
@@ -299,6 +302,15 @@ pub fn registry() -> Vec<Workload> {
             Some(0.987),
             kernels::llama::build_matmul
         ),
+        workload!(
+            "alloc_stress",
+            "alloc_stress",
+            Microbench,
+            None,
+            true,
+            None,
+            kernels::alloc_stress::build
+        ),
     ]
 }
 
@@ -312,11 +324,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_21_unique_workloads() {
+    fn registry_has_22_unique_workloads() {
         let r = registry();
-        assert_eq!(r.len(), 21);
+        assert_eq!(r.len(), 22);
         let keys: std::collections::BTreeSet<_> = r.iter().map(|w| w.key).collect();
-        assert_eq!(keys.len(), 21);
+        assert_eq!(keys.len(), 22);
     }
 
     #[test]
@@ -334,10 +346,15 @@ mod tests {
             .iter()
             .filter(|w| w.category == Category::Application)
             .count();
+        let micro = r
+            .iter()
+            .filter(|w| w.category == Category::Microbench)
+            .count();
         assert_eq!(rate, 9);
         assert_eq!(speed, 8);
         assert_eq!(rate + speed, 17, "17 SPEC workloads as in the paper");
         assert_eq!(apps, 4, "QuickJS, SQLite, LLaMA inference + matmul");
+        assert_eq!(micro, 1, "alloc_stress");
     }
 
     #[test]
