@@ -44,7 +44,10 @@ fn scaled(cfg: UarchConfig, factor: u32) -> UarchConfig {
 
 fn slowdown(platform: Platform, key: &str, cache: &ProgramCache) -> Result<f64, RunError> {
     let runner = Runner::new(platform);
-    let w = by_key(key).expect("known workload");
+    let Some(w) = by_key(key) else {
+        eprintln!("error: unknown workload `{key}`");
+        std::process::exit(1);
+    };
     let h = runner.run_with_cache(&w, Abi::Hybrid, cache)?;
     let p = runner.run_with_cache(&w, Abi::Purecap, cache)?;
     Ok(p.seconds / h.seconds)
@@ -70,19 +73,21 @@ fn main() {
         "@1x + explicit tag table",
     ]);
     let mut rows = Vec::new();
+    let run = |platform, key| {
+        slowdown(platform, key, &cache)
+            .unwrap_or_else(|e| morello_bench::exit_with_error("cache-scale ablation failed", &e))
+    };
     for key in KEYS {
-        let w = by_key(key).expect("known workload");
+        let Some(w) = by_key(key) else {
+            eprintln!("error: unknown workload `{key}`");
+            std::process::exit(1);
+        };
         let row = Row {
             name: w.name.to_owned(),
-            base_1x: slowdown(base, key, &cache).expect("runs"),
-            caches_2x: slowdown(base.with_uarch(scaled(base.uarch, 2)), key, &cache).expect("runs"),
-            caches_4x: slowdown(base.with_uarch(scaled(base.uarch, 4)), key, &cache).expect("runs"),
-            with_tag_table: slowdown(
-                base.with_uarch(base.uarch.with_tag_table_model(true)),
-                key,
-                &cache,
-            )
-            .expect("runs"),
+            base_1x: run(base, key),
+            caches_2x: run(base.with_uarch(scaled(base.uarch, 2)), key),
+            caches_4x: run(base.with_uarch(scaled(base.uarch, 4)), key),
+            with_tag_table: run(base.with_uarch(base.uarch.with_tag_table_model(true)), key),
         };
         t.row(&[
             row.name.clone(),

@@ -32,8 +32,12 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for key in KEYS {
-        let w = by_key(key).expect("known workload");
-        let row = project_with(platform, &w, &cache).expect("projection runs");
+        let Some(w) = by_key(key) else {
+            eprintln!("error: unknown workload `{key}`");
+            std::process::exit(1);
+        };
+        let row = project_with(platform, &w, &cache)
+            .unwrap_or_else(|e| morello_bench::exit_with_error("projection failed", &e));
         t.row(&[
             row.name.clone(),
             format!("{:.3}x", row.morello_slowdown),

@@ -34,8 +34,9 @@ fn main() {
         "L2%",
     ]);
     for r in &rows {
-        let h = r.get(Abi::Hybrid).unwrap();
-        let w = reg.iter().find(|w| w.key == r.key).unwrap();
+        let (Some(h), Some(w)) = (r.get(Abi::Hybrid), reg.iter().find(|w| w.key == r.key)) else {
+            continue;
+        };
         let pc = r.get(Abi::Purecap);
         t.row(&[
             r.name.clone(),

@@ -42,7 +42,7 @@ fn main() {
             Some(j) => run_suite_observed(runner, &workloads, &cache, &config, j),
             None => run_suite_with(runner, &workloads, &cache, &config),
         }
-        .expect("suite runs");
+        .unwrap_or_else(|e| morello_bench::exit_with_error("revocation ladder failed", &e));
         sets.push((kib, rows));
     };
     run_at(&base, 0, &mut journal);

@@ -27,9 +27,9 @@ fn main() {
         }
         let prog = lower(&w.build(abi, scale));
         let mut s = TraceSummary::new();
-        Interp::new(InterpConfig::default())
-            .run(&prog, &mut s)
-            .expect("workload runs");
+        if let Err(e) = Interp::new(InterpConfig::default()).run(&prog, &mut s) {
+            morello_bench::exit_with_error(&format!("trace of {key} ({abi}) failed"), &e);
+        }
         s.finish();
         summaries.push(Some(s));
     }

@@ -33,7 +33,11 @@ pub fn fig1_overall(rows: &[SuiteRow]) -> (Table, Vec<Fig1Row>) {
     ]);
     let mut data = Vec::new();
     for r in rows {
-        let h = r.get(Abi::Hybrid).expect("hybrid always runs");
+        // Hybrid underpins every normalisation; a row without it (a
+        // quarantined cell from a degraded suite) cannot be plotted.
+        let Some(h) = r.get(Abi::Hybrid) else {
+            continue;
+        };
         let bm = r.normalized_time(Abi::Benchmark);
         let pc = r.normalized_time(Abi::Purecap);
         t.row(&[
@@ -101,7 +105,9 @@ pub fn fig2_binsize(rows: &[SuiteRow]) -> (Table, Vec<Fig2Row>) {
         let mut name = String::from("total");
         let mut hybrid_present = false;
         for r in rows {
-            let h = r.get(Abi::Hybrid).expect("hybrid runs");
+            let Some(h) = r.get(Abi::Hybrid) else {
+                continue;
+            };
             let p = match r.get(Abi::Purecap) {
                 Some(p) => p,
                 None => continue,

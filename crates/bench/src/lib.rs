@@ -59,6 +59,20 @@ pub fn jobs_from_env() -> usize {
     }
 }
 
+/// The figure/table binaries' shared failure path: prints `context`,
+/// the error, and its full [`std::error::Error::source`] chain to
+/// stderr, then exits with status 1 — a formatted diagnosis instead of
+/// a panic backtrace.
+pub fn exit_with_error(context: &str, e: &dyn std::error::Error) -> ! {
+    eprintln!("error: {context}: {e}");
+    let mut source = e.source();
+    while let Some(s) = source {
+        eprintln!("  caused by: {s}");
+        source = s.source();
+    }
+    std::process::exit(1);
+}
+
 /// Runs a suite the way every figure/table binary does: workloads are
 /// the full registry (`keys: None`) or a key selection, cells are
 /// scheduled over the parallel suite engine (`--jobs N` /
@@ -85,11 +99,12 @@ pub fn suite_rows(runner: &Runner, keys: Option<&[&str]>) -> Vec<SuiteRow> {
                 std::process::exit(1);
             });
             let rows = run_suite_observed(runner, &workloads, &cache, &config, &mut journal)
-                .expect("suite runs");
+                .unwrap_or_else(|e| exit_with_error("suite run failed", &e));
             eprintln!("(run journal: {})", path.display());
             rows
         }
-        None => run_suite_with(runner, &workloads, &cache, &config).expect("suite runs"),
+        None => run_suite_with(runner, &workloads, &cache, &config)
+            .unwrap_or_else(|e| exit_with_error("suite run failed", &e)),
     };
     eprintln!(
         "(suite: {} workloads, jobs={}, lowered {} cells ({} cache hits), {:.2?})",

@@ -13,14 +13,19 @@
 //! siblings, and surfaces as [`CellOutcome::Panicked`] with the payload
 //! message so the caller can turn it into a typed error
 //! ([`RunError::WorkerPanicked`](crate::RunError::WorkerPanicked)).
+//! Lock poisoning is likewise recovered rather than propagated: a cell
+//! that panics between a sibling's lock and unlock must never cascade
+//! into a pool-wide panic, so every acquisition strips the poison and
+//! proceeds with the (still consistent — all critical sections are
+//! single assignments or pops) protected data.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// What became of one scheduled cell.
 #[derive(Debug)]
-pub(crate) enum CellOutcome<T> {
+pub enum CellOutcome<T> {
     /// The cell ran to completion (which may still be a domain error).
     Done(T),
     /// The cell's closure panicked; the payload message is attached.
@@ -28,12 +33,19 @@ pub(crate) enum CellOutcome<T> {
 }
 
 /// Extracts a human-readable message from a panic payload.
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_owned())
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Locks a pool mutex, recovering from poison: the pool's critical
+/// sections never leave the data mid-mutation, so the inner value is
+/// valid even when a panicking thread left the lock poisoned.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Runs `run(cell)` for every cell index in `0..n_cells` on a pool of at
@@ -42,7 +54,7 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// `jobs` is clamped to `[1, n_cells]`; `jobs == 1` degenerates to a
 /// single worker draining the cells in order (the sequential reference
 /// the determinism tests compare against).
-pub(crate) fn run_cells<T, F>(n_cells: usize, jobs: usize, run: F) -> Vec<CellOutcome<T>>
+pub fn run_cells<T, F>(n_cells: usize, jobs: usize, run: F) -> Vec<CellOutcome<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -64,7 +76,7 @@ where
                         Ok(v) => CellOutcome::Done(v),
                         Err(payload) => CellOutcome::Panicked(panic_message(payload)),
                     };
-                    *slots[cell].lock().expect("slot lock never poisoned") = Some(outcome);
+                    *lock_unpoisoned(&slots[cell]) = Some(outcome);
                 }
             });
         }
@@ -73,7 +85,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot lock never poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every scheduled cell ran")
         })
         .collect()
@@ -83,20 +95,12 @@ where
 /// from the back of the other workers' queues. Cells never enqueue new
 /// cells, so one full scan finding nothing means the matrix is drained.
 fn next_cell(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    if let Some(c) = queues[me]
-        .lock()
-        .expect("queue lock never poisoned")
-        .pop_front()
-    {
+    if let Some(c) = lock_unpoisoned(&queues[me]).pop_front() {
         return Some(c);
     }
     let n = queues.len();
     for d in 1..n {
-        if let Some(c) = queues[(me + d) % n]
-            .lock()
-            .expect("queue lock never poisoned")
-            .pop_back()
-        {
+        if let Some(c) = lock_unpoisoned(&queues[(me + d) % n]).pop_back() {
             return Some(c);
         }
     }
@@ -157,5 +161,30 @@ mod tests {
     fn empty_matrix_is_fine() {
         let out = run_cells(0, 8, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn poisoned_locks_are_recovered() {
+        // A mutex poisoned by a panicking holder still yields its data.
+        let m = Mutex::new(7_u32);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        // And the pool keeps delivering every outcome even when many
+        // cells panic concurrently (each panic can poison slot locks).
+        let out = run_cells(64, 8, |i| {
+            assert!(i % 3 != 0, "cell {i} exploded");
+            i
+        });
+        assert_eq!(out.len(), 64);
+        for (i, o) in out.iter().enumerate() {
+            match o {
+                CellOutcome::Done(v) => assert_eq!(*v, i),
+                CellOutcome::Panicked(_) => assert_eq!(i % 3, 0),
+            }
+        }
     }
 }

@@ -25,7 +25,7 @@
 #![warn(missing_docs)]
 
 mod cache;
-mod engine;
+pub mod engine;
 mod observe;
 mod projection;
 mod report;

@@ -112,7 +112,14 @@ impl fmt::Display for RunError {
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Interp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<InterpError> for RunError {
     fn from(e: InterpError) -> RunError {

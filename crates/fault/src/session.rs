@@ -1,0 +1,227 @@
+//! The per-run injection state machine: a [`FaultSession`] arms a
+//! [`FaultPlan`]'s triggers and implements the interpreter's
+//! [`FaultInjector`] hooks.
+//!
+//! Sessions are strictly deterministic: the interpreter polls at
+//! architecturally defined points (instruction fetch, data access), the
+//! first armed trigger whose site matches fires and disarms, and the
+//! firing is journalled as an [`InjectionRecord`]. Re-running the same
+//! plan against the same program yields a byte-identical journal — the
+//! property the campaign engine's `--jobs` invariance rests on.
+
+use crate::plan::{FaultKind, FaultPlan, Trigger};
+use cheri_isa::{FaultInjector, InjectionKind, RecoveryPolicy};
+use serde::{Deserialize, Serialize};
+
+/// One journalled injection: which trigger fired, where, and what it
+/// did. The `address` field holds the data effective address for memory
+/// injections and the PC itself for PCC corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Index into the plan's trigger list.
+    pub trigger: usize,
+    /// The corruption applied.
+    pub kind: FaultKind,
+    /// Retired-instruction count at the firing poll.
+    pub retired: u64,
+    /// PC of the instruction the injection rode on.
+    pub pc: u64,
+    /// Effective address of the access (PC for PCC corruption).
+    pub address: u64,
+    /// Whether the access was a store (`false` for loads and fetches).
+    pub is_store: bool,
+}
+
+/// Armed triggers plus the journal and counters of one run.
+#[derive(Clone, Debug)]
+pub struct FaultSession {
+    policy: RecoveryPolicy,
+    triggers: Vec<Trigger>,
+    armed: Vec<bool>,
+    live: usize,
+    journal: Vec<InjectionRecord>,
+    trapped: u64,
+    unwinds: u64,
+}
+
+impl FaultSession {
+    /// Arms every trigger of the plan.
+    pub fn new(plan: &FaultPlan) -> FaultSession {
+        FaultSession {
+            policy: plan.policy,
+            armed: vec![true; plan.triggers.len()],
+            live: plan.triggers.len(),
+            triggers: plan.triggers.clone(),
+            journal: Vec::new(),
+            trapped: 0,
+            unwinds: 0,
+        }
+    }
+
+    /// The injections that actually fired, in firing order.
+    pub fn journal(&self) -> &[InjectionRecord] {
+        &self.journal
+    }
+
+    /// Consumes the session, returning the journal.
+    pub fn into_journal(self) -> Vec<InjectionRecord> {
+        self.journal
+    }
+
+    /// Injections fired so far (== journal length).
+    pub fn injected(&self) -> u64 {
+        self.journal.len() as u64
+    }
+
+    /// Capability faults that reached the recovery handler. Counts every
+    /// handled fault, so a single injection whose corruption keeps
+    /// faulting under [`RecoveryPolicy::SkipFaultingOp`] counts once per
+    /// re-trip — the analogue of a SIGPROT storm under a handler that
+    /// keeps resuming.
+    pub fn trapped_count(&self) -> u64 {
+        self.trapped
+    }
+
+    /// Frames unwound by [`RecoveryPolicy::UnwindToCheckpoint`].
+    pub fn unwinds(&self) -> u64 {
+        self.unwinds
+    }
+
+    /// Fires trigger `i`, journalling the site.
+    fn fire(&mut self, i: usize, retired: u64, pc: u64, address: u64, is_store: bool) {
+        self.armed[i] = false;
+        self.live -= 1;
+        self.journal.push(InjectionRecord {
+            trigger: i,
+            kind: self.triggers[i].kind,
+            retired,
+            pc,
+            address,
+            is_store,
+        });
+    }
+}
+
+impl FaultInjector for FaultSession {
+    fn active(&self) -> bool {
+        self.live > 0
+    }
+
+    fn poll_pcc(&mut self, retired: u64, pc: u64) -> bool {
+        let hit = self.triggers.iter().enumerate().find(|(i, t)| {
+            self.armed[*i] && t.kind == FaultKind::PccCorrupt && t.site.matches_pcc(retired, pc)
+        });
+        match hit {
+            Some((i, _)) => {
+                self.fire(i, retired, pc, pc, false);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn poll_mem(
+        &mut self,
+        retired: u64,
+        pc: u64,
+        ea: u64,
+        is_store: bool,
+    ) -> Option<InjectionKind> {
+        let hit = self.triggers.iter().enumerate().find(|(i, t)| {
+            self.armed[*i] && t.kind != FaultKind::PccCorrupt && t.site.matches_mem(retired, pc, ea)
+        });
+        match hit {
+            Some((i, t)) => {
+                let kind = t.kind;
+                self.fire(i, retired, pc, ea, is_store);
+                Some(kind.to_injection())
+            }
+            None => None,
+        }
+    }
+
+    fn trapped(&mut self, _pc: u64) {
+        self.trapped += 1;
+    }
+
+    fn unwound(&mut self, _pc: u64) {
+        self.unwinds += 1;
+    }
+
+    fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TriggerSite;
+
+    fn plan(triggers: Vec<Trigger>) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            triggers,
+            policy: RecoveryPolicy::Abort,
+        }
+    }
+
+    #[test]
+    fn triggers_fire_once_and_disarm() {
+        let p = plan(vec![Trigger {
+            site: TriggerSite::AtRetired(10),
+            kind: FaultKind::TagClear,
+        }]);
+        let mut s = FaultSession::new(&p);
+        assert!(s.active());
+        assert_eq!(s.poll_mem(5, 0x40, 0x1000, false), None);
+        assert_eq!(
+            s.poll_mem(10, 0x44, 0x1010, true),
+            Some(InjectionKind::TagClear)
+        );
+        assert!(!s.active(), "single trigger fired, session goes inert");
+        assert_eq!(s.poll_mem(11, 0x48, 0x1020, false), None);
+        assert_eq!(s.injected(), 1);
+        let r = s.journal()[0];
+        assert_eq!(
+            (r.trigger, r.retired, r.pc, r.address, r.is_store),
+            (0, 10, 0x44, 0x1010, true)
+        );
+    }
+
+    #[test]
+    fn pcc_triggers_only_fire_at_fetch_polls() {
+        let p = plan(vec![
+            Trigger {
+                site: TriggerSite::AtRetired(0),
+                kind: FaultKind::PccCorrupt,
+            },
+            Trigger {
+                site: TriggerSite::AtRetired(0),
+                kind: FaultKind::PermDrop,
+            },
+        ]);
+        let mut s = FaultSession::new(&p);
+        // The mem poll skips the PCC trigger and fires the PermDrop one.
+        assert_eq!(
+            s.poll_mem(3, 0x10, 0x2000, false),
+            Some(InjectionKind::PermDrop)
+        );
+        // The fetch poll fires the PCC trigger.
+        assert!(s.poll_pcc(4, 0x14));
+        assert!(!s.active());
+        assert_eq!(s.journal()[1].address, 0x14, "PCC record holds the PC");
+    }
+
+    #[test]
+    fn counters_track_handler_activity() {
+        let p = plan(Vec::new());
+        let mut s = FaultSession::new(&p);
+        assert!(!s.active());
+        s.trapped(0x40);
+        s.trapped(0x44);
+        s.unwound(0x44);
+        assert_eq!(s.trapped_count(), 2);
+        assert_eq!(s.unwinds(), 1);
+    }
+}

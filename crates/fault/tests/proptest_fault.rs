@@ -1,0 +1,89 @@
+//! Property tests for the detection-coverage contract: for *any* seeded
+//! tag-clear plan that actually fires, the capability ABIs (purecap and
+//! benchmark) classify **trapped** — never a wrong checksum — while the
+//! hybrid ABI, fed the identical plan, never traps. Plus the
+//! reproducibility half: re-running a plan yields an identical journal.
+
+use cheri_isa::Abi;
+use cheri_workloads::{by_key, Scale};
+use morello_fault::{FaultOutcome, FaultPlan, FaultRunner};
+use morello_sim::Platform;
+use proptest::prelude::*;
+
+const KEYS: [&str; 4] = ["omnetpp_520", "xz_557", "sqlite", "deepsjeng_531"];
+
+fn runner() -> FaultRunner {
+    let mut p = Platform::morello().with_scale(Scale::Test);
+    // Watchdog for hybrid runaways (see fault_injection.rs).
+    p.interp.max_insts = 4_000_000;
+    FaultRunner::new(p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The paper's safety contrast, as a property over random plans.
+    #[test]
+    fn capability_abis_trap_hybrid_never_does(
+        wi in 0usize..KEYS.len(),
+        seed in any::<u64>(),
+        n in 1usize..6,
+    ) {
+        let runner = runner();
+        let w = by_key(KEYS[wi]).expect("known workload");
+        let horizon = Abi::ALL
+            .iter()
+            .filter(|a| w.supports(**a))
+            .map(|a| runner.clean_reference(&w, *a).expect("clean run").retired)
+            .min()
+            .expect("at least one ABI");
+        let plan = FaultPlan::tag_clear_campaign(seed, n, horizon);
+
+        for abi in [Abi::Purecap, Abi::Benchmark] {
+            if !w.supports(abi) {
+                continue;
+            }
+            let r = runner.run(&w, abi, &plan).expect("fault run");
+            if r.journal.is_empty() {
+                continue; // nothing fired, nothing to detect
+            }
+            prop_assert_eq!(
+                &r.outcome, &FaultOutcome::Trapped,
+                "{:?} must trap on a fired tag clear (seed {})", abi, seed
+            );
+            prop_assert!(
+                !r.outcome.is_silent(),
+                "a capability ABI may never return a wrong checksum"
+            );
+            prop_assert!(r.stats.faults_trapped > 0);
+        }
+
+        let hybrid = runner.run(&w, Abi::Hybrid, &plan).expect("hybrid run");
+        prop_assert!(
+            hybrid.outcome != FaultOutcome::Trapped,
+            "hybrid has no tags to trap on (seed {})", seed
+        );
+        prop_assert_eq!(hybrid.stats.faults_trapped, 0);
+    }
+
+    /// Reproducibility: a plan is a pure function of its seed, and a run
+    /// is a pure function of its plan.
+    #[test]
+    fn plans_replay_to_identical_journals(seed in any::<u64>()) {
+        let runner = runner();
+        let w = by_key("omnetpp_520").expect("known workload");
+        let horizon = runner
+            .clean_reference(&w, Abi::Hybrid)
+            .expect("clean run")
+            .retired;
+        let plan = FaultPlan::tag_clear_campaign(seed, 4, horizon);
+        let replanned = FaultPlan::tag_clear_campaign(seed, 4, horizon);
+        prop_assert_eq!(&plan, &replanned, "plans are pure functions of the seed");
+
+        let a = runner.run(&w, Abi::Purecap, &plan).expect("first run");
+        let b = runner.run(&w, Abi::Purecap, &plan).expect("second run");
+        prop_assert_eq!(&a.journal, &b.journal, "journals replay bit-for-bit");
+        prop_assert_eq!(&a.counts, &b.counts, "counts replay bit-for-bit");
+        prop_assert_eq!(&a.outcome, &b.outcome);
+    }
+}

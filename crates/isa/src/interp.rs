@@ -20,7 +20,7 @@ use crate::inst::{
 };
 use crate::lower::{RT_FREE_PC, RT_MALLOC_PC, RT_SWEEP_PC, STACK_SIZE};
 use crate::program::{FuncId, Program, PtrInit, VReg};
-use cheri_cap::{CapFault, Capability, Perms};
+use cheri_cap::{CapFault, Capability, FaultKind, Perms};
 use cheri_mem::{HeapAllocator, HeapStats, MemError, MemStats, TaggedMemory};
 use cheri_revoke::{RevokingHeap, StrategyKind, SweepOutcome};
 use core::fmt;
@@ -140,6 +140,152 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     }
 }
 
+/// What the SIGPROT-analogue handler does with a capability fault — the
+/// per-run disposition CheriBSD processes choose between dying on
+/// `SIGPROT`, ignoring it, or longjmp-ing out of the faulting frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RecoveryPolicy {
+    /// The fault ends the run (`InterpError::Fault` propagates) — the
+    /// default, and the only behaviour before fault injection existed.
+    #[default]
+    Abort,
+    /// The faulting instruction is suppressed and execution resumes at
+    /// the next instruction (an ignoring signal handler).
+    SkipFaultingOp,
+    /// The faulting frame is abandoned: control returns to the caller
+    /// as if the call had returned zero (a `longjmp` checkpoint at
+    /// every call site). Unwinding the entry frame ends the program
+    /// with [`UNWIND_EXIT`].
+    UnwindToCheckpoint,
+}
+
+/// Exit code reported when [`RecoveryPolicy::UnwindToCheckpoint`]
+/// unwinds the entry frame itself: distinguishable from any workload
+/// checksum, so a fully-unwound run never masquerades as a clean one.
+pub const UNWIND_EXIT: u64 = 0xFA17_DEAD_0000_0000;
+
+/// The architectural corruption a triggered injection applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectionKind {
+    /// Clear the tag on the base capability (a wild store over tagged
+    /// memory, the canonical CHERI-detected corruption). Under hybrid
+    /// the analogous raw-pointer corruption goes unchecked.
+    TagClear,
+    /// Nudge the pointer past the top of its allocation by `delta`
+    /// bytes (a linear overflow).
+    BoundsNudge {
+        /// Bytes past the top of the object.
+        delta: u64,
+    },
+    /// Strip the load/store permissions (a confused-deputy handoff).
+    PermDrop,
+    /// Corrupt the program counter capability. Under capability ABIs
+    /// the next fetch traps; under hybrid the raw PC is unchecked and
+    /// the corruption is journaled as undetected.
+    PccCorrupt,
+}
+
+/// A deterministic fault injector armed for one run.
+///
+/// The interpreter polls the injector at every memory access and at the
+/// top of the fetch loop; all methods default to "inactive", and
+/// [`active`](FaultInjector::active) gates every poll so a [`NoInjector`]
+/// run compiles down to the original fault-free interpreter loop.
+pub trait FaultInjector {
+    /// Whether any trigger is still armed. `false` (the default) makes
+    /// every other hook unreachable.
+    #[inline]
+    fn active(&self) -> bool {
+        false
+    }
+
+    /// Polled before each instruction fetch; returning `true` corrupts
+    /// the PCC at this point.
+    #[inline]
+    fn poll_pcc(&mut self, retired: u64, pc: u64) -> bool {
+        let _ = (retired, pc);
+        false
+    }
+
+    /// Polled at each data access with the would-be effective address;
+    /// returning a kind applies that corruption to the base register
+    /// before the access is checked.
+    #[inline]
+    fn poll_mem(
+        &mut self,
+        retired: u64,
+        pc: u64,
+        ea: u64,
+        is_store: bool,
+    ) -> Option<InjectionKind> {
+        let _ = (retired, pc, ea, is_store);
+        None
+    }
+
+    /// A capability fault (injected or organic) reached the handler.
+    #[inline]
+    fn trapped(&mut self, pc: u64) {
+        let _ = pc;
+    }
+
+    /// The handler unwound a frame ([`RecoveryPolicy::UnwindToCheckpoint`]).
+    #[inline]
+    fn unwound(&mut self, pc: u64) {
+        let _ = pc;
+    }
+
+    /// The fault disposition for this run.
+    #[inline]
+    fn policy(&self) -> RecoveryPolicy {
+        RecoveryPolicy::Abort
+    }
+}
+
+/// The inert injector: every plain [`Interp::run`] uses it, and its
+/// `active() == false` keeps the injection hooks off the hot path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoInjector;
+
+impl FaultInjector for NoInjector {}
+
+impl<I: FaultInjector + ?Sized> FaultInjector for &mut I {
+    #[inline]
+    fn active(&self) -> bool {
+        (**self).active()
+    }
+
+    #[inline]
+    fn poll_pcc(&mut self, retired: u64, pc: u64) -> bool {
+        (**self).poll_pcc(retired, pc)
+    }
+
+    #[inline]
+    fn poll_mem(
+        &mut self,
+        retired: u64,
+        pc: u64,
+        ea: u64,
+        is_store: bool,
+    ) -> Option<InjectionKind> {
+        (**self).poll_mem(retired, pc, ea, is_store)
+    }
+
+    #[inline]
+    fn trapped(&mut self, pc: u64) {
+        (**self).trapped(pc);
+    }
+
+    #[inline]
+    fn unwound(&mut self, pc: u64) {
+        (**self).unwound(pc);
+    }
+
+    #[inline]
+    fn policy(&self) -> RecoveryPolicy {
+        (**self).policy()
+    }
+}
+
 /// Interpreter configuration.
 ///
 /// Serialisable so a [`Platform`](../morello_sim/struct.Platform.html)
@@ -249,7 +395,15 @@ impl fmt::Display for InterpError {
     }
 }
 
-impl std::error::Error for InterpError {}
+impl std::error::Error for InterpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InterpError::Fault { fault, .. } => Some(fault),
+            InterpError::Mem { err, .. } => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// The outcome of a completed run.
 #[derive(Clone, Copy, Debug)]
@@ -314,7 +468,28 @@ impl Interp {
         prog: &Program,
         sink: &mut S,
     ) -> Result<RunResult, InterpError> {
-        let mut m = Machine::new(prog, self.cfg)?;
+        let mut m = Machine::new(prog, self.cfg, NoInjector)?;
+        m.setup()?;
+        m.exec(sink)
+    }
+
+    /// Executes the program under a [`FaultInjector`]: the injector's
+    /// triggers corrupt machine state mid-run and its
+    /// [`RecoveryPolicy`] decides whether capability faults end the run
+    /// or are survived (skip / unwind). With an inactive injector this
+    /// is bit-identical to [`run`](Interp::run).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Interp::run); additionally, injected faults propagate
+    /// as [`InterpError::Fault`] only under [`RecoveryPolicy::Abort`].
+    pub fn run_with_faults<S: EventSink, I: FaultInjector>(
+        &self,
+        prog: &Program,
+        sink: &mut S,
+        inj: &mut I,
+    ) -> Result<RunResult, InterpError> {
+        let mut m = Machine::new(prog, self.cfg, inj)?;
         m.setup()?;
         m.exec(sink)
     }
@@ -323,9 +498,10 @@ impl Interp {
 const SAVE_AREA: u64 = 32; // LR + FP save slots (generous for both ABIs)
 const META_LINES: u64 = 4096;
 
-struct Machine<'p> {
+struct Machine<'p, I: FaultInjector> {
     prog: &'p Program,
     cfg: InterpConfig,
+    inj: I,
     mem: TaggedMemory,
     heap: RevokingHeap,
     frames: Vec<Frame>,
@@ -350,8 +526,8 @@ macro_rules! emit {
     }};
 }
 
-impl<'p> Machine<'p> {
-    fn new(prog: &'p Program, cfg: InterpConfig) -> Result<Machine<'p>, InterpError> {
+impl<'p, I: FaultInjector> Machine<'p, I> {
+    fn new(prog: &'p Program, cfg: InterpConfig, inj: I) -> Result<Machine<'p, I>, InterpError> {
         let cap_abi = prog.abi.is_capability();
         let kind = if cap_abi {
             match cfg.cap_alloc {
@@ -374,6 +550,7 @@ impl<'p> Machine<'p> {
         Ok(Machine {
             prog,
             cfg,
+            inj,
             mem: TaggedMemory::new(),
             heap,
             frames: Vec::with_capacity(64),
@@ -507,7 +684,18 @@ impl<'p> Machine<'p> {
                     retired: self.retired,
                 });
             }
-            self.step(sink)?;
+            if self.inj.active() {
+                let pc = self.pc();
+                if self.inj.poll_pcc(self.retired, pc) {
+                    self.pcc_fault(pc)?;
+                    continue;
+                }
+            }
+            match self.step(sink) {
+                Ok(()) => {}
+                Err(e @ InterpError::Fault { .. }) => self.handle_fault(e)?,
+                Err(e) => return Err(e),
+            }
         }
         Ok(RunResult {
             retired: self.retired,
@@ -516,6 +704,121 @@ impl<'p> Machine<'p> {
             heap_stats: self.heap.stats(),
             pages_touched: self.mem.pages_touched(),
         })
+    }
+
+    /// The SIGPROT-analogue handler: journals the trap and applies the
+    /// injector's [`RecoveryPolicy`]. `Abort` (the [`NoInjector`]
+    /// policy) preserves the historical behaviour exactly — the fault
+    /// propagates unchanged.
+    ///
+    /// Recovery is sound because `Fault`-kind errors are raised before
+    /// any architectural mutation of the faulting instruction (bounds,
+    /// tag, and permission checks precede the access), and faulting
+    /// instructions are never block terminators, so `advance` resumes
+    /// at a well-defined successor.
+    fn handle_fault(&mut self, e: InterpError) -> Result<(), InterpError> {
+        let pc = match &e {
+            InterpError::Fault { pc, .. } => *pc,
+            _ => unreachable!("handle_fault only sees Fault errors"),
+        };
+        self.inj.trapped(pc);
+        match self.inj.policy() {
+            RecoveryPolicy::Abort => Err(e),
+            RecoveryPolicy::SkipFaultingOp => {
+                self.advance();
+                Ok(())
+            }
+            RecoveryPolicy::UnwindToCheckpoint => {
+                self.inj.unwound(pc);
+                self.unwind_frame();
+                Ok(())
+            }
+        }
+    }
+
+    /// An injected PCC corruption at the fetch stage. Capability ABIs
+    /// seal the PC in a sentry and check it at every fetch, so the
+    /// corruption traps immediately; hybrid's integer PC is unchecked
+    /// and — in this dense code model, where every address inside a
+    /// function decodes — the perturbation has no architectural effect.
+    /// The injector journals it as undetected either way.
+    fn pcc_fault(&mut self, pc: u64) -> Result<(), InterpError> {
+        if self.cap_abi {
+            let fr = self.frames.last().expect("no frame");
+            let e = InterpError::Fault {
+                fault: CapFault::op(FaultKind::TagViolation, pc),
+                pc,
+                func: self.prog.funcs[fr.func as usize].name.clone(),
+            };
+            self.handle_fault(e)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The `longjmp` half of [`RecoveryPolicy::UnwindToCheckpoint`]:
+    /// abandon the faulting frame, restore the caller's stack pointer,
+    /// and resume at the return site as if the call returned zero.
+    fn unwind_frame(&mut self) {
+        let fr = self.frames.pop().expect("no frame");
+        self.sp = fr.saved_sp;
+        match self.frames.last_mut() {
+            Some(caller) => {
+                if let Some(r) = fr.ret_reg {
+                    caller.regs[r as usize] = Value::Int(0);
+                    caller.taints[r as usize] = 0;
+                }
+                caller.ip = fr.ret_ip;
+            }
+            None => self.exit = Some(UNWIND_EXIT),
+        }
+    }
+
+    /// Applies a pending memory-site injection to the base register.
+    /// Under a capability ABI the capability's *metadata* is corrupted,
+    /// so the very next check catches it deterministically; under
+    /// hybrid the same trigger perturbs the raw pointer *value* —
+    /// nothing checks it, and the access silently lands on the wrong
+    /// memory. That asymmetry is the experiment.
+    fn inject_mem(&mut self, base: VReg, off: i64, pc: u64, is_store: bool) {
+        let ea = match self.reg(base) {
+            Value::Cap(c) => c.address().wrapping_add(off as u64),
+            Value::Int(b) => b.wrapping_add(off as u64),
+            // Type confusion surfaces in `resolve`; nothing to corrupt.
+            Value::F64(_) => return,
+        };
+        let Some(kind) = self.inj.poll_mem(self.retired, pc, ea, is_store) else {
+            return;
+        };
+        match self.reg(base) {
+            Value::Cap(c) => {
+                let corrupted = match kind {
+                    InjectionKind::TagClear | InjectionKind::PccCorrupt => c.clear_tag(),
+                    InjectionKind::BoundsNudge { delta } => {
+                        // Cursor past the top: the access faults on
+                        // bounds, or on tag if the nudge already left
+                        // the representable window.
+                        let past = c.base().wrapping_add(c.length()).wrapping_add(delta);
+                        c.set_address(past)
+                    }
+                    InjectionKind::PermDrop => {
+                        c.and_perms(Perms::GLOBAL).unwrap_or_else(|_| c.clear_tag())
+                    }
+                };
+                self.set_reg(base, Value::Cap(corrupted));
+            }
+            Value::Int(b) => {
+                // Hybrid analogue: the same corruption event lands as a
+                // raw-pointer perturbation of comparable magnitude.
+                let delta = match kind {
+                    InjectionKind::TagClear | InjectionKind::PccCorrupt => 16,
+                    InjectionKind::BoundsNudge { delta } => delta.max(1),
+                    InjectionKind::PermDrop => 64,
+                };
+                self.set_reg(base, Value::Int(b.wrapping_add(delta)));
+            }
+            Value::F64(_) => {}
+        }
     }
 
     fn push_entry_frame<S: EventSink>(&mut self, sink: &mut S) -> Result<(), InterpError> {
@@ -1103,6 +1406,9 @@ impl<'p> Machine<'p> {
                         }
                     }
                 };
+                if self.inj.active() {
+                    self.inject_mem(*base, off_v, pc, false);
+                }
                 let (addr, auth) = self.resolve(*base, off_v, bytes, false, false)?;
                 let base_taint = self.taint(*base).max(self.operand_taint(*off));
                 let dep = self.dep_load(base_taint);
@@ -1181,6 +1487,9 @@ impl<'p> Machine<'p> {
                     }
                 };
                 let is_cap = matches!(kind, LoadKind::Cap);
+                if self.inj.active() {
+                    self.inject_mem(*base, off_v, pc, true);
+                }
                 let (addr, _auth) = self.resolve(*base, off_v, bytes, true, is_cap)?;
                 match kind {
                     LoadKind::Int => {
@@ -1342,7 +1651,7 @@ impl<'p> Machine<'p> {
 
             Inst::CapOp { op, dst, a, b } => {
                 let fr_pc = pc;
-                let fault = |f: CapFault, m: &Machine| InterpError::Fault {
+                let fault = |f: CapFault, m: &Machine<I>| InterpError::Fault {
                     fault: f,
                     pc: fr_pc,
                     func: m.prog.funcs[func_idx].name.clone(),
@@ -1396,7 +1705,7 @@ impl<'p> Machine<'p> {
             Inst::CapOp2 { op, a, auth, dst } => {
                 let av = self.as_cap(*a)?;
                 let authv = self.as_cap(*auth)?;
-                let fault = |f: CapFault, m: &Machine| InterpError::Fault {
+                let fault = |f: CapFault, m: &Machine<I>| InterpError::Fault {
                     fault: f,
                     pc,
                     func: m.prog.funcs[func_idx].name.clone(),

@@ -62,7 +62,8 @@ pub use inst::{
     MemSize, Operand, VecKind,
 };
 pub use interp::{
-    EventSink, Interp, InterpConfig, InterpError, NullSink, RetiredEvent, RetiredInfo, RunResult,
+    EventSink, FaultInjector, InjectionKind, Interp, InterpConfig, InterpError, NoInjector,
+    NullSink, RecoveryPolicy, RetiredEvent, RetiredInfo, RunResult, UNWIND_EXIT,
 };
 pub use lower::lower;
 pub use program::{

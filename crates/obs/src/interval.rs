@@ -12,7 +12,7 @@
 //! they reproduce the single-shot [`EventCounts`] exactly — a property
 //! locked by an integration test.
 
-use cheri_isa::{lower, Abi, EventSink, Interp, RetiredEvent};
+use cheri_isa::{lower, Abi, EventSink, Interp, InterpError, RetiredEvent};
 use cheri_workloads::Workload;
 use morello_pmu::{DerivedMetrics, EventCounts, PmuEvent};
 use morello_sim::{Platform, RunError};
@@ -130,8 +130,13 @@ pub struct SampledRun {
     pub stats: UarchStats,
     /// Per-window event deltas and derived metrics.
     pub samples: Vec<IntervalSample>,
-    /// Program exit code.
+    /// Program exit code (0 when the run was truncated).
     pub exit_code: u64,
+    /// The run stopped at the interpreter's instruction budget instead
+    /// of completing: everything sampled up to the cut-off is real, but
+    /// there is no exit code and no allocator exit statistics.
+    #[serde(default)]
+    pub truncated: bool,
 }
 
 /// Runs one workload with windowed collection.
@@ -154,12 +159,23 @@ pub fn run_sampled(
     }
     let prog = lower(&workload.build(abi, platform.scale));
     let mut sampler = IntervalSampler::new(platform.uarch, window);
-    let result = Interp::new(platform.interp).run(&prog, &mut sampler)?;
+    let result = match Interp::new(platform.interp).run(&prog, &mut sampler) {
+        Ok(r) => Some(r),
+        // A fuel-exhausted run is a partial observation, not a failed
+        // one: everything sampled up to the budget is real, and the
+        // journals must record it.
+        Err(InterpError::FuelExhausted { .. }) => None,
+        Err(e) => return Err(e.into()),
+    };
+    let truncated = result.is_none();
     let (mut stats, mut samples) = sampler.finish();
     // The allocator's revocation counters are run totals read at exit
     // (not cycle-attributed), so fold them into the final statistics and
-    // credit them to the last window — the deltas still telescope.
-    morello_sim::fold_heap_stats(&mut stats, &result.heap_stats);
+    // credit them to the last window — the deltas still telescope. A
+    // truncated run never reached exit, so there is nothing to fold.
+    if let Some(result) = &result {
+        morello_sim::fold_heap_stats(&mut stats, &result.heap_stats);
+    }
     if let Some(last) = samples.last_mut() {
         let full = EventCounts::from_uarch(&stats);
         for event in [
@@ -167,6 +183,10 @@ pub fn run_sampled(
             PmuEvent::SweepTagsCleared,
             PmuEvent::RevocationEpochs,
             PmuEvent::QuarantineBytesHighWater,
+            PmuEvent::FaultsInjected,
+            PmuEvent::FaultsTrapped,
+            PmuEvent::SilentCorruptions,
+            PmuEvent::RecoveryUnwinds,
         ] {
             last.counts.set(event, full.get(event));
         }
@@ -178,6 +198,7 @@ pub fn run_sampled(
         window,
         stats,
         samples,
-        exit_code: result.exit_code,
+        exit_code: result.map_or(0, |r| r.exit_code),
+        truncated,
     })
 }

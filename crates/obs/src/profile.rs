@@ -10,7 +10,7 @@
 //! deterministic, zero-overhead analogue of sampling profilers like
 //! `pmcstat -G` on the real platform.
 
-use cheri_isa::{lower, Abi, EventSink, Interp, RetiredEvent};
+use cheri_isa::{lower, Abi, EventSink, Interp, InterpError, RetiredEvent};
 use cheri_workloads::Workload;
 use morello_pmu::{fmt_metric, Table};
 use morello_sim::{Platform, RunError};
@@ -167,8 +167,13 @@ pub struct ProfiledRun {
     pub stats: UarchStats,
     /// Per-region attribution, program order, `(outside)` last.
     pub regions: Vec<RegionProfile>,
-    /// Program exit code.
+    /// Program exit code (0 when the run was truncated).
     pub exit_code: u64,
+    /// The run stopped at the interpreter's instruction budget instead
+    /// of completing: the per-region attribution covers the executed
+    /// prefix only.
+    #[serde(default)]
+    pub truncated: bool,
 }
 
 /// Runs one workload under the cycle-attribution profiler.
@@ -190,17 +195,28 @@ pub fn run_profiled(
     }
     let prog = lower(&workload.build(abi, platform.scale));
     let mut profiler = Profiler::new(platform.uarch, prog.regions.clone());
-    let result = Interp::new(platform.interp).run(&prog, &mut profiler)?;
+    let result = match Interp::new(platform.interp).run(&prog, &mut profiler) {
+        Ok(r) => Some(r),
+        // A fuel-exhausted run keeps its partial attribution: the
+        // regions profiled before the budget ran out are real.
+        Err(InterpError::FuelExhausted { .. }) => None,
+        Err(e) => return Err(e.into()),
+    };
+    let truncated = result.is_none();
     let (mut stats, regions) = profiler.finish();
     // Run-total allocator counters, as in an unsampled `Runner` run;
-    // the per-region rows keep hardware-attributed statistics only.
-    morello_sim::fold_heap_stats(&mut stats, &result.heap_stats);
+    // the per-region rows keep hardware-attributed statistics only. A
+    // truncated run never reached exit, so there is nothing to fold.
+    if let Some(result) = &result {
+        morello_sim::fold_heap_stats(&mut stats, &result.heap_stats);
+    }
     Ok(ProfiledRun {
         workload: workload.name.to_owned(),
         abi,
         stats,
         regions,
-        exit_code: result.exit_code,
+        exit_code: result.map_or(0, |r| r.exit_code),
+        truncated,
     })
 }
 

@@ -154,3 +154,85 @@ fn journal_roundtrips_through_jsonl() {
     assert_eq!(read_journal(&path).unwrap().len(), 3);
     let _ = std::fs::remove_file(&path);
 }
+
+/// Looks up a top-level field of a JSON object value.
+fn json_field<'v>(v: &'v serde_json::JsonValue, key: &str) -> Option<&'v serde_json::JsonValue> {
+    serde::as_map(v)
+        .ok()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+#[test]
+fn fuel_exhaustion_on_the_sampled_path_yields_a_partial_run() {
+    let mut platform = test_platform();
+    platform.interp.max_insts = 20_000;
+    let w = by_key("omnetpp_520").unwrap();
+    let sampled = run_sampled(&platform, &w, Abi::Purecap, 2_000)
+        .expect("fuel exhaustion must not be an error on the sampled path");
+    assert!(sampled.truncated, "run must be flagged as truncated");
+    assert_eq!(sampled.exit_code, 0);
+    assert!(
+        !sampled.samples.is_empty(),
+        "the executed prefix was sampled"
+    );
+    assert!(sampled.stats.inst_retired > 0);
+    // The budget is checked before each step; one step can retire a
+    // handful of synthetic events, so allow a small overshoot.
+    assert!(
+        sampled.stats.inst_retired <= 20_000 + 64,
+        "retired {} far beyond the budget",
+        sampled.stats.inst_retired
+    );
+    // The partial run serialises into a JSONL journal line that records
+    // the truncation.
+    let line = serde_json::to_string(&sampled).unwrap();
+    let path = std::env::temp_dir().join(format!("obs-truncated-{}.jsonl", std::process::id()));
+    std::fs::write(&path, format!("{line}\n")).unwrap();
+    let journalled = std::fs::read_to_string(&path).unwrap();
+    let back: serde_json::JsonValue =
+        serde_json::from_str(journalled.lines().next().unwrap()).unwrap();
+    assert!(matches!(
+        json_field(&back, "truncated"),
+        Some(serde::Value::Bool(true))
+    ));
+    assert!(matches!(
+        json_field(&back, "samples"),
+        Some(serde::Value::Seq(s)) if !s.is_empty()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // A full-budget run of the same cell is not truncated and retires
+    // more than the clipped prefix.
+    let full = run_sampled(&test_platform(), &w, Abi::Purecap, 2_000).unwrap();
+    assert!(!full.truncated);
+    assert!(full.stats.inst_retired > sampled.stats.inst_retired);
+}
+
+#[test]
+fn fuel_exhaustion_on_the_profiled_path_yields_a_partial_run() {
+    let mut platform = test_platform();
+    platform.interp.max_insts = 20_000;
+    let w = by_key("omnetpp_520").unwrap();
+    let profiled = run_profiled(&platform, &w, Abi::Purecap)
+        .expect("fuel exhaustion must not be an error on the profiled path");
+    assert!(profiled.truncated, "run must be flagged as truncated");
+    assert_eq!(profiled.exit_code, 0);
+    assert!(profiled.stats.inst_retired > 0);
+    assert!(profiled.stats.inst_retired <= 20_000 + 64);
+    // The executed prefix is attributed: region rows account for every
+    // retired instruction.
+    let attributed: u64 = profiled.regions.iter().map(|r| r.retired).sum();
+    assert_eq!(attributed, profiled.stats.inst_retired);
+    let line = serde_json::to_string(&profiled).unwrap();
+    let back: serde_json::JsonValue = serde_json::from_str(&line).unwrap();
+    assert!(matches!(
+        json_field(&back, "truncated"),
+        Some(serde::Value::Bool(true))
+    ));
+
+    // Other interpreter errors still surface as errors.
+    let unsupported = run_profiled(&platform, &by_key("quickjs").unwrap(), Abi::Benchmark);
+    assert!(unsupported.is_err());
+}

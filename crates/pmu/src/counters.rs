@@ -26,7 +26,7 @@ impl EventCounts {
     /// statistics — what an ideal PMU with unlimited counters would see.
     pub fn from_uarch(s: &UarchStats) -> EventCounts {
         let mut c = EventCounts::new();
-        let pairs: [(PmuEvent, u64); 42] = [
+        let pairs: [(PmuEvent, u64); 46] = [
             (PmuEvent::CpuCycles, s.cpu_cycles),
             (PmuEvent::InstRetired, s.inst_retired),
             (PmuEvent::StallFrontend, s.stall_frontend),
@@ -69,6 +69,10 @@ impl EventCounts {
             (PmuEvent::SweepTagsCleared, s.sweep_tags_cleared),
             (PmuEvent::RevocationEpochs, s.revocation_epochs),
             (PmuEvent::QuarantineBytesHighWater, s.quarantine_bytes_hwm),
+            (PmuEvent::FaultsInjected, s.faults_injected),
+            (PmuEvent::FaultsTrapped, s.faults_trapped),
+            (PmuEvent::SilentCorruptions, s.silent_corruptions),
+            (PmuEvent::RecoveryUnwinds, s.recovery_unwinds),
         ];
         for (e, v) in pairs {
             c.counts.insert(e, v);
@@ -317,8 +321,8 @@ mod tests {
     #[test]
     fn full_plan_covers_all_events() {
         let plan = MultiplexedSession::plan_full();
-        // 40 non-fixed non-anchor events at 5 per group.
-        assert_eq!(plan.required_runs(), 8);
+        // 44 non-fixed non-anchor events at 5 per group.
+        assert_eq!(plan.required_runs(), 9);
         let mut seen = std::collections::BTreeSet::new();
         for g in plan.groups() {
             assert!(g.len() <= PMU_SLOTS);

@@ -78,6 +78,15 @@ pub struct DerivedMetrics {
     /// swept heap actually held stale capabilities.
     #[serde(default)]
     pub sweep_clear_rate: f64,
+    /// `FAULTS_TRAPPED / FAULTS_INJECTED` — the share of injected
+    /// corruptions the architecture detected (0 without a campaign;
+    /// ≈1.0 is the CHERI deterministic-detection headline).
+    #[serde(default)]
+    pub fault_trap_coverage: f64,
+    /// `SILENT_CORRUPTIONS / FAULTS_INJECTED` — the share of injected
+    /// corruptions that reached the exit checksum undetected.
+    #[serde(default)]
+    pub silent_corruption_rate: f64,
 }
 
 impl DerivedMetrics {
@@ -137,6 +146,8 @@ impl DerivedMetrics {
             ),
             sweep_granules_pki: per_kilo(c.get(E::SweepGranulesVisited), retired),
             sweep_clear_rate: ratio(c.get(E::SweepTagsCleared), c.get(E::SweepGranulesVisited)),
+            fault_trap_coverage: ratio(c.get(E::FaultsTrapped), c.get(E::FaultsInjected)),
+            silent_corruption_rate: ratio(c.get(E::SilentCorruptions), c.get(E::FaultsInjected)),
         }
     }
 
@@ -251,6 +262,24 @@ mod tests {
         let none = DerivedMetrics::from_counts(&sample_counts());
         assert_eq!(none.sweep_granules_pki, 0.0);
         assert_eq!(none.sweep_clear_rate, 0.0);
+    }
+
+    #[test]
+    fn fault_metrics_derived() {
+        let mut c = sample_counts();
+        c.set(PmuEvent::FaultsInjected, 8);
+        c.set(PmuEvent::FaultsTrapped, 8);
+        let m = DerivedMetrics::from_counts(&c);
+        assert!((m.fault_trap_coverage - 1.0).abs() < 1e-12);
+        assert_eq!(m.silent_corruption_rate, 0.0);
+        c.set(PmuEvent::FaultsTrapped, 0);
+        c.set(PmuEvent::SilentCorruptions, 2);
+        let m = DerivedMetrics::from_counts(&c);
+        assert_eq!(m.fault_trap_coverage, 0.0);
+        assert!((m.silent_corruption_rate - 0.25).abs() < 1e-12);
+        let none = DerivedMetrics::from_counts(&sample_counts());
+        assert_eq!(none.fault_trap_coverage, 0.0);
+        assert_eq!(none.silent_corruption_rate, 0.0);
     }
 
     #[test]

@@ -55,11 +55,15 @@ pub enum PmuEvent {
     SweepTagsCleared,
     RevocationEpochs,
     QuarantineBytesHighWater,
+    FaultsInjected,
+    FaultsTrapped,
+    SilentCorruptions,
+    RecoveryUnwinds,
 }
 
 impl PmuEvent {
     /// Every event, in Table 1 order.
-    pub const ALL: [PmuEvent; 42] = [
+    pub const ALL: [PmuEvent; 46] = [
         PmuEvent::CpuCycles,
         PmuEvent::InstRetired,
         PmuEvent::StallFrontend,
@@ -102,6 +106,10 @@ impl PmuEvent {
         PmuEvent::SweepTagsCleared,
         PmuEvent::RevocationEpochs,
         PmuEvent::QuarantineBytesHighWater,
+        PmuEvent::FaultsInjected,
+        PmuEvent::FaultsTrapped,
+        PmuEvent::SilentCorruptions,
+        PmuEvent::RecoveryUnwinds,
     ];
 
     /// The Arm PMU mnemonic.
@@ -149,6 +157,10 @@ impl PmuEvent {
             PmuEvent::SweepTagsCleared => "SWEEP_TAGS_CLEARED",
             PmuEvent::RevocationEpochs => "REVOCATION_EPOCHS",
             PmuEvent::QuarantineBytesHighWater => "QUARANTINE_BYTES_HWM",
+            PmuEvent::FaultsInjected => "FAULTS_INJECTED",
+            PmuEvent::FaultsTrapped => "FAULTS_TRAPPED",
+            PmuEvent::SilentCorruptions => "SILENT_CORRUPTIONS",
+            PmuEvent::RecoveryUnwinds => "RECOVERY_UNWINDS",
         }
     }
 
@@ -198,10 +210,19 @@ impl PmuEvent {
             PmuEvent::SweepTagsCleared => "stale capability tags cleared by revocation sweeps",
             PmuEvent::RevocationEpochs => "revocation epochs (quarantine drains / tag sweeps)",
             PmuEvent::QuarantineBytesHighWater => "high-water mark of quarantined heap bytes",
+            PmuEvent::FaultsInjected => "faults injected by the campaign harness",
+            PmuEvent::FaultsTrapped => "injected faults that raised a capability trap",
+            PmuEvent::SilentCorruptions => "runs ending with a corrupted checksum (0/1 per run)",
+            PmuEvent::RecoveryUnwinds => "frames unwound by the recovery handler",
         }
     }
 
     /// CHERI-specific events only exist on Morello-class PMUs.
+    ///
+    /// The fault-campaign counters (`FAULTS_*`, `SILENT_CORRUPTIONS`,
+    /// `RECOVERY_UNWINDS`) are deliberately *not* flagged: they come
+    /// from the injection harness, not the core's PMU, and exist under
+    /// every ABI.
     pub const fn is_cheri_specific(self) -> bool {
         matches!(
             self,

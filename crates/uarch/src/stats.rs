@@ -143,6 +143,21 @@ pub struct UarchStats {
     /// High-water mark of quarantined bytes.
     #[serde(default)]
     pub quarantine_bytes_hwm: u64,
+
+    // --- Fault-injection campaign (folded in from the fault session's
+    // --- journal; zero unless a campaign ran) --------------------------------
+    /// Faults injected into the run by the campaign.
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Injected faults that raised a capability trap.
+    #[serde(default)]
+    pub faults_trapped: u64,
+    /// Runs that completed with a corrupted checksum (0 or 1 per run).
+    #[serde(default)]
+    pub silent_corruptions: u64,
+    /// Frames unwound by the SIGPROT-analogue recovery handler.
+    #[serde(default)]
+    pub recovery_unwinds: u64,
 }
 
 impl UarchStats {

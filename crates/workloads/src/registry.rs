@@ -94,6 +94,27 @@ impl Workload {
     pub fn supports(&self, abi: Abi) -> bool {
         self.supports_benchmark_abi || abi != Abi::Benchmark
     }
+
+    /// Registers an out-of-registry workload around a builder function —
+    /// the hook for harness-local programs (fault-injection targets,
+    /// engine stress cells) that should flow through the suite and
+    /// campaign machinery like any Table 2 workload. Supports every ABI
+    /// and carries no paper-reported figures.
+    pub fn custom(
+        name: &'static str,
+        key: &'static str,
+        builder: fn(Abi, Scale) -> GenericProgram,
+    ) -> Workload {
+        Workload {
+            name,
+            key,
+            category: Category::Microbench,
+            table2_mi: None,
+            supports_benchmark_abi: true,
+            paper_purecap_slowdown: None,
+            builder,
+        }
+    }
 }
 
 macro_rules! workload {
