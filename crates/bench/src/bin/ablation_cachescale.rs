@@ -11,13 +11,16 @@
 //!
 //! `cargo run --release -p morello-bench --bin ablation_cachescale`
 //!
+//! Flags: `--out <path>` (JSON artefact; `-` = stdout), `--trace <path>`
+//! (phase trace: Chrome JSON + JSONL).
+//!
 //! All four platform variants share one lowered-program cache — lowering
 //! depends only on (workload, ABI, scale), so each workload lowers twice
 //! (hybrid + purecap) for the whole ladder.
 
 use cheri_isa::Abi;
 use cheri_workloads::by_key;
-use morello_bench::{harness_runner, write_json};
+use morello_bench::{harness_runner, human, write_json};
 use morello_pmu::Table;
 use morello_sim::{Platform, ProgramCache, RunError, Runner};
 use morello_uarch::{CacheGeometry, UarchConfig};
@@ -48,8 +51,9 @@ fn slowdown(platform: Platform, key: &str, cache: &ProgramCache) -> Result<f64, 
         eprintln!("error: unknown workload `{key}`");
         std::process::exit(1);
     };
-    let h = runner.run_with_cache(&w, Abi::Hybrid, cache)?;
-    let p = runner.run_with_cache(&w, Abi::Purecap, cache)?;
+    let spans = morello_bench::span_sink();
+    let h = runner.run_with_cache_spanned(&w, Abi::Hybrid, cache, spans)?;
+    let p = runner.run_with_cache_spanned(&w, Abi::Purecap, cache, spans)?;
     Ok(p.seconds / h.seconds)
 }
 
@@ -63,6 +67,7 @@ struct Row {
 }
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let base = *harness_runner().platform();
     let cache = ProgramCache::new();
     let mut t = Table::new(&[
@@ -77,6 +82,7 @@ fn main() {
         slowdown(platform, key, &cache)
             .unwrap_or_else(|e| morello_bench::exit_with_error("cache-scale ablation failed", &e))
     };
+    let _sweep = morello_bench::trace_phase("sweep cache-scale ladder", "sweep");
     for key in KEYS {
         let Some(w) = by_key(key) else {
             eprintln!("error: unknown workload `{key}`");
@@ -98,9 +104,9 @@ fn main() {
         ]);
         rows.push(row);
     }
-    println!("Capacity ablation: purecap slowdown vs cache/TLB scale");
-    println!("{}", t.render());
-    println!(
+    human!("Capacity ablation: purecap slowdown vs cache/TLB scale");
+    human!("{}", t.render());
+    human!(
         "Reading: capacity scaling recovers the footprint-driven share of the\n\
          purecap overhead (the paper's §5 'future architectures' argument);\n\
          the explicit tag-table column shows the residual cost of in-DRAM\n\

@@ -1,9 +1,12 @@
 //! §5 projection / ablation: how much purecap overhead each of the three
 //! Morello artefact fixes removes (PCC-aware branch predictor, wide
 //! capability store buffer, capability MADD), per workload.
+//!
+//! Flags: `--out <path>` (JSON artefact; `-` = stdout), `--trace <path>`
+//! (phase trace: Chrome JSON + JSONL).
 
 use cheri_workloads::by_key;
-use morello_bench::{harness_runner, write_json};
+use morello_bench::{harness_runner, human, write_json};
 use morello_pmu::Table;
 use morello_sim::{project_with, ProgramCache};
 
@@ -18,6 +21,7 @@ const KEYS: [&str; 7] = [
 ];
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let runner = harness_runner();
     let platform = *runner.platform();
     let cache = ProgramCache::new();
@@ -31,6 +35,7 @@ fn main() {
         "overhead removed",
     ]);
     let mut rows = Vec::new();
+    let _sweep = morello_bench::trace_phase("sweep projection ladder", "sweep");
     for key in KEYS {
         let Some(w) = by_key(key) else {
             eprintln!("error: unknown workload `{key}`");
@@ -49,7 +54,7 @@ fn main() {
         ]);
         rows.push(row);
     }
-    println!("Projection: purecap slowdown under improved microarchitectures");
-    println!("{}", t.render());
+    human!("Projection: purecap slowdown under improved microarchitectures");
+    human!("{}", t.render());
     write_json("ablation_projection", &rows);
 }

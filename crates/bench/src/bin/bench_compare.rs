@@ -1,0 +1,91 @@
+//! `bench_compare`: the perf-regression gate over two
+//! `BENCH_interp.json` files.
+//!
+//! Diffs the deterministic `model` sections (retired, cycles, simulated
+//! seconds, per-opcode-class attribution, cache hit rate) and exits
+//! nonzero when any metric moved by more than `--threshold` percent in
+//! either direction — the model has no noise, so any movement is a real
+//! behaviour change. Host (`host_*`) wall-clock fields are never
+//! compared.
+//!
+//! ```text
+//! bench_compare docs/results/BENCH_interp.baseline.json BENCH_interp.json --threshold 10
+//! ```
+//!
+//! Exit codes: 0 = within threshold, 1 = regression, 2 = usage/schema
+//! error.
+
+use morello_bench::speed::{compare, diff_table, BenchReport};
+use std::path::Path;
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("could not read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("could not parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut threshold = 5.0_f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let raw = if arg == "--threshold" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--threshold=") {
+            Some(v)
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag `{arg}`");
+            std::process::exit(2);
+        } else {
+            positional.push(arg);
+            continue;
+        };
+        threshold = raw.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("invalid --threshold value (expected a percentage)");
+            std::process::exit(2);
+        });
+    }
+    let [base_path, new_path] = positional.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <pct>]");
+        std::process::exit(2);
+    };
+
+    let base = load(base_path);
+    let new = load(new_path);
+    if base.schema_version != new.schema_version {
+        eprintln!(
+            "schema mismatch: baseline v{} vs candidate v{} — regenerate the baseline",
+            base.schema_version, new.schema_version
+        );
+        std::process::exit(2);
+    }
+
+    let outcome = compare(&base, &new, threshold);
+    if outcome.diffs.is_empty() && outcome.regressions.is_empty() {
+        println!("bench_compare: model sections identical (threshold {threshold}%)");
+        return;
+    }
+    if !outcome.diffs.is_empty() {
+        println!("model metrics that moved:");
+        println!("{}", diff_table(&outcome.diffs).render());
+    }
+    if outcome.regressions.is_empty() {
+        println!(
+            "bench_compare: {} metric(s) moved, all within {threshold}%",
+            outcome.diffs.len()
+        );
+        return;
+    }
+    eprintln!(
+        "bench_compare: {} metric(s) beyond {threshold}%:",
+        outcome.regressions.len()
+    );
+    eprintln!("{}", diff_table(&outcome.regressions).render());
+    std::process::exit(1);
+}

@@ -1,0 +1,74 @@
+//! `bench_speed`: how fast does the reproduction itself run?
+//!
+//! Drives a fixed workload × ABI matrix and writes a schema-versioned
+//! `BENCH_interp.json` at the repo root: per-ABI host-side retired
+//! instructions per second, suite wall-clock at `--jobs {1,N}`,
+//! lowered-program cache hit rate, simulated-vs-host throughput
+//! ratios, per-opcode-class model attribution, and the observer-effect
+//! overhead of sampling/tracing. The `model` section is deterministic
+//! (gated by `bench_compare`); every host field carries a `host_`
+//! prefix and is informational only.
+//!
+//! ```text
+//! cargo run --release -p morello-bench --bin bench_speed -- --quick
+//! ```
+//!
+//! Flags: `--quick` (golden five at test scale; default: Table 3 set at
+//! `MORELLO_SCALE`), `--jobs N` (parallel-sweep worker count),
+//! `--out <path>` (default `BENCH_interp.json`; `-` = stdout),
+//! `--trace <path>` (phase trace: Chrome JSON + JSONL).
+
+use morello_bench::speed::{run_bench, speed_table};
+use morello_bench::{exit_with_error, human, jobs_from_env};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let _trace = morello_bench::init_trace();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = jobs_from_env();
+    let report = run_bench(quick, jobs, morello_bench::span_sink())
+        .unwrap_or_else(|e| exit_with_error("bench_speed failed", &e));
+
+    human!(
+        "bench_speed ({}, scale {}, jobs {}):",
+        if quick { "quick" } else { "full" },
+        report.scale,
+        jobs
+    );
+    human!("{}", speed_table(&report).render());
+    human!(
+        "suite wall-clock: {:.3}s @ jobs=1, {:.3}s @ jobs={jobs} ({:.2}x); cache hit rate {:.2}",
+        report.host.host_wall_seconds_jobs1,
+        report.host.host_wall_seconds_jobs_n,
+        report.host.host_parallel_speedup,
+        report.model.cache.hit_rate
+    );
+    let oe = &report.host.host_observer_effect;
+    human!(
+        "observer effect on {} {}: sampling {:.2}x, tracing {:.2}x vs plain",
+        oe.workload,
+        oe.abi,
+        oe.host_sampling_overhead,
+        oe.host_tracing_overhead
+    );
+
+    let out = morello_pmu::out_flag(&args).unwrap_or_else(|| PathBuf::from("BENCH_interp.json"));
+    if out == Path::new("-") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("could not serialise report: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    match morello_pmu::write_json_out(&out, &report) {
+        Ok(()) => eprintln!("(bench report: {})", out.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -5,14 +5,16 @@
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
-//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+//! JSONL run records incl. wall-time), `--trace <path>` (phase trace:
+//! Chrome JSON + JSONL).
 
 use cheri_isa::Abi;
 use cheri_workloads::registry;
-use morello_bench::{harness_runner, suite_rows};
+use morello_bench::{harness_runner, human, suite_rows};
 use morello_pmu::Table;
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let runner = harness_runner();
     let rows = suite_rows(&runner, None);
 
@@ -64,5 +66,5 @@ fn main() {
             format!("{:.2}", h.derived.l2_miss_rate * 100.0),
         ]);
     }
-    println!("{}", t.render());
+    human!("{}", t.render());
 }

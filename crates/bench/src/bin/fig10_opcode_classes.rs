@@ -1,5 +1,10 @@
-//! Figure 2: binary-section sizes under the three ABIs, normalised to
-//! hybrid (median across workloads).
+//! Figure 10: per-opcode-class attribution — where the retired
+//! instructions and model cycles of each ABI go, across eight classes
+//! (int-alu, cap-manip, scalar/capability load-store, plain and
+//! PCC-changing branches, allocator runtime, region metadata). The
+//! counts partition `INST_RETIRED` and `CPU_CYCLES` exactly.
+//!
+//! `MORELLO_SCALE=small cargo run --release -p morello-bench --bin fig10_opcode_classes`
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
@@ -13,8 +18,8 @@ fn main() {
     let runner = harness_runner();
     let rows = suite_rows(&runner, None);
     let _report = morello_bench::trace_phase(concat!("report ", env!("CARGO_BIN_NAME")), "report");
-    let (table, data) = experiments::fig2_binsize(&rows);
-    human!("Figure 2: program-section sizes (median ratio to hybrid)");
+    let (table, data) = experiments::fig10_opcode_classes(&rows);
+    human!("Figure 10: opcode-class attribution (retired and cycle shares per ABI)");
     human!("{}", table.render());
-    write_json("fig2_binsize", &data);
+    write_json("fig10_opcode_classes", &data);
 }

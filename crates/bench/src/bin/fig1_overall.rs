@@ -5,15 +5,18 @@
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
-//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
+//! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
-use morello_bench::{experiments, harness_runner, suite_rows, write_json};
+use morello_bench::{experiments, harness_runner, human, suite_rows, write_json};
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let runner = harness_runner();
     let rows = suite_rows(&runner, None);
+    let _report = morello_bench::trace_phase(concat!("report ", env!("CARGO_BIN_NAME")), "report");
     let (table, data) = experiments::fig1_overall(&rows);
-    println!("Figure 1: execution time normalised to the hybrid ABI");
-    println!("{}", table.render());
+    human!("Figure 1: execution time normalised to the hybrid ABI");
+    human!("{}", table.render());
     write_json("fig1_overall", &data);
 }

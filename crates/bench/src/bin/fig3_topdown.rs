@@ -3,16 +3,19 @@
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
-//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
+//! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
-use morello_bench::{experiments, harness_runner, suite_rows, write_json};
+use morello_bench::{experiments, harness_runner, human, suite_rows, write_json};
 use morello_sim::suite::TABLE4_KEYS;
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let runner = harness_runner();
     let rows = suite_rows(&runner, Some(&TABLE4_KEYS));
+    let _report = morello_bench::trace_phase(concat!("report ", env!("CARGO_BIN_NAME")), "report");
     let table = experiments::fig3_table4_topdown(&rows);
-    println!("Figure 3 / Table 4: top-down breakdown (hybrid, benchmark, purecap)");
-    println!("{}", table.render());
+    human!("Figure 3 / Table 4: top-down breakdown (hybrid, benchmark, purecap)");
+    human!("{}", table.render());
     write_json("fig3_table4_topdown", &rows);
 }

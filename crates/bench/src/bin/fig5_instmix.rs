@@ -3,24 +3,29 @@
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
-//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
+//! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
-use morello_bench::{experiments, harness_runner, suite_rows, write_json};
+use morello_bench::{experiments, harness_runner, human, suite_rows, write_json};
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let runner = harness_runner();
     let rows = suite_rows(&runner, None);
+    let _report = morello_bench::trace_phase(concat!("report ", env!("CARGO_BIN_NAME")), "report");
     let table = experiments::fig5_instmix(&rows);
-    println!("Figure 5: speculative instruction mix by ABI");
-    println!("{}", table.render());
+    human!("Figure 5: speculative instruction mix by ABI");
+    human!("{}", table.render());
     let shift = experiments::fig5_shift_summary(&rows);
-    println!(
+    human!(
         "DP_SPEC share growth under purecap: {:.2}pp .. {:.2}pp (paper: 5.21 .. 29.31)",
-        shift.dp_growth_min, shift.dp_growth_max
+        shift.dp_growth_min,
+        shift.dp_growth_max
     );
-    println!(
+    human!(
         "LD/ST share stability (std of delta): {:.2}pp / {:.2}pp (paper: 2.01 / 1.47)",
-        shift.ld_delta_std, shift.st_delta_std
+        shift.ld_delta_std,
+        shift.st_delta_std
     );
     write_json("fig5_instmix", &shift);
 }

@@ -3,18 +3,21 @@
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
-//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
+//! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
 use cheri_isa::Abi;
-use morello_bench::{experiments, harness_runner, suite_rows, write_json};
+use morello_bench::{experiments, harness_runner, human, suite_rows, write_json};
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let runner = harness_runner();
     let rows = suite_rows(&runner, None);
+    let _report = morello_bench::trace_phase(concat!("report ", env!("CARGO_BIN_NAME")), "report");
     for abi in [Abi::Hybrid, Abi::Purecap] {
         let (table, matrix) = experiments::fig7_correlation(&rows, abi);
-        println!("Figure 7 ({abi}): metric correlation matrix");
-        println!("{}", table.render());
+        human!("Figure 7 ({abi}): metric correlation matrix");
+        human!("{}", table.render());
         write_json(&format!("fig7_correlation_{abi}"), &matrix);
     }
 }

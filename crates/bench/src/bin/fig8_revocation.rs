@@ -10,17 +10,19 @@
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
-//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
+//! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
-use morello_bench::{experiments, harness_runner, jobs_from_env, write_json};
+use morello_bench::{experiments, harness_runner, human, jobs_from_env, write_json};
 use morello_obs::JsonlJournal;
-use morello_sim::suite::{run_suite_observed, run_suite_with, select, SuiteConfig, SuiteRow};
+use morello_sim::suite::{run_suite_traced, select, SuiteConfig, SuiteRow};
 use morello_sim::{ProgramCache, Runner, StrategyKind};
 
 /// The quarantine-byte threshold ladder, in KiB.
 const THRESHOLDS_KIB: [u64; 4] = [16, 32, 64, 256];
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let base = harness_runner();
     let workloads = select(&["alloc_stress"]);
     let cache = ProgramCache::new();
@@ -38,10 +40,18 @@ fn main() {
     let started = std::time::Instant::now();
     let mut sets: Vec<(u64, Vec<SuiteRow>)> = Vec::new();
     let mut run_at = |runner: &Runner, kib: u64, journal: &mut Option<JsonlJournal>| {
-        let rows = match journal {
-            Some(j) => run_suite_observed(runner, &workloads, &cache, &config, j),
-            None => run_suite_with(runner, &workloads, &cache, &config),
-        }
+        let _ladder = morello_bench::trace_phase(&format!("ladder {kib} KiB"), "sweep");
+        let observer = journal
+            .as_mut()
+            .map(|j| j as &mut dyn morello_sim::RunObserver);
+        let rows = run_suite_traced(
+            runner,
+            &workloads,
+            &cache,
+            &config,
+            observer,
+            morello_bench::span_sink(),
+        )
         .unwrap_or_else(|e| morello_bench::exit_with_error("revocation ladder failed", &e));
         sets.push((kib, rows));
     };
@@ -62,8 +72,9 @@ fn main() {
         started.elapsed()
     );
 
+    let _report = morello_bench::trace_phase("report fig8_revocation", "report");
     let (table, points) = experiments::fig8_revocation(&sets);
-    println!("Figure 8: revocation overhead vs quarantine threshold (alloc_stress)");
-    println!("{}", table.render());
+    human!("Figure 8: revocation overhead vs quarantine threshold (alloc_stress)");
+    human!("{}", table.render());
     write_json("fig8_revocation", &points);
 }

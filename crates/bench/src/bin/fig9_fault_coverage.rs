@@ -14,10 +14,11 @@
 //! (CI diffs exactly that).
 //!
 //! Flags: `--jobs N` (cell fan-out; default available parallelism or
-//! `MORELLO_JOBS`), `--out <path>` (JSON artefact).
+//! `MORELLO_JOBS`), `--out <path>` (JSON artefact; `-` = stdout),
+//! `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
 use cheri_workloads::Scale;
-use morello_bench::{exit_with_error, jobs_from_env, scale_from_env, write_json};
+use morello_bench::{exit_with_error, human, jobs_from_env, scale_from_env, write_json};
 use morello_fault::{coverage_table, run_coverage, CampaignConfig, RecoveryPolicy};
 use morello_sim::suite::select;
 use morello_sim::Platform;
@@ -26,6 +27,7 @@ use morello_sim::Platform;
 const KEYS: [&str; 3] = ["omnetpp_520", "xz_557", "sqlite"];
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let scale = scale_from_env();
     let platform = Platform::morello().with_scale(scale);
     let workloads = select(&KEYS);
@@ -39,8 +41,14 @@ fn main() {
         jobs: jobs_from_env(),
     };
     let started = std::time::Instant::now();
-    let report = run_coverage(&platform, &workloads, &config)
-        .unwrap_or_else(|e| exit_with_error("fault-coverage campaign failed", &e));
+    let report = {
+        let _campaign = morello_bench::trace_phase(
+            &format!("fault-campaign seed {:#x}", config.seed),
+            "fault-campaign",
+        );
+        run_coverage(&platform, &workloads, &config)
+            .unwrap_or_else(|e| exit_with_error("fault-coverage campaign failed", &e))
+    };
     eprintln!(
         "(campaign: {} workloads x {} rates x {} trials x 3 ABIs, jobs={}, {:.2?})",
         workloads.len(),
@@ -49,14 +57,14 @@ fn main() {
         config.jobs,
         started.elapsed()
     );
-    println!("Figure 9: fault-detection coverage by ABI (seeded tag-clear campaigns)");
-    println!(
+    human!("Figure 9: fault-detection coverage by ABI (seeded tag-clear campaigns)");
+    human!(
         "policy: skip-faulting-op; seed {:#x}; rates in faults per million clean instructions",
         report.config.seed
     );
-    println!("{}", coverage_table(&report.cells).render());
+    human!("{}", coverage_table(&report.cells).render());
     let trapped: u64 = report.cells.iter().map(|c| u64::from(c.trapped_runs)).sum();
     let silent: u64 = report.cells.iter().map(|c| u64::from(c.silent_runs)).sum();
-    println!("total trapped runs: {trapped}; total silent corruptions: {silent}");
+    human!("total trapped runs: {trapped}; total silent corruptions: {silent}");
     write_json("fig9_fault_coverage", &report);
 }

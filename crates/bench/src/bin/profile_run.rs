@@ -9,13 +9,14 @@
 //! Flags:
 //! * `--abi <hybrid|benchmark|purecap>` — ABI to run (default purecap)
 //! * `--journal <path>` — append a JSONL run record (one line per run)
-//! * `--out <path>` — write the full profile as JSON
+//! * `--out <path>` — write the full profile as JSON (`-` = stdout)
+//! * `--trace <path>` — phase trace (Chrome JSON + JSONL)
 //!
 //! `MORELLO_SCALE` selects the problem size as in every other binary.
 
 use cheri_isa::Abi;
 use cheri_workloads::by_key;
-use morello_bench::{harness_runner, write_json};
+use morello_bench::{harness_runner, human, write_json};
 use morello_obs::{collapsed_stacks, hotspot_table, run_profiled, JsonlJournal};
 
 fn parse_abi(s: &str) -> Abi {
@@ -31,6 +32,7 @@ fn parse_abi(s: &str) -> Abi {
 }
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut key: Option<String> = None;
     let mut abi = Abi::Purecap;
@@ -40,11 +42,14 @@ fn main() {
         match a.as_str() {
             "--abi" => abi = parse_abi(it.next().map(String::as_str).unwrap_or("")),
             "--journal" => journal = it.next().cloned(),
+            "--trace" => {
+                it.next(); // consumed by init_trace
+            }
             "--out" => {
                 it.next(); // consumed by write_json
             }
             flag if flag.starts_with("--") => {
-                if !flag.starts_with("--out=") {
+                if !flag.starts_with("--out=") && !flag.starts_with("--trace=") {
                     eprintln!("unknown flag `{flag}`");
                     std::process::exit(2);
                 }
@@ -60,18 +65,24 @@ fn main() {
 
     let runner = harness_runner();
     let platform = *runner.platform();
-    let run = match run_profiled(&platform, &workload, abi) {
-        Ok(run) => run,
-        Err(e) => {
-            eprintln!("profile failed: {e}");
-            std::process::exit(1);
+    let run = {
+        let _profile = morello_bench::trace_phase(&format!("profile {key} {abi}"), "run");
+        match run_profiled(&platform, &workload, abi) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("profile failed: {e}");
+                std::process::exit(1);
+            }
         }
     };
 
-    println!("Region profile: {} under the {abi} ABI", run.workload);
-    println!("{}", hotspot_table(&run.regions).render());
-    println!("Collapsed stacks (flamegraph input):");
-    print!("{}", collapsed_stacks(&run.workload, &run.regions));
+    human!("Region profile: {} under the {abi} ABI", run.workload);
+    human!("{}", hotspot_table(&run.regions).render());
+    human!("Collapsed stacks (flamegraph input):");
+    human!(
+        "{}",
+        collapsed_stacks(&run.workload, &run.regions).trim_end()
+    );
 
     if let Some(path) = journal {
         match JsonlJournal::append(&path) {

@@ -3,16 +3,19 @@
 //!
 //! Suite flags: `--jobs N` (engine worker threads; default: available
 //! parallelism, or `MORELLO_JOBS`), `--journal <path>` (append per-cell
-//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact).
+//! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
+//! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
-use morello_bench::{experiments, harness_runner, suite_rows, write_json};
+use morello_bench::{experiments, harness_runner, human, suite_rows, write_json};
 use morello_sim::suite::TABLE3_KEYS;
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let runner = harness_runner();
     let rows = suite_rows(&runner, Some(&TABLE3_KEYS));
+    let _report = morello_bench::trace_phase(concat!("report ", env!("CARGO_BIN_NAME")), "report");
     let table = experiments::table3_key_metrics(&rows);
-    println!("Table 3: aggregated key performance metrics");
-    println!("{}", table.render());
+    human!("Table 3: aggregated key performance metrics");
+    human!("{}", table.render());
     write_json("table3_key_metrics", &rows);
 }

@@ -3,13 +3,17 @@
 //! the §3.3 axes — per ABI for one workload.
 //!
 //! `cargo run --release -p morello-bench --bin trace_summary -- omnetpp_520`
+//!
+//! Flags: `--out <path>` (JSON artefact; `-` = stdout), `--trace <path>`
+//! (phase trace: Chrome JSON + JSONL).
 
 use cheri_isa::{lower, Abi, Interp, InterpConfig, TraceSummary};
 use cheri_workloads::by_key;
-use morello_bench::{scale_from_env, write_json};
+use morello_bench::{human, scale_from_env, write_json};
 use morello_pmu::Table;
 
 fn main() {
+    let _trace = morello_bench::init_trace();
     let key = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "omnetpp_520".into());
@@ -25,6 +29,7 @@ fn main() {
             summaries.push(None);
             continue;
         }
+        let _span = morello_bench::trace_phase(&format!("trace {key} {abi}"), "run");
         let prog = lower(&w.build(abi, scale));
         let mut s = TraceSummary::new();
         if let Err(e) = Interp::new(InterpConfig::default()).run(&prog, &mut s) {
@@ -78,7 +83,7 @@ fn main() {
         let c = cell(f);
         t.row(&[name.to_string(), c[0].clone(), c[1].clone(), c[2].clone()]);
     }
-    println!("Trace characterisation: {}", w.name);
-    println!("{}", t.render());
+    human!("Trace characterisation: {}", w.name);
+    human!("{}", t.render());
     write_json(&format!("trace_summary_{key}"), &summaries);
 }

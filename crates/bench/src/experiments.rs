@@ -541,6 +541,90 @@ pub fn fig8_revocation(sets: &[(u64, Vec<SuiteRow>)]) -> (Table, Vec<Fig8Point>)
     (t, data)
 }
 
+/// One row of the Figure 10 opcode-class attribution: one class under
+/// one ABI, aggregated over the selection.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Row {
+    /// The ABI of this row.
+    pub abi: Abi,
+    /// Opcode-class label (matches `cheri_isa::OpClass::name`).
+    pub class: String,
+    /// Retired instructions attributed to the class.
+    pub retired: u64,
+    /// Model cycles attributed to the class.
+    pub cycles: u64,
+    /// Share of the ABI's total retired instructions.
+    pub retired_share: f64,
+    /// Share of the ABI's total model cycles.
+    pub cycle_share: f64,
+    /// Cycles per instruction within the class (`None` when it retired
+    /// nothing).
+    pub cpi: Option<f64>,
+}
+
+/// Figure 10: where purecap's extra work comes from. Every retired
+/// instruction and every model cycle is attributed to exactly one of
+/// the eight opcode classes (the counts partition `INST_RETIRED` and
+/// `CPU_CYCLES`), aggregated over the selection per ABI — so the
+/// hybrid→purecap shift shows up as the cap-manip / cap-branch /
+/// mem-cap shares growing at the int-alu and mem-scalar shares'
+/// expense.
+pub fn fig10_opcode_classes(rows: &[SuiteRow]) -> (Table, Vec<Fig10Row>) {
+    let classes = PmuEvent::opcode_class_pairs();
+    let mut t = Table::new(&["ABI", "class", "retired", "ret %", "cycles", "cyc %", "CPI"]);
+    let mut data = Vec::new();
+    for abi in Abi::ALL {
+        let mut per = [(0u64, 0u64); 8];
+        let mut any = false;
+        for r in rows {
+            if let Some(rep) = r.get(abi) {
+                any = true;
+                for (slot, (_, retired_ev, cycles_ev)) in per.iter_mut().zip(classes.iter()) {
+                    slot.0 += rep.counts.get(*retired_ev);
+                    slot.1 += rep.counts.get(*cycles_ev);
+                }
+            }
+        }
+        if !any {
+            continue;
+        }
+        let total_retired: u64 = per.iter().map(|p| p.0).sum();
+        let total_cycles: u64 = per.iter().map(|p| p.1).sum();
+        for ((label, _, _), (retired, cycles)) in classes.iter().zip(per) {
+            let retired_share = if total_retired > 0 {
+                retired as f64 / total_retired as f64
+            } else {
+                0.0
+            };
+            let cycle_share = if total_cycles > 0 {
+                cycles as f64 / total_cycles as f64
+            } else {
+                0.0
+            };
+            let cpi = (retired > 0).then(|| cycles as f64 / retired as f64);
+            t.row(&[
+                abi.to_string(),
+                (*label).to_owned(),
+                retired.to_string(),
+                pct(retired_share),
+                cycles.to_string(),
+                pct(cycle_share),
+                cpi.map_or("-".into(), fmt_metric),
+            ]);
+            data.push(Fig10Row {
+                abi,
+                class: (*label).to_owned(),
+                retired,
+                cycles,
+                retired_share,
+                cycle_share,
+                cpi,
+            });
+        }
+    }
+    (t, data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,6 +656,42 @@ mod tests {
         assert!(!t7.is_empty());
         assert_eq!(table2_memory_intensity(&rows).len(), 3);
         assert!(table3_key_metrics(&rows).len() == 11 * 3);
+        let (t10, d10) = fig10_opcode_classes(&rows);
+        assert_eq!(t10.len(), 3 * 8);
+        assert_eq!(d10.len(), 3 * 8);
+    }
+
+    #[test]
+    fn fig10_classes_partition_retired_and_cycles() {
+        let rows = tiny_rows();
+        let (_, data) = fig10_opcode_classes(&rows);
+        for abi in Abi::ALL {
+            let reports: Vec<_> = rows.iter().filter_map(|r| r.get(abi)).collect();
+            let want_retired: u64 = reports
+                .iter()
+                .map(|rep| rep.counts.get(PmuEvent::InstRetired))
+                .sum();
+            let want_cycles: u64 = reports
+                .iter()
+                .map(|rep| rep.counts.get(PmuEvent::CpuCycles))
+                .sum();
+            let class_rows: Vec<_> = data.iter().filter(|d| d.abi == abi).collect();
+            let got_retired: u64 = class_rows.iter().map(|d| d.retired).sum();
+            let got_cycles: u64 = class_rows.iter().map(|d| d.cycles).sum();
+            assert_eq!(
+                got_retired, want_retired,
+                "{abi}: classes partition retired"
+            );
+            assert_eq!(got_cycles, want_cycles, "{abi}: classes partition cycles");
+        }
+        // Purecap shifts work into the capability classes.
+        let share = |abi: Abi, class: &str| {
+            data.iter()
+                .find(|d| d.abi == abi && d.class == class)
+                .map_or(0.0, |d| d.retired_share)
+        };
+        assert!(share(Abi::Purecap, "cap-manip") > share(Abi::Hybrid, "cap-manip"));
+        assert!(share(Abi::Purecap, "mem-cap") > share(Abi::Hybrid, "mem-cap"));
     }
 
     #[test]

@@ -11,11 +11,14 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod speed;
 
 use cheri_workloads::{registry, Scale};
-use morello_obs::JsonlJournal;
-use morello_sim::suite::{run_suite_observed, run_suite_with, select, SuiteConfig, SuiteRow};
-use morello_sim::{Platform, ProgramCache, Runner};
+use morello_obs::{JsonlJournal, Tracer};
+use morello_sim::suite::{run_suite_traced, select, SuiteConfig, SuiteRow};
+use morello_sim::{NullSpanSink, Platform, ProgramCache, Runner, SpanGuard, SpanSink};
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// Reads the harness scale from `MORELLO_SCALE` (`test`, `small`, or
 /// `default`). Binaries default to the full (`default`) size; set
@@ -59,6 +62,85 @@ pub fn jobs_from_env() -> usize {
     }
 }
 
+static TRACE: OnceLock<Option<(Tracer, PathBuf)>> = OnceLock::new();
+static NULL_SINK: NullSpanSink = NullSpanSink;
+
+fn trace_state() -> &'static Option<(Tracer, PathBuf)> {
+    TRACE.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        morello_pmu::trace_flag(&args).map(|path| (Tracer::new(), path))
+    })
+}
+
+/// The process-wide span sink: the recording [`Tracer`] when `--trace
+/// <path>` is on the command line, the inert [`NullSpanSink`] otherwise.
+pub fn span_sink() -> &'static dyn SpanSink {
+    match trace_state() {
+        Some((tracer, _)) => tracer,
+        None => &NULL_SINK,
+    }
+}
+
+/// Flushes the recorded trace when dropped — hold one for the duration
+/// of `main` (see [`init_trace`]).
+pub struct TraceGuard(());
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some((tracer, path)) = trace_state() {
+            match tracer.save(path) {
+                Ok(jsonl) => eprintln!(
+                    "(trace: {} [chrome://tracing] + {} [jsonl])",
+                    path.display(),
+                    jsonl.display()
+                ),
+                Err(e) => eprintln!("warning: could not write trace {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Arms `--trace <path>` support: every experiment binary calls this at
+/// the top of `main` and keeps the guard alive. When the flag is
+/// present, phase spans recorded anywhere in the process (the suite
+/// engine's `sweep`/`lower`/`run` spans, [`trace_phase`] marks) are
+/// written on exit as Chrome `trace_event` JSON at `<path>` plus JSONL
+/// alongside; without the flag this is free.
+pub fn init_trace() -> TraceGuard {
+    let _ = trace_state();
+    TraceGuard(())
+}
+
+/// Opens a named phase span (`"fault-campaign"`, `"report"`, …) on the
+/// process-wide sink; the span ends when the guard drops.
+pub fn trace_phase(name: &str, cat: &str) -> SpanGuard<'static> {
+    morello_sim::span(span_sink(), name, cat)
+}
+
+/// True when `--out -` routes the JSON artefact to stdout — in which
+/// case every human-readable line must go to stderr (see [`human!`]).
+pub fn out_is_stdout() -> bool {
+    static STDOUT_OUT: OnceLock<bool> = OnceLock::new();
+    *STDOUT_OUT.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        morello_pmu::out_flag(&args).is_some_and(|p| p == std::path::Path::new("-"))
+    })
+}
+
+/// Prints a human-readable progress/table line: to stdout normally, to
+/// stderr when `--out -` has claimed stdout for the JSON artefact — so
+/// `fig1_overall --out - | jq .` always parses.
+#[macro_export]
+macro_rules! human {
+    ($($arg:tt)*) => {
+        if $crate::out_is_stdout() {
+            eprintln!($($arg)*);
+        } else {
+            println!($($arg)*);
+        }
+    };
+}
+
 /// The figure/table binaries' shared failure path: prints `context`,
 /// the error, and its full [`std::error::Error::source`] chain to
 /// stderr, then exits with status 1 — a formatted diagnosis instead of
@@ -98,12 +180,19 @@ pub fn suite_rows(runner: &Runner, keys: Option<&[&str]>) -> Vec<SuiteRow> {
                 eprintln!("could not open journal {}: {e}", path.display());
                 std::process::exit(1);
             });
-            let rows = run_suite_observed(runner, &workloads, &cache, &config, &mut journal)
-                .unwrap_or_else(|e| exit_with_error("suite run failed", &e));
+            let rows = run_suite_traced(
+                runner,
+                &workloads,
+                &cache,
+                &config,
+                Some(&mut journal),
+                span_sink(),
+            )
+            .unwrap_or_else(|e| exit_with_error("suite run failed", &e));
             eprintln!("(run journal: {})", path.display());
             rows
         }
-        None => run_suite_with(runner, &workloads, &cache, &config)
+        None => run_suite_traced(runner, &workloads, &cache, &config, None, span_sink())
             .unwrap_or_else(|e| exit_with_error("suite run failed", &e)),
     };
     eprintln!(
@@ -120,11 +209,19 @@ pub fn suite_rows(runner: &Runner, keys: Option<&[&str]>) -> Vec<SuiteRow> {
 /// Writes an experiment's JSON artefact. Every figure/table binary
 /// shares a `--out <path>` flag: when present on the command line the
 /// artefact goes to that exact path (a binary that emits several
-/// artefacts overwrites, last one wins); otherwise it lands under
+/// artefacts overwrites, last one wins), with `--out -` streaming it to
+/// stdout for piping; otherwise it lands under
 /// `target/experiments/<name>.json`.
 pub fn write_json(name: &str, value: &impl serde::Serialize) {
     let args: Vec<String> = std::env::args().collect();
     if let Some(path) = morello_pmu::out_flag(&args) {
+        if path == std::path::Path::new("-") {
+            match serde_json::to_string_pretty(value) {
+                Ok(s) => println!("{s}"),
+                Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+            }
+            return;
+        }
         match morello_pmu::write_json_out(&path, value) {
             Ok(()) => eprintln!("(json artefact: {})", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),

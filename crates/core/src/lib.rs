@@ -30,6 +30,7 @@ mod observe;
 mod projection;
 mod report;
 mod runner;
+mod span;
 pub mod suite;
 
 pub use cache::ProgramCache;
@@ -37,6 +38,7 @@ pub use observe::{uarch_config_hash, RunObserver, RunRecord, VecObserver};
 pub use projection::{project, project_with, ProjectionRow};
 pub use report::{HeapSummary, RunReport, TopDown};
 pub use runner::{fold_heap_stats, Platform, RunError, Runner};
+pub use span::{span, NullSpanSink, SpanGuard, SpanSink};
 
 // Re-exported so experiment drivers can select allocator strategies
 // without depending on `cheri-revoke` directly.

@@ -190,8 +190,46 @@ impl Runner {
         self.run_lowered(workload, abi, &prog)
     }
 
+    /// As [`run_with_cache`](Runner::run_with_cache), with the lowering
+    /// and execution phases bracketed by spans on `spans` — the traced
+    /// per-cell path of the suite engine. A cache hit shows up as a
+    /// near-zero `lower` span, which is exactly what the trace should
+    /// say.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Runner::run).
+    pub fn run_with_cache_spanned(
+        &self,
+        workload: &Workload,
+        abi: Abi,
+        cache: &crate::ProgramCache,
+        spans: &dyn crate::SpanSink,
+    ) -> Result<RunReport, RunError> {
+        if !workload.supports(abi) {
+            return Err(RunError::UnsupportedAbi {
+                workload: workload.name.to_owned(),
+                abi,
+            });
+        }
+        let prog = {
+            let _s = crate::span(spans, &format!("lower {} {abi}", workload.key), "lower");
+            cache.get_or_lower(workload, abi, self.platform.scale)
+        };
+        let _s = crate::span(spans, &format!("run {} {abi}", workload.key), "run");
+        self.run_lowered(workload, abi, &prog)
+    }
+
     /// Executes an already-lowered program and assembles the report.
-    fn run_lowered(
+    /// Public so traced drivers can split lowering from execution; the
+    /// program must come from [`lower`] or a [`ProgramCache`](crate::ProgramCache)
+    /// for the same (workload, ABI, scale), or the report will describe
+    /// a mismatched binary.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Interp`] if execution faults.
+    pub fn run_lowered(
         &self,
         workload: &Workload,
         abi: Abi,

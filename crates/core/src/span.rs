@@ -1,0 +1,105 @@
+//! Phase-span instrumentation hooks.
+//!
+//! The engine and runner mark the phases of every experiment — lowering
+//! a program, executing a cell, sweeping the matrix — by calling into a
+//! [`SpanSink`]. The sink is a trait (with a zero-cost [`NullSpanSink`]
+//! default) so this crate stays free of any tracing dependency; the
+//! concrete exporter (`morello_obs::Tracer`, which writes JSONL and
+//! Chrome `trace_event` JSON) lives in the observability layer, which
+//! depends on this crate and not vice versa.
+//!
+//! Sinks are `Sync` and take `&self`: the suite engine calls them from
+//! its worker threads concurrently. Spans on one thread nest strictly
+//! (begin/end bracket the work), which is exactly the contract Chrome's
+//! duration events need.
+
+/// A consumer of phase spans.
+///
+/// `begin` returns an opaque token that must be passed back to `end`;
+/// implementations use it to pair the two calls without thread-local
+/// state.
+pub trait SpanSink: Sync {
+    /// Starts a span. `name` identifies the work (e.g.
+    /// `"run lbm_519 purecap"`), `cat` its phase category (`"lower"`,
+    /// `"run"`, `"sweep"`, `"fault-campaign"`, `"report"`).
+    fn begin(&self, name: &str, cat: &str) -> u64;
+    /// Ends the span started by the `begin` that returned `token`.
+    fn end(&self, token: u64);
+}
+
+/// The do-nothing sink: every untraced run goes through this.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSpanSink;
+
+impl SpanSink for NullSpanSink {
+    fn begin(&self, _name: &str, _cat: &str) -> u64 {
+        0
+    }
+    fn end(&self, _token: u64) {}
+}
+
+/// An RAII span: ends when dropped, so early returns and `?` cannot
+/// leak an open span.
+pub struct SpanGuard<'a> {
+    sink: &'a dyn SpanSink,
+    token: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.sink.end(self.token);
+    }
+}
+
+/// Opens a span on `sink`, closed when the returned guard drops.
+pub fn span<'a>(sink: &'a dyn SpanSink, name: &str, cat: &str) -> SpanGuard<'a> {
+    SpanGuard {
+        sink,
+        token: sink.begin(name, cat),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Mutex<Vec<String>>,
+        next: Mutex<u64>,
+    }
+
+    impl SpanSink for Recorder {
+        fn begin(&self, name: &str, cat: &str) -> u64 {
+            let mut next = self.next.lock().unwrap();
+            *next += 1;
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("B{next} {cat}:{name}"));
+            *next
+        }
+        fn end(&self, token: u64) {
+            self.log.lock().unwrap().push(format!("E{token}"));
+        }
+    }
+
+    #[test]
+    fn guard_pairs_begin_and_end_in_nesting_order() {
+        let rec = Recorder::default();
+        {
+            let _outer = span(&rec, "outer", "sweep");
+            let _inner = span(&rec, "inner", "run");
+        }
+        let log = rec.log.lock().unwrap().clone();
+        assert_eq!(log, vec!["B1 sweep:outer", "B2 run:inner", "E2", "E1"]);
+    }
+
+    #[test]
+    fn null_sink_is_inert() {
+        let _ = span(&NullSpanSink, "x", "y");
+        assert_eq!(NullSpanSink.begin("a", "b"), 0);
+        NullSpanSink.end(7);
+    }
+}

@@ -15,6 +15,7 @@ use crate::engine::{run_cells, CellOutcome};
 use crate::observe::{RunObserver, RunRecord};
 use crate::report::RunReport;
 use crate::runner::{RunError, Runner};
+use crate::span::{span, NullSpanSink, SpanSink};
 use cheri_isa::Abi;
 use cheri_workloads::{registry, Workload};
 use serde::{Deserialize, Serialize};
@@ -150,7 +151,7 @@ pub fn run_suite_with(
     cache: &ProgramCache,
     config: &SuiteConfig,
 ) -> Result<Vec<SuiteRow>, RunError> {
-    let (rows, _) = run_suite_cells(runner, workloads, cache, config)?;
+    let (rows, _) = run_suite_cells(runner, workloads, cache, config, &NullSpanSink)?;
     Ok(rows)
 }
 
@@ -168,13 +169,43 @@ pub fn run_suite_observed(
     config: &SuiteConfig,
     observer: &mut dyn RunObserver,
 ) -> Result<Vec<SuiteRow>, RunError> {
-    let (rows, walls) = run_suite_cells(runner, workloads, cache, config)?;
-    let platform = runner.platform();
-    for (row, row_walls) in rows.iter().zip(&walls) {
-        for (report, wall) in row.reports.iter().zip(row_walls) {
-            if let (Some(report), Some(wall)) = (report, wall) {
-                let record = RunRecord::from_report(report, platform.scale, &platform.uarch, *wall);
-                observer.observe(&record);
+    run_suite_traced(
+        runner,
+        workloads,
+        cache,
+        config,
+        Some(observer),
+        &NullSpanSink,
+    )
+}
+
+/// The fully-instrumented suite entry point: as [`run_suite_with`], with
+/// per-cell `lower`/`run` spans (thread-tagged by the [`SpanSink`]
+/// implementation) plus an enclosing `sweep` span emitted on `spans`,
+/// and — when `observer` is given — one [`RunRecord`] per completed
+/// cell, in canonical order.
+///
+/// # Errors
+///
+/// As [`run_suite_with`]; on error nothing is journalled.
+pub fn run_suite_traced(
+    runner: &Runner,
+    workloads: &[Workload],
+    cache: &ProgramCache,
+    config: &SuiteConfig,
+    observer: Option<&mut dyn RunObserver>,
+    spans: &dyn SpanSink,
+) -> Result<Vec<SuiteRow>, RunError> {
+    let (rows, walls) = run_suite_cells(runner, workloads, cache, config, spans)?;
+    if let Some(observer) = observer {
+        let platform = runner.platform();
+        for (row, row_walls) in rows.iter().zip(&walls) {
+            for (report, wall) in row.reports.iter().zip(row_walls) {
+                if let (Some(report), Some(wall)) = (report, wall) {
+                    let record =
+                        RunRecord::from_report(report, platform.scale, &platform.uarch, *wall);
+                    observer.observe(&record);
+                }
             }
         }
     }
@@ -188,6 +219,7 @@ fn run_suite_cells(
     workloads: &[Workload],
     cache: &ProgramCache,
     config: &SuiteConfig,
+    spans: &dyn SpanSink,
 ) -> Result<(Vec<SuiteRow>, Vec<[Option<f64>; 3]>), RunError> {
     let mut cells = Vec::new();
     for (workload, w) in workloads.iter().enumerate() {
@@ -198,11 +230,20 @@ fn run_suite_cells(
         }
     }
 
+    let _sweep = span(
+        spans,
+        &format!("sweep {} workloads, {} cells", workloads.len(), cells.len()),
+        "sweep",
+    );
     let outcomes = run_cells(cells.len(), config.effective_jobs(), |i| {
         let cell = cells[i];
         let started = std::time::Instant::now();
-        let result =
-            runner.run_with_cache(&workloads[cell.workload], Abi::ALL[cell.abi_idx], cache);
+        let result = runner.run_with_cache_spanned(
+            &workloads[cell.workload],
+            Abi::ALL[cell.abi_idx],
+            cache,
+            spans,
+        );
         CellResult {
             result,
             wall_seconds: started.elapsed().as_secs_f64(),

@@ -1,0 +1,307 @@
+//! The opcode-class taxonomy behind the per-class performance
+//! attribution (the `fig10_opcode_classes` report and the
+//! `OPC_*_RETIRED` / `OPC_*_CYCLES` PMU events).
+//!
+//! Every retired event maps to exactly one of eight [`OpClass`]es, so
+//! per-class retired counts partition the run: summed over all classes
+//! they equal the total retired-instruction count, and (on the timing
+//! side) per-class model cycles sum to `CPU_CYCLES`. Both invariants
+//! are locked by property tests.
+//!
+//! The taxonomy follows the shape of the TUM cheri-microanalysis
+//! per-instruction-class tables (SNIPPETS.md Snippet 1): the interesting
+//! axis on Morello is *capability vs non-capability* within each
+//! pipeline role, because that is where the paper's instruction-mix
+//! shift and its latency cliffs (LDR vs LDR.CAP, cap-manipulation DP
+//! ops, PCC-changing branches) live.
+//!
+//! Classification is a pure function of the retired event — the PC and
+//! the [`RetiredInfo`] payload — so the architectural interpreter and
+//! the timing model attribute identically without any extra sink
+//! traffic: both sides accumulate into flat per-run counters
+//! ([`ClassCounts`] in the machine, `opc_*` fields of `UarchStats` in
+//! the core) instead of emitting per-instruction classification events.
+
+use crate::interp::RetiredInfo;
+use crate::lower::{RT_MALLOC_PC, RT_SWEEP_PC};
+use serde::{Deserialize, Serialize};
+
+/// End of the synthetic runtime code region (exclusive): the sweep loop
+/// is the last runtime routine before [`CODE_BASE`](crate::lower) at
+/// `0x1_0000`.
+const RT_END: u64 = 0x1_0000;
+
+/// The eight opcode classes of the attribution layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Non-capability ALU work: integer, floating-point, and SIMD data
+    /// processing (including long-latency multiply/divide).
+    IntAlu,
+    /// Capability-manipulation data processing (`CIncOffset`,
+    /// `CSetBounds`, sealing, …) — the paper's instruction-mix shift.
+    CapManip,
+    /// Scalar (non-capability) loads and stores.
+    MemScalar,
+    /// Capability (16-byte, tag-checked) loads and stores.
+    MemCap,
+    /// Branches that leave PCC bounds alone.
+    Branch,
+    /// PCC-changing branches (purecap cross-module and indirect control
+    /// flow) — the ones Morello's predictor stalls on.
+    CapBranch,
+    /// The synthetic allocator runtime (`malloc`/`free` instruction
+    /// streams at their pseudo code addresses).
+    Runtime,
+    /// Heap-metadata maintenance: the revocation tag-sweep loop's
+    /// instruction stream.
+    Meta,
+}
+
+impl OpClass {
+    /// Every class, in table order.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::IntAlu,
+        OpClass::CapManip,
+        OpClass::MemScalar,
+        OpClass::MemCap,
+        OpClass::Branch,
+        OpClass::CapBranch,
+        OpClass::Runtime,
+        OpClass::Meta,
+    ];
+
+    /// Classifies one retired event. Total: the runtime/metadata code
+    /// regions win over the payload kind (an allocator load is allocator
+    /// work, not application memory traffic), then capability-ness
+    /// splits each pipeline role.
+    pub fn of(pc: u64, info: &RetiredInfo) -> OpClass {
+        if (RT_MALLOC_PC..RT_SWEEP_PC).contains(&pc) {
+            return OpClass::Runtime;
+        }
+        if (RT_SWEEP_PC..RT_END).contains(&pc) {
+            return OpClass::Meta;
+        }
+        match info {
+            RetiredInfo::Simple(_) | RetiredInfo::LongLatency { .. } => OpClass::IntAlu,
+            RetiredInfo::CapManip => OpClass::CapManip,
+            RetiredInfo::Load { is_cap, .. } | RetiredInfo::Store { is_cap, .. } => {
+                if *is_cap {
+                    OpClass::MemCap
+                } else {
+                    OpClass::MemScalar
+                }
+            }
+            RetiredInfo::Branch { pcc_change, .. } => {
+                if *pcc_change {
+                    OpClass::CapBranch
+                } else {
+                    OpClass::Branch
+                }
+            }
+        }
+    }
+
+    /// The table label (Snippet-1 style).
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::CapManip => "cap-manip",
+            OpClass::MemScalar => "mem-scalar",
+            OpClass::MemCap => "mem-cap",
+            OpClass::Branch => "branch",
+            OpClass::CapBranch => "cap-branch",
+            OpClass::Runtime => "runtime",
+            OpClass::Meta => "meta",
+        }
+    }
+
+    /// What the class covers.
+    pub const fn description(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "integer/FP/SIMD data processing",
+            OpClass::CapManip => "capability-manipulation data processing",
+            OpClass::MemScalar => "scalar loads and stores",
+            OpClass::MemCap => "capability (tagged, 16-byte) loads and stores",
+            OpClass::Branch => "branches without a PCC-bounds change",
+            OpClass::CapBranch => "PCC-changing branches",
+            OpClass::Runtime => "allocator runtime (malloc/free) instructions",
+            OpClass::Meta => "heap-metadata maintenance (revocation tag sweeps)",
+        }
+    }
+}
+
+/// Per-class retired-instruction counts for one run: the batched
+/// architectural accumulator the interpreter maintains inline (no sink
+/// calls), returned in [`RunResult`](crate::RunResult).
+///
+/// Named fields (not an array) keep the serialised form self-describing
+/// and stable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Retired [`OpClass::IntAlu`] instructions.
+    pub int_alu: u64,
+    /// Retired [`OpClass::CapManip`] instructions.
+    pub cap_manip: u64,
+    /// Retired [`OpClass::MemScalar`] instructions.
+    pub mem_scalar: u64,
+    /// Retired [`OpClass::MemCap`] instructions.
+    pub mem_cap: u64,
+    /// Retired [`OpClass::Branch`] instructions.
+    pub branch: u64,
+    /// Retired [`OpClass::CapBranch`] instructions.
+    pub cap_branch: u64,
+    /// Retired [`OpClass::Runtime`] instructions.
+    pub runtime: u64,
+    /// Retired [`OpClass::Meta`] instructions.
+    pub meta: u64,
+}
+
+impl ClassCounts {
+    /// An all-zero count set.
+    pub fn new() -> ClassCounts {
+        ClassCounts::default()
+    }
+
+    /// Adds one retired instruction of `class`.
+    #[inline]
+    pub fn bump(&mut self, class: OpClass) {
+        *self.slot(class) += 1;
+    }
+
+    /// The count for one class.
+    pub fn get(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu => self.int_alu,
+            OpClass::CapManip => self.cap_manip,
+            OpClass::MemScalar => self.mem_scalar,
+            OpClass::MemCap => self.mem_cap,
+            OpClass::Branch => self.branch,
+            OpClass::CapBranch => self.cap_branch,
+            OpClass::Runtime => self.runtime,
+            OpClass::Meta => self.meta,
+        }
+    }
+
+    /// Sum over all classes — equals the run's total retired count.
+    pub fn total(&self) -> u64 {
+        OpClass::ALL.iter().map(|c| self.get(*c)).sum()
+    }
+
+    /// `(class, count)` pairs in [`OpClass::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, u64)> + '_ {
+        OpClass::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
+    fn slot(&mut self, class: OpClass) -> &mut u64 {
+        match class {
+            OpClass::IntAlu => &mut self.int_alu,
+            OpClass::CapManip => &mut self.cap_manip,
+            OpClass::MemScalar => &mut self.mem_scalar,
+            OpClass::MemCap => &mut self.mem_cap,
+            OpClass::Branch => &mut self.branch,
+            OpClass::CapBranch => &mut self.cap_branch,
+            OpClass::Runtime => &mut self.runtime,
+            OpClass::Meta => &mut self.meta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BranchKind, InstClass};
+
+    const APP_PC: u64 = 0x1_0040;
+
+    #[test]
+    fn payload_kinds_classify() {
+        assert_eq!(
+            OpClass::of(APP_PC, &RetiredInfo::Simple(InstClass::Dp)),
+            OpClass::IntAlu
+        );
+        assert_eq!(
+            OpClass::of(
+                APP_PC,
+                &RetiredInfo::LongLatency {
+                    class: InstClass::Vfp,
+                    extra: 12
+                }
+            ),
+            OpClass::IntAlu
+        );
+        assert_eq!(
+            OpClass::of(APP_PC, &RetiredInfo::CapManip),
+            OpClass::CapManip
+        );
+        for (is_cap, want) in [(false, OpClass::MemScalar), (true, OpClass::MemCap)] {
+            assert_eq!(
+                OpClass::of(
+                    APP_PC,
+                    &RetiredInfo::Load {
+                        addr: 0x4000_0000,
+                        size: 8,
+                        is_cap,
+                        dep_load: false
+                    }
+                ),
+                want
+            );
+            assert_eq!(
+                OpClass::of(
+                    APP_PC,
+                    &RetiredInfo::Store {
+                        addr: 0x4000_0000,
+                        size: 8,
+                        is_cap
+                    }
+                ),
+                want
+            );
+        }
+        for (pcc, want) in [(false, OpClass::Branch), (true, OpClass::CapBranch)] {
+            assert_eq!(
+                OpClass::of(
+                    APP_PC,
+                    &RetiredInfo::Branch {
+                        kind: BranchKind::Call,
+                        taken: true,
+                        target: APP_PC,
+                        pcc_change: pcc
+                    }
+                ),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_regions_win_over_payload() {
+        let load = RetiredInfo::Load {
+            addr: 0x4000_0000,
+            size: 16,
+            is_cap: true,
+            dep_load: false,
+        };
+        assert_eq!(OpClass::of(RT_MALLOC_PC + 8, &load), OpClass::Runtime);
+        assert_eq!(OpClass::of(RT_SWEEP_PC + 8, &load), OpClass::Meta);
+        assert_eq!(OpClass::of(RT_END, &load), OpClass::MemCap, "app code");
+    }
+
+    #[test]
+    fn counts_partition_and_iterate() {
+        let mut c = ClassCounts::new();
+        for class in OpClass::ALL {
+            c.bump(class);
+            c.bump(class);
+        }
+        c.bump(OpClass::MemCap);
+        assert_eq!(c.total(), 17);
+        assert_eq!(c.get(OpClass::MemCap), 3);
+        assert_eq!(c.iter().count(), 8);
+        let names: std::collections::BTreeSet<_> = OpClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 8, "class names are unique");
+        for class in OpClass::ALL {
+            assert!(class.description().len() > 10);
+        }
+    }
+}

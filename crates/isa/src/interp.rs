@@ -14,6 +14,7 @@
 //! which is what makes the backend-bound split in the paper's top-down
 //! analysis reproducible.
 
+use crate::classify::{ClassCounts, OpClass};
 use crate::inst::{
     BranchKind, CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, InstClass, IntOp, LoadKind, MemSize,
     Operand, VecKind,
@@ -418,6 +419,8 @@ pub struct RunResult {
     pub heap_stats: HeapStats,
     /// Distinct 4 KiB pages touched (memory footprint).
     pub pages_touched: u64,
+    /// Per-opcode-class retired counts; `classes.total() == retired`.
+    pub classes: ClassCounts,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -510,6 +513,7 @@ struct Machine<'p, I: FaultInjector> {
     code_root: Capability,
     data_root: Capability,
     retired: u64,
+    classes: ClassCounts,
     load_seq: u64,
     exit: Option<u64>,
     cap_abi: bool,
@@ -518,11 +522,11 @@ struct Machine<'p, I: FaultInjector> {
 
 macro_rules! emit {
     ($self:ident, $sink:ident, $pc:expr, $info:expr) => {{
+        let pc = $pc;
+        let info = $info;
         $self.retired += 1;
-        $sink.retire(RetiredEvent {
-            pc: $pc,
-            info: $info,
-        });
+        $self.classes.bump(OpClass::of(pc, &info));
+        $sink.retire(RetiredEvent { pc, info });
     }};
 }
 
@@ -559,6 +563,7 @@ impl<'p, I: FaultInjector> Machine<'p, I> {
             code_root: Capability::root_exec(),
             data_root: Capability::root_rw(),
             retired: 0,
+            classes: ClassCounts::new(),
             load_seq: 0,
             exit: None,
             cap_abi,
@@ -703,6 +708,7 @@ impl<'p, I: FaultInjector> Machine<'p, I> {
             mem_stats: self.mem.stats(),
             heap_stats: self.heap.stats(),
             pages_touched: self.mem.pages_touched(),
+            classes: self.classes,
         })
     }
 

@@ -46,6 +46,7 @@
 mod abi;
 mod binlayout;
 mod builder;
+mod classify;
 mod disasm;
 mod inst;
 mod interp;
@@ -56,6 +57,7 @@ mod trace;
 pub use abi::Abi;
 pub use binlayout::{BinaryLayout, SectionSizes};
 pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use classify::{ClassCounts, OpClass};
 pub use disasm::{disassemble, render_inst};
 pub use inst::{
     BranchKind, CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, InstClass, IntOp, Label, LoadKind,

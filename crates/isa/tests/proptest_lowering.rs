@@ -4,8 +4,8 @@
 //! workloads.
 
 use cheri_isa::{
-    lower, Abi, Cond, EventSink, GenericProgram, Interp, InterpConfig, MemSize, ProgramBuilder,
-    RetiredEvent, RetiredInfo,
+    lower, Abi, Cond, EventSink, GenericProgram, Interp, InterpConfig, MemSize, NullSink, OpClass,
+    ProgramBuilder, RetiredEvent, RetiredInfo,
 };
 use proptest::prelude::*;
 
@@ -206,6 +206,33 @@ proptest! {
         prop_assert_eq!(purecap.events, benchmark.events, "same instruction stream");
         prop_assert!(purecap.events >= hybrid.events || hybrid.events - purecap.events < purecap.events / 10,
             "purecap should not retire substantially fewer instructions");
+    }
+
+    /// The opcode-class attribution partitions the retired stream: on
+    /// every ABI the eight per-class counts sum exactly to the total
+    /// retired-instruction count, and the capability-only classes stay
+    /// empty where the ABI moves no capabilities.
+    #[test]
+    fn class_counts_partition_retired(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        for abi in Abi::ALL {
+            let prog = lower(&realise(&ops, abi));
+            let r = Interp::new(InterpConfig::default())
+                .run(&prog, &mut NullSink)
+                .expect("generated programs are valid");
+            prop_assert_eq!(
+                r.classes.total(), r.retired,
+                "{}: class counts must partition the retired stream", abi
+            );
+            // Every program allocates, so the runtime class is never empty.
+            prop_assert!(r.classes.get(OpClass::Runtime) > 0, "{}", abi);
+            if abi == Abi::Hybrid {
+                prop_assert_eq!(r.classes.get(OpClass::MemCap), 0, "hybrid moves no capabilities");
+                prop_assert_eq!(r.classes.get(OpClass::CapBranch), 0, "hybrid never changes PCC");
+            } else {
+                prop_assert!(r.classes.get(OpClass::MemCap) > 0,
+                    "{}: the live heap pointer guarantees capability traffic", abi);
+            }
+        }
     }
 
     /// Lowering is deterministic and its label table stays in bounds.

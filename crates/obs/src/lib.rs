@@ -18,6 +18,12 @@
 //! * **Structured run journals** ([`JsonlJournal`]): a
 //!   [`RunObserver`](morello_sim::RunObserver) that appends one JSON line
 //!   per completed run — a machine-readable lab notebook.
+//! * **Phase tracing** ([`Tracer`]): a
+//!   [`SpanSink`](morello_sim::SpanSink) recording thread-tagged
+//!   `lower`/`run`/`sweep`/`fault-campaign`/`report` spans, exported as
+//!   JSONL and as Chrome `trace_event` JSON for
+//!   `chrome://tracing`/Perfetto — the `--trace` flag of every
+//!   experiment binary.
 //!
 //! ```no_run
 //! use cheri_isa::Abi;
@@ -38,9 +44,11 @@
 mod interval;
 mod journal;
 mod profile;
+mod trace;
 
 pub use interval::{run_sampled, IntervalSample, IntervalSampler, SampledRun};
 pub use journal::{read_journal, JsonlJournal};
 pub use profile::{
     collapsed_stacks, hotspot_table, run_profiled, ProfiledRun, Profiler, RegionProfile,
 };
+pub use trace::{read_trace_jsonl, SpanRecord, Tracer};

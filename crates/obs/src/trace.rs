@@ -1,0 +1,336 @@
+//! Phase tracing: a [`SpanSink`] that records thread-tagged phase spans
+//! and exports them as JSONL and as Chrome `trace_event` JSON (loadable
+//! in `chrome://tracing` or Perfetto).
+//!
+//! The engine marks phases (`lower`, `run`, `sweep`, `fault-campaign`,
+//! `report`) through the [`SpanSink`](morello_sim::SpanSink) trait; this
+//! module provides the concrete recorder. Worker threads are mapped to
+//! small consecutive track ids in order of first appearance, so a
+//! `--jobs 4` sweep renders as four parallel tracks of `lower`/`run`
+//! spans under one `sweep` span.
+//!
+//! Span timestamps are host wall-clock microseconds from the tracer's
+//! creation. They are observability output, never part of a
+//! deterministic artefact (the golden reports and `BENCH_interp.json`
+//! model sections exclude host timing by construction).
+
+use morello_sim::SpanSink;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// What ran (e.g. `"run lbm_519 purecap"`).
+    pub name: String,
+    /// The phase category (`"lower"`, `"run"`, `"sweep"`, …).
+    pub cat: String,
+    /// Small consecutive track id of the recording thread.
+    pub tid: u64,
+    /// Start, in microseconds since the tracer was created.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    cat: String,
+    tid: u64,
+    start_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct TracerState {
+    next_token: u64,
+    threads: HashMap<ThreadId, u64>,
+    open: HashMap<u64, OpenSpan>,
+    done: Vec<SpanRecord>,
+}
+
+/// The span recorder. Shared by reference across the engine's worker
+/// threads (all methods take `&self`); the contention is one short
+/// mutex acquisition per span boundary, invisible next to the millions
+/// of simulated instructions inside each span.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    state: Mutex<TracerState>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer whose clock starts now.
+    pub fn new() -> Tracer {
+        Tracer {
+            epoch: Instant::now(),
+            state: Mutex::new(TracerState::default()),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Completed spans so far, ordered by start time (ties by track id)
+    /// so exports are stable for a given set of recorded spans.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = state.done.clone();
+        out.sort_by_key(|a| (a.start_us, a.tid, a.dur_us));
+        out
+    }
+
+    /// Spans begun but not yet ended (should be zero at export time).
+    pub fn open_spans(&self) -> usize {
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.open.len()
+    }
+
+    /// Writes one JSON object per completed span.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> std::io::Result<()> {
+        for span in self.spans() {
+            let line = serde_json::to_string(&span)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes the Chrome `trace_event` JSON form: complete (`ph: "X"`)
+    /// duration events under `traceEvents`, one track per worker
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_chrome(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let events: Vec<ChromeEvent> = self
+            .spans()
+            .into_iter()
+            .map(|s| ChromeEvent {
+                name: s.name,
+                cat: s.cat,
+                ph: "X",
+                ts: s.start_us,
+                dur: s.dur_us,
+                pid: 1,
+                tid: s.tid,
+            })
+            .collect();
+        let doc = ChromeTrace {
+            traceEvents: events,
+        };
+        let json = serde_json::to_string_pretty(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        w.write_all(json.as_bytes())
+    }
+
+    /// Saves both export forms: Chrome `trace_event` JSON at `path`
+    /// (directly loadable in `chrome://tracing`/Perfetto) and the JSONL
+    /// form alongside it with the extension replaced by `jsonl`.
+    /// Returns the JSONL path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut chrome = std::fs::File::create(path)?;
+        self.write_chrome(&mut chrome)?;
+        let jsonl_path = path.with_extension("jsonl");
+        let mut jsonl = std::fs::File::create(&jsonl_path)?;
+        self.write_jsonl(&mut jsonl)?;
+        Ok(jsonl_path)
+    }
+}
+
+impl SpanSink for Tracer {
+    fn begin(&self, name: &str, cat: &str) -> u64 {
+        let start_us = self.now_us();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let next_tid = state.threads.len() as u64;
+        let tid = *state
+            .threads
+            .entry(std::thread::current().id())
+            .or_insert(next_tid);
+        state.next_token += 1;
+        let token = state.next_token;
+        state.open.insert(
+            token,
+            OpenSpan {
+                name: name.to_owned(),
+                cat: cat.to_owned(),
+                tid,
+                start_us,
+            },
+        );
+        token
+    }
+
+    fn end(&self, token: u64) {
+        let end_us = self.now_us();
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(open) = state.open.remove(&token) {
+            state.done.push(SpanRecord {
+                name: open.name,
+                cat: open.cat,
+                tid: open.tid,
+                start_us: open.start_us,
+                dur_us: end_us.saturating_sub(open.start_us),
+            });
+        }
+    }
+}
+
+/// One `trace_event` entry (the "complete event" form).
+#[derive(Serialize)]
+struct ChromeEvent {
+    name: String,
+    cat: String,
+    ph: &'static str,
+    ts: u64,
+    dur: u64,
+    pid: u32,
+    tid: u64,
+}
+
+/// The `trace_event` document wrapper. The field is named exactly as
+/// the Chrome format requires (the vendored serde has no `rename`).
+#[derive(Serialize)]
+#[allow(non_snake_case)]
+struct ChromeTrace {
+    traceEvents: Vec<ChromeEvent>,
+}
+
+/// Reads back a JSONL trace written by [`Tracer::write_jsonl`].
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` on a malformed line.
+pub fn read_trace_jsonl(path: &std::path::Path) -> std::io::Result<Vec<SpanRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            serde_json::from_str(l)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morello_sim::span;
+
+    #[test]
+    fn records_nested_and_parallel_spans() {
+        let tracer = Tracer::new();
+        {
+            let _sweep = span(&tracer, "sweep", "sweep");
+            std::thread::scope(|s| {
+                for i in 0..2 {
+                    let t = &tracer;
+                    s.spawn(move || {
+                        let _cell = span(t, &format!("cell {i}"), "run");
+                    });
+                }
+            });
+        }
+        assert_eq!(tracer.open_spans(), 0);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 3);
+        let sweep = spans.iter().find(|s| s.cat == "sweep").unwrap();
+        for cell in spans.iter().filter(|s| s.cat == "run") {
+            assert!(cell.start_us >= sweep.start_us);
+            assert!(cell.tid != sweep.tid, "workers get their own track");
+        }
+    }
+
+    #[test]
+    fn exports_jsonl_and_chrome_forms() {
+        let tracer = Tracer::new();
+        {
+            let _a = span(&tracer, "lower x", "lower");
+        }
+        {
+            let _b = span(&tracer, "run x", "run");
+        }
+        let mut jsonl = Vec::new();
+        tracer.write_jsonl(&mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let rec: SpanRecord = serde_json::from_str(line).unwrap();
+            assert!(!rec.name.is_empty());
+        }
+        let mut chrome = Vec::new();
+        tracer.write_chrome(&mut chrome).unwrap();
+        let text = String::from_utf8(chrome).unwrap();
+        let doc: serde::Value = serde_json::from_str(&text).unwrap();
+        let map = serde::as_map(&doc).unwrap();
+        let events = match serde::map_get(map, "traceEvents").expect("traceEvents key") {
+            serde::Value::Seq(s) => s,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            let ev = serde::as_map(ev).unwrap();
+            assert_eq!(
+                serde::map_get(ev, "ph"),
+                Some(&serde::Value::Str("X".to_owned()))
+            );
+            assert!(serde::map_get(ev, "ts").is_some());
+            assert!(serde::map_get(ev, "dur").is_some());
+        }
+    }
+
+    #[test]
+    fn save_writes_both_files() {
+        let tracer = Tracer::new();
+        {
+            let _a = span(&tracer, "report", "report");
+        }
+        let dir = std::env::temp_dir().join("morello_obs_trace_test");
+        let path = dir.join("trace.json");
+        let jsonl = tracer.save(&path).unwrap();
+        assert_eq!(jsonl, dir.join("trace.jsonl"));
+        let back = read_trace_jsonl(&jsonl).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].cat, "report");
+        let chrome = std::fs::read_to_string(&path).unwrap();
+        assert!(chrome.contains("traceEvents"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

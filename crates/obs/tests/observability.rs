@@ -44,6 +44,55 @@ fn interval_deltas_sum_exactly_to_single_shot_counts() {
 }
 
 #[test]
+fn class_counter_window_deltas_sum_to_single_shot_totals() {
+    // The per-opcode-class attribution counters ride the same
+    // windowed-delta machinery as every other event: summed over all
+    // windows they reproduce the single-shot values, and within any
+    // scope (one window or the whole run) the class-retired counters
+    // partition INST_RETIRED while the class-cycle counters partition
+    // CPU_CYCLES.
+    let platform = test_platform();
+    let w = by_key("alloc_stress").unwrap();
+    for abi in [Abi::Hybrid, Abi::Purecap] {
+        let single = Runner::new(platform).run(&w, abi).unwrap();
+        let sampled = run_sampled(&platform, &w, abi, 10_000).unwrap();
+        assert!(sampled.samples.len() >= 2, "{abi}: want several windows");
+
+        let mut summed = EventCounts::new();
+        for s in &sampled.samples {
+            summed.accumulate(&s.counts);
+        }
+        let mut class_retired = 0;
+        let mut class_cycles = 0;
+        for (label, retired_ev, cycles_ev) in morello_pmu::PmuEvent::opcode_class_pairs() {
+            assert_eq!(
+                summed.get(retired_ev),
+                single.counts.get(retired_ev),
+                "{abi}/{label}: windowed retired deltas must sum to the single shot"
+            );
+            assert_eq!(
+                summed.get(cycles_ev),
+                single.counts.get(cycles_ev),
+                "{abi}/{label}: windowed cycle deltas must sum to the single shot"
+            );
+            class_retired += summed.get(retired_ev);
+            class_cycles += summed.get(cycles_ev);
+        }
+        use morello_pmu::PmuEvent;
+        assert_eq!(
+            class_retired,
+            summed.get(PmuEvent::InstRetired),
+            "{abi}: class retired counters partition INST_RETIRED"
+        );
+        assert_eq!(
+            class_cycles,
+            summed.get(PmuEvent::CpuCycles),
+            "{abi}: class cycle counters partition CPU_CYCLES"
+        );
+    }
+}
+
+#[test]
 fn interval_windows_tile_the_run() {
     let platform = test_platform();
     let w = by_key("lbm_519").unwrap();

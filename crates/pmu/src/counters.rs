@@ -26,7 +26,7 @@ impl EventCounts {
     /// statistics — what an ideal PMU with unlimited counters would see.
     pub fn from_uarch(s: &UarchStats) -> EventCounts {
         let mut c = EventCounts::new();
-        let pairs: [(PmuEvent, u64); 46] = [
+        let pairs: [(PmuEvent, u64); 62] = [
             (PmuEvent::CpuCycles, s.cpu_cycles),
             (PmuEvent::InstRetired, s.inst_retired),
             (PmuEvent::StallFrontend, s.stall_frontend),
@@ -73,6 +73,22 @@ impl EventCounts {
             (PmuEvent::FaultsTrapped, s.faults_trapped),
             (PmuEvent::SilentCorruptions, s.silent_corruptions),
             (PmuEvent::RecoveryUnwinds, s.recovery_unwinds),
+            (PmuEvent::OpcIntAluRetired, s.opc_int_alu_retired),
+            (PmuEvent::OpcIntAluCycles, s.opc_int_alu_cycles),
+            (PmuEvent::OpcCapManipRetired, s.opc_cap_manip_retired),
+            (PmuEvent::OpcCapManipCycles, s.opc_cap_manip_cycles),
+            (PmuEvent::OpcMemScalarRetired, s.opc_mem_scalar_retired),
+            (PmuEvent::OpcMemScalarCycles, s.opc_mem_scalar_cycles),
+            (PmuEvent::OpcMemCapRetired, s.opc_mem_cap_retired),
+            (PmuEvent::OpcMemCapCycles, s.opc_mem_cap_cycles),
+            (PmuEvent::OpcBranchRetired, s.opc_branch_retired),
+            (PmuEvent::OpcBranchCycles, s.opc_branch_cycles),
+            (PmuEvent::OpcCapBranchRetired, s.opc_cap_branch_retired),
+            (PmuEvent::OpcCapBranchCycles, s.opc_cap_branch_cycles),
+            (PmuEvent::OpcRuntimeRetired, s.opc_runtime_retired),
+            (PmuEvent::OpcRuntimeCycles, s.opc_runtime_cycles),
+            (PmuEvent::OpcMetaRetired, s.opc_meta_retired),
+            (PmuEvent::OpcMetaCycles, s.opc_meta_cycles),
         ];
         for (e, v) in pairs {
             c.counts.insert(e, v);
@@ -321,8 +337,8 @@ mod tests {
     #[test]
     fn full_plan_covers_all_events() {
         let plan = MultiplexedSession::plan_full();
-        // 44 non-fixed non-anchor events at 5 per group.
-        assert_eq!(plan.required_runs(), 9);
+        // 60 non-fixed non-anchor events at 5 per group.
+        assert_eq!(plan.required_runs(), 12);
         let mut seen = std::collections::BTreeSet::new();
         for g in plan.groups() {
             assert!(g.len() <= PMU_SLOTS);

@@ -59,11 +59,28 @@ pub enum PmuEvent {
     FaultsTrapped,
     SilentCorruptions,
     RecoveryUnwinds,
+    OpcIntAluRetired,
+    OpcIntAluCycles,
+    OpcCapManipRetired,
+    OpcCapManipCycles,
+    OpcMemScalarRetired,
+    OpcMemScalarCycles,
+    OpcMemCapRetired,
+    OpcMemCapCycles,
+    OpcBranchRetired,
+    OpcBranchCycles,
+    OpcCapBranchRetired,
+    OpcCapBranchCycles,
+    OpcRuntimeRetired,
+    OpcRuntimeCycles,
+    OpcMetaRetired,
+    OpcMetaCycles,
 }
 
 impl PmuEvent {
-    /// Every event, in Table 1 order.
-    pub const ALL: [PmuEvent; 46] = [
+    /// Every event, in Table 1 order (simulator-only extensions follow
+    /// the Table 1 set).
+    pub const ALL: [PmuEvent; 62] = [
         PmuEvent::CpuCycles,
         PmuEvent::InstRetired,
         PmuEvent::StallFrontend,
@@ -110,6 +127,22 @@ impl PmuEvent {
         PmuEvent::FaultsTrapped,
         PmuEvent::SilentCorruptions,
         PmuEvent::RecoveryUnwinds,
+        PmuEvent::OpcIntAluRetired,
+        PmuEvent::OpcIntAluCycles,
+        PmuEvent::OpcCapManipRetired,
+        PmuEvent::OpcCapManipCycles,
+        PmuEvent::OpcMemScalarRetired,
+        PmuEvent::OpcMemScalarCycles,
+        PmuEvent::OpcMemCapRetired,
+        PmuEvent::OpcMemCapCycles,
+        PmuEvent::OpcBranchRetired,
+        PmuEvent::OpcBranchCycles,
+        PmuEvent::OpcCapBranchRetired,
+        PmuEvent::OpcCapBranchCycles,
+        PmuEvent::OpcRuntimeRetired,
+        PmuEvent::OpcRuntimeCycles,
+        PmuEvent::OpcMetaRetired,
+        PmuEvent::OpcMetaCycles,
     ];
 
     /// The Arm PMU mnemonic.
@@ -161,6 +194,22 @@ impl PmuEvent {
             PmuEvent::FaultsTrapped => "FAULTS_TRAPPED",
             PmuEvent::SilentCorruptions => "SILENT_CORRUPTIONS",
             PmuEvent::RecoveryUnwinds => "RECOVERY_UNWINDS",
+            PmuEvent::OpcIntAluRetired => "OPC_INT_ALU_RETIRED",
+            PmuEvent::OpcIntAluCycles => "OPC_INT_ALU_CYCLES",
+            PmuEvent::OpcCapManipRetired => "OPC_CAP_MANIP_RETIRED",
+            PmuEvent::OpcCapManipCycles => "OPC_CAP_MANIP_CYCLES",
+            PmuEvent::OpcMemScalarRetired => "OPC_MEM_SCALAR_RETIRED",
+            PmuEvent::OpcMemScalarCycles => "OPC_MEM_SCALAR_CYCLES",
+            PmuEvent::OpcMemCapRetired => "OPC_MEM_CAP_RETIRED",
+            PmuEvent::OpcMemCapCycles => "OPC_MEM_CAP_CYCLES",
+            PmuEvent::OpcBranchRetired => "OPC_BRANCH_RETIRED",
+            PmuEvent::OpcBranchCycles => "OPC_BRANCH_CYCLES",
+            PmuEvent::OpcCapBranchRetired => "OPC_CAP_BRANCH_RETIRED",
+            PmuEvent::OpcCapBranchCycles => "OPC_CAP_BRANCH_CYCLES",
+            PmuEvent::OpcRuntimeRetired => "OPC_RUNTIME_RETIRED",
+            PmuEvent::OpcRuntimeCycles => "OPC_RUNTIME_CYCLES",
+            PmuEvent::OpcMetaRetired => "OPC_META_RETIRED",
+            PmuEvent::OpcMetaCycles => "OPC_META_CYCLES",
         }
     }
 
@@ -214,6 +263,22 @@ impl PmuEvent {
             PmuEvent::FaultsTrapped => "injected faults that raised a capability trap",
             PmuEvent::SilentCorruptions => "runs ending with a corrupted checksum (0/1 per run)",
             PmuEvent::RecoveryUnwinds => "frames unwound by the recovery handler",
+            PmuEvent::OpcIntAluRetired => "retired int-ALU (integer/FP/SIMD DP) instructions",
+            PmuEvent::OpcIntAluCycles => "model cycles attributed to int-ALU instructions",
+            PmuEvent::OpcCapManipRetired => "retired capability-manipulation DP instructions",
+            PmuEvent::OpcCapManipCycles => "model cycles attributed to capability manipulation",
+            PmuEvent::OpcMemScalarRetired => "retired scalar loads and stores",
+            PmuEvent::OpcMemScalarCycles => "model cycles attributed to scalar loads/stores",
+            PmuEvent::OpcMemCapRetired => "retired capability loads and stores",
+            PmuEvent::OpcMemCapCycles => "model cycles attributed to capability loads/stores",
+            PmuEvent::OpcBranchRetired => "retired branches without a PCC-bounds change",
+            PmuEvent::OpcBranchCycles => "model cycles attributed to non-PCC branches",
+            PmuEvent::OpcCapBranchRetired => "retired PCC-changing (capability) branches",
+            PmuEvent::OpcCapBranchCycles => "model cycles attributed to PCC-changing branches",
+            PmuEvent::OpcRuntimeRetired => "retired allocator-runtime (malloc/free) instructions",
+            PmuEvent::OpcRuntimeCycles => "model cycles attributed to the allocator runtime",
+            PmuEvent::OpcMetaRetired => "retired heap-metadata (revocation sweep) instructions",
+            PmuEvent::OpcMetaCycles => "model cycles attributed to heap-metadata maintenance",
         }
     }
 
@@ -222,7 +287,9 @@ impl PmuEvent {
     /// The fault-campaign counters (`FAULTS_*`, `SILENT_CORRUPTIONS`,
     /// `RECOVERY_UNWINDS`) are deliberately *not* flagged: they come
     /// from the injection harness, not the core's PMU, and exist under
-    /// every ABI.
+    /// every ABI. Likewise the `OPC_*` attribution counters — they are
+    /// simulator-side accumulators that exist under every ABI (the
+    /// capability classes simply read zero on hybrid).
     pub const fn is_cheri_specific(self) -> bool {
         matches!(
             self,
@@ -241,6 +308,50 @@ impl PmuEvent {
     /// slot)?
     pub const fn is_fixed(self) -> bool {
         matches!(self, PmuEvent::CpuCycles)
+    }
+
+    /// The per-opcode-class attribution table:
+    /// `(class label, retired event, cycles event)` rows, in taxonomy
+    /// order. Labels match `cheri_isa::OpClass::name()`.
+    pub const fn opcode_class_pairs() -> [(&'static str, PmuEvent, PmuEvent); 8] {
+        [
+            (
+                "int-alu",
+                PmuEvent::OpcIntAluRetired,
+                PmuEvent::OpcIntAluCycles,
+            ),
+            (
+                "cap-manip",
+                PmuEvent::OpcCapManipRetired,
+                PmuEvent::OpcCapManipCycles,
+            ),
+            (
+                "mem-scalar",
+                PmuEvent::OpcMemScalarRetired,
+                PmuEvent::OpcMemScalarCycles,
+            ),
+            (
+                "mem-cap",
+                PmuEvent::OpcMemCapRetired,
+                PmuEvent::OpcMemCapCycles,
+            ),
+            (
+                "branch",
+                PmuEvent::OpcBranchRetired,
+                PmuEvent::OpcBranchCycles,
+            ),
+            (
+                "cap-branch",
+                PmuEvent::OpcCapBranchRetired,
+                PmuEvent::OpcCapBranchCycles,
+            ),
+            (
+                "runtime",
+                PmuEvent::OpcRuntimeRetired,
+                PmuEvent::OpcRuntimeCycles,
+            ),
+            ("meta", PmuEvent::OpcMetaRetired, PmuEvent::OpcMetaCycles),
+        ]
     }
 }
 
@@ -286,6 +397,25 @@ mod tests {
             assert!(!e.description().is_empty());
             assert!(e.description().len() > 10, "{e}");
         }
+    }
+
+    #[test]
+    fn opcode_class_table_covers_every_opc_event() {
+        let mut seen = BTreeSet::new();
+        for (label, retired, cycles) in PmuEvent::opcode_class_pairs() {
+            assert!(retired.name().starts_with("OPC_"), "{label}");
+            assert!(retired.name().ends_with("_RETIRED"));
+            assert!(cycles.name().starts_with("OPC_"));
+            assert!(cycles.name().ends_with("_CYCLES"));
+            seen.insert(retired);
+            seen.insert(cycles);
+        }
+        let all_opc = PmuEvent::ALL
+            .iter()
+            .filter(|e| e.name().starts_with("OPC_"))
+            .count();
+        assert_eq!(seen.len(), all_opc);
+        assert_eq!(all_opc, 16);
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use counters::{EventCounts, MultiplexedSession, PmuBank, PMU_SLOTS};
 pub use derived::DerivedMetrics;
 pub use event::PmuEvent;
 pub use report::{
-    flag_value, fmt_metric, jobs_flag, journal_flag, out_flag, write_json_out, Table,
+    flag_value, fmt_metric, jobs_flag, journal_flag, out_flag, trace_flag, write_json_out, Table,
 };

@@ -115,6 +115,13 @@ pub fn journal_flag<S: AsRef<str>>(args: &[S]) -> Option<std::path::PathBuf> {
     flag_value(args, "journal").map(std::path::PathBuf::from)
 }
 
+/// Extracts the value of a `--trace <path>` flag — the shared phase
+/// trace destination of the experiment binaries (Chrome `trace_event`
+/// JSON at the path, JSONL alongside).
+pub fn trace_flag<S: AsRef<str>>(args: &[S]) -> Option<std::path::PathBuf> {
+    flag_value(args, "trace").map(std::path::PathBuf::from)
+}
+
 /// Writes `value` as pretty-printed JSON to `path`, creating parent
 /// directories as needed.
 ///

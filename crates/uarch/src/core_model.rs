@@ -5,7 +5,7 @@ use crate::branch::{Btb, Gshare, ReturnStack};
 use crate::cache::{Cache, CacheGeometry, Tlb};
 use crate::config::UarchConfig;
 use crate::stats::UarchStats;
-use cheri_isa::{BranchKind, EventSink, InstClass, RetiredEvent, RetiredInfo};
+use cheri_isa::{BranchKind, EventSink, InstClass, OpClass, RetiredEvent, RetiredInfo};
 use std::collections::VecDeque;
 
 /// Which level of the hierarchy served an access.
@@ -432,6 +432,12 @@ impl TimingCore {
 
 impl EventSink for TimingCore {
     fn retire(&mut self, ev: RetiredEvent) {
+        // Per-opcode-class attribution: everything this instruction
+        // charges (fetch, issue, execute, memory, resteers) lands in the
+        // cycles() delta across the call, so per-class cycles telescope
+        // exactly to CPU_CYCLES and retired counts to INST_RETIRED.
+        let opclass = OpClass::of(ev.pc, &ev.info);
+        let cycles_before = self.cycles();
         self.s.inst_retired += 1;
         self.s.inst_spec += 1;
         self.fetch(ev.pc);
@@ -485,6 +491,7 @@ impl EventSink for TimingCore {
             }
         }
         self.prev_was_mul = is_mul;
+        self.s.opc_attribute(opclass, self.cycles() - cycles_before);
     }
 }
 

@@ -1,6 +1,7 @@
 //! The raw microarchitectural counts the timing model produces — the
 //! simulator-side superset of the PMU events in the paper's Table 1.
 
+use cheri_isa::OpClass;
 use serde::{Deserialize, Serialize};
 
 /// Every count the timing model accumulates over one run.
@@ -158,6 +159,58 @@ pub struct UarchStats {
     /// Frames unwound by the SIGPROT-analogue recovery handler.
     #[serde(default)]
     pub recovery_unwinds: u64,
+
+    // --- Per-opcode-class attribution (batched in `TimingCore::retire`;
+    // --- retired counts partition `inst_retired`, cycle counts partition
+    // --- `cpu_cycles`) --------------------------------------------------------
+    /// Retired int-ALU (integer/FP/SIMD DP) instructions.
+    #[serde(default)]
+    pub opc_int_alu_retired: u64,
+    /// Model cycles attributed to int-ALU instructions.
+    #[serde(default)]
+    pub opc_int_alu_cycles: u64,
+    /// Retired capability-manipulation DP instructions.
+    #[serde(default)]
+    pub opc_cap_manip_retired: u64,
+    /// Model cycles attributed to capability-manipulation instructions.
+    #[serde(default)]
+    pub opc_cap_manip_cycles: u64,
+    /// Retired scalar loads/stores.
+    #[serde(default)]
+    pub opc_mem_scalar_retired: u64,
+    /// Model cycles attributed to scalar loads/stores.
+    #[serde(default)]
+    pub opc_mem_scalar_cycles: u64,
+    /// Retired capability loads/stores.
+    #[serde(default)]
+    pub opc_mem_cap_retired: u64,
+    /// Model cycles attributed to capability loads/stores.
+    #[serde(default)]
+    pub opc_mem_cap_cycles: u64,
+    /// Retired non-PCC-changing branches.
+    #[serde(default)]
+    pub opc_branch_retired: u64,
+    /// Model cycles attributed to non-PCC-changing branches.
+    #[serde(default)]
+    pub opc_branch_cycles: u64,
+    /// Retired PCC-changing (capability) branches.
+    #[serde(default)]
+    pub opc_cap_branch_retired: u64,
+    /// Model cycles attributed to PCC-changing branches.
+    #[serde(default)]
+    pub opc_cap_branch_cycles: u64,
+    /// Retired allocator-runtime (malloc/free stream) instructions.
+    #[serde(default)]
+    pub opc_runtime_retired: u64,
+    /// Model cycles attributed to allocator-runtime instructions.
+    #[serde(default)]
+    pub opc_runtime_cycles: u64,
+    /// Retired heap-metadata (revocation sweep stream) instructions.
+    #[serde(default)]
+    pub opc_meta_retired: u64,
+    /// Model cycles attributed to heap-metadata instructions.
+    #[serde(default)]
+    pub opc_meta_cycles: u64,
 }
 
 impl UarchStats {
@@ -178,6 +231,64 @@ impl UarchStats {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         self.inst_retired as f64 / self.cpu_cycles.max(1) as f64
+    }
+
+    /// Attributes one retired instruction of `class` plus `cycles`
+    /// model cycles to its opcode-class counters.
+    pub fn opc_attribute(&mut self, class: OpClass, cycles: u64) {
+        let (retired, cyc) = self.opc_slots(class);
+        *retired += 1;
+        *cyc += cycles;
+    }
+
+    /// Retired-instruction count for one opcode class.
+    pub fn opc_retired(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu => self.opc_int_alu_retired,
+            OpClass::CapManip => self.opc_cap_manip_retired,
+            OpClass::MemScalar => self.opc_mem_scalar_retired,
+            OpClass::MemCap => self.opc_mem_cap_retired,
+            OpClass::Branch => self.opc_branch_retired,
+            OpClass::CapBranch => self.opc_cap_branch_retired,
+            OpClass::Runtime => self.opc_runtime_retired,
+            OpClass::Meta => self.opc_meta_retired,
+        }
+    }
+
+    /// Attributed model cycles for one opcode class.
+    pub fn opc_cycles(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu => self.opc_int_alu_cycles,
+            OpClass::CapManip => self.opc_cap_manip_cycles,
+            OpClass::MemScalar => self.opc_mem_scalar_cycles,
+            OpClass::MemCap => self.opc_mem_cap_cycles,
+            OpClass::Branch => self.opc_branch_cycles,
+            OpClass::CapBranch => self.opc_cap_branch_cycles,
+            OpClass::Runtime => self.opc_runtime_cycles,
+            OpClass::Meta => self.opc_meta_cycles,
+        }
+    }
+
+    fn opc_slots(&mut self, class: OpClass) -> (&mut u64, &mut u64) {
+        match class {
+            OpClass::IntAlu => (&mut self.opc_int_alu_retired, &mut self.opc_int_alu_cycles),
+            OpClass::CapManip => (
+                &mut self.opc_cap_manip_retired,
+                &mut self.opc_cap_manip_cycles,
+            ),
+            OpClass::MemScalar => (
+                &mut self.opc_mem_scalar_retired,
+                &mut self.opc_mem_scalar_cycles,
+            ),
+            OpClass::MemCap => (&mut self.opc_mem_cap_retired, &mut self.opc_mem_cap_cycles),
+            OpClass::Branch => (&mut self.opc_branch_retired, &mut self.opc_branch_cycles),
+            OpClass::CapBranch => (
+                &mut self.opc_cap_branch_retired,
+                &mut self.opc_cap_branch_cycles,
+            ),
+            OpClass::Runtime => (&mut self.opc_runtime_retired, &mut self.opc_runtime_cycles),
+            OpClass::Meta => (&mut self.opc_meta_retired, &mut self.opc_meta_cycles),
+        }
     }
 }
 

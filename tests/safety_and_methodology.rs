@@ -154,7 +154,7 @@ fn multiplexed_collection_equals_ground_truth_for_every_abi() {
     for abi in Abi::ALL {
         let single = runner.run(&w, abi).unwrap();
         let (multi, runs) = runner.run_multiplexed(&w, abi).unwrap();
-        assert_eq!(runs, 9, "44 events / 5 per group after the anchor");
+        assert_eq!(runs, 12, "60 events / 5 per group after the anchor");
         assert_eq!(multi, single.counts, "{abi}");
     }
 }
