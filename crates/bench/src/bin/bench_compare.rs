@@ -8,14 +8,22 @@
 //! behaviour change. Host (`host_*`) wall-clock fields are never
 //! compared.
 //!
+//! `--min-host-rate <insts/sec>` additionally gates the *candidate*'s
+//! engine-leg throughput (`host_insts_per_sec`, per ABI) against a
+//! lower bound: the pre-decoded fast path runs far above any reference
+//! fall-back, so a floor catches the fast path silently degrading even
+//! though host wall-clock is never diffed against the baseline.
+//!
 //! ```text
-//! bench_compare docs/results/BENCH_interp.baseline.json BENCH_interp.json --threshold 10
+//! bench_compare docs/results/BENCH_interp.baseline.json BENCH_interp.json \
+//!     --threshold 10 --min-host-rate 5e7
 //! ```
 //!
-//! Exit codes: 0 = within threshold, 1 = regression, 2 = usage/schema
-//! error.
+//! Exit codes: 0 = within threshold, 1 = regression or floor violation,
+//! 2 = usage/schema error.
 
-use morello_bench::speed::{compare, diff_table, BenchReport};
+use morello_bench::speed::{compare, diff_table, host_rate_floor, BenchReport};
+use morello_pmu::fmt_metric;
 use std::path::Path;
 
 fn load(path: &str) -> BenchReport {
@@ -33,26 +41,35 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut threshold = 5.0_f64;
+    let mut min_host_rate: Option<f64> = None;
+    let parse_num = |flag: &str, raw: Option<&str>| -> f64 {
+        raw.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("invalid {flag} value (expected a number)");
+            std::process::exit(2);
+        })
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let raw = if arg == "--threshold" {
-            it.next().map(String::as_str)
+        if arg == "--threshold" {
+            threshold = parse_num("--threshold", it.next().map(String::as_str));
         } else if let Some(v) = arg.strip_prefix("--threshold=") {
-            Some(v)
+            threshold = parse_num("--threshold", Some(v));
+        } else if arg == "--min-host-rate" {
+            min_host_rate = Some(parse_num("--min-host-rate", it.next().map(String::as_str)));
+        } else if let Some(v) = arg.strip_prefix("--min-host-rate=") {
+            min_host_rate = Some(parse_num("--min-host-rate", Some(v)));
         } else if arg.starts_with("--") {
             eprintln!("unknown flag `{arg}`");
             std::process::exit(2);
         } else {
             positional.push(arg);
-            continue;
-        };
-        threshold = raw.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-            eprintln!("invalid --threshold value (expected a percentage)");
-            std::process::exit(2);
-        });
+        }
     }
     let [base_path, new_path] = positional.as_slice() else {
-        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold <pct>]");
+        eprintln!(
+            "usage: bench_compare <baseline.json> <candidate.json> \
+             [--threshold <pct>] [--min-host-rate <insts/sec>]"
+        );
         std::process::exit(2);
     };
 
@@ -66,26 +83,50 @@ fn main() {
         std::process::exit(2);
     }
 
+    let mut failed = false;
     let outcome = compare(&base, &new, threshold);
     if outcome.diffs.is_empty() && outcome.regressions.is_empty() {
         println!("bench_compare: model sections identical (threshold {threshold}%)");
-        return;
+    } else {
+        if !outcome.diffs.is_empty() {
+            println!("model metrics that moved:");
+            println!("{}", diff_table(&outcome.diffs).render());
+        }
+        if outcome.regressions.is_empty() {
+            println!(
+                "bench_compare: {} metric(s) moved, all within {threshold}%",
+                outcome.diffs.len()
+            );
+        } else {
+            eprintln!(
+                "bench_compare: {} metric(s) beyond {threshold}%:",
+                outcome.regressions.len()
+            );
+            eprintln!("{}", diff_table(&outcome.regressions).render());
+            failed = true;
+        }
     }
-    if !outcome.diffs.is_empty() {
-        println!("model metrics that moved:");
-        println!("{}", diff_table(&outcome.diffs).render());
+
+    if let Some(min) = min_host_rate {
+        let violations = host_rate_floor(&new, min);
+        if violations.is_empty() {
+            println!(
+                "bench_compare: engine-leg host_insts_per_sec >= {} on every ABI",
+                fmt_metric(min)
+            );
+        } else {
+            for (abi, rate) in &violations {
+                eprintln!(
+                    "bench_compare: {abi} engine leg ran at {} insts/s, below the {} floor \
+                     — the fast path may have fallen back to the reference executor",
+                    fmt_metric(*rate),
+                    fmt_metric(min)
+                );
+            }
+            failed = true;
+        }
     }
-    if outcome.regressions.is_empty() {
-        println!(
-            "bench_compare: {} metric(s) moved, all within {threshold}%",
-            outcome.diffs.len()
-        );
-        return;
+    if failed {
+        std::process::exit(1);
     }
-    eprintln!(
-        "bench_compare: {} metric(s) beyond {threshold}%:",
-        outcome.regressions.len()
-    );
-    eprintln!("{}", diff_table(&outcome.regressions).render());
-    std::process::exit(1);
 }

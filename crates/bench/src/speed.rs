@@ -46,6 +46,15 @@ pub const QUICK_KEYS: [&str; 5] = [
 /// measurement.
 pub const OBSERVER_WINDOW: u64 = 10_000;
 
+/// Timed repetitions of the engine leg per workload. The leg measures
+/// the interpreter's steady-state throughput, so each workload gets
+/// one untimed warmup run (first-touch page faults, host caches) and
+/// then this many individually-timed repetitions, of which the
+/// *fastest* is kept (best-of-N, the `timeit`/hyperfine convention:
+/// external load only ever adds time, so the minimum is the best
+/// estimate of the engine's own speed).
+pub const ENGINE_LEG_REPS: u32 = 5;
+
 /// Model attribution of one opcode class within one ABI.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ClassSpeedRow {
@@ -99,18 +108,45 @@ pub struct ModelSection {
 }
 
 /// Host-side throughput of one ABI (interpreter speed on this machine).
+///
+/// Two legs are timed over the same pre-lowered programs:
+///
+/// * the **engine leg** (`host_seconds` / `host_insts_per_sec`) runs
+///   the architectural fast path alone — per-class counts accumulate
+///   batched inside the engine and no per-instruction event crosses
+///   into the timing model. Each workload is timed
+///   [`ENGINE_LEG_REPS`] times after a warmup and the fastest rep
+///   counts, so transient host load does not depress the rate. This
+///   is the interpreter's own speed and the number the CI lower bound
+///   gates on.
+/// * the **timed leg** (`host_seconds_timed` /
+///   `host_insts_per_sec_timed`) attaches the full
+///   [`TimingCore`](morello_uarch::TimingCore) sink, paying the
+///   per-event cache/TLB/branch model plus per-class cycle
+///   attribution. `host_sim_ratio` is defined on this leg, since only
+///   it produces simulated time.
+///
+/// The `_timed` fields default to `0.0` when absent so reports written
+/// before they existed still parse.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HostAbiRate {
     /// ABI label.
     pub abi: String,
-    /// Host wall-clock seconds spent executing (lowering excluded —
+    /// Host wall-clock seconds of the engine leg: the sum over
+    /// workloads of each workload's best timed rep (lowering excluded —
     /// programs come pre-lowered from the cache).
     pub host_seconds: f64,
-    /// Retired instructions per host second.
+    /// Retired instructions per host second on the engine leg.
     pub host_insts_per_sec: f64,
-    /// Simulated seconds per host second (how much Morello time one
-    /// host second buys).
+    /// Simulated seconds per host second of the timed leg (how much
+    /// Morello time one host second buys with the model attached).
     pub host_sim_ratio: f64,
+    /// Host wall-clock seconds of the timed (model-attached) leg.
+    #[serde(default)]
+    pub host_seconds_timed: f64,
+    /// Retired instructions per host second on the timed leg.
+    #[serde(default)]
+    pub host_insts_per_sec_timed: f64,
 }
 
 /// The observer effect: the same cell run plain, under the
@@ -145,6 +181,14 @@ pub struct HostSection {
     /// Suite wall-clock at `--jobs N` (warm cache).
     pub host_wall_seconds_jobs_n: f64,
     /// `jobs1 / jobsN` wall-clock speedup.
+    ///
+    /// Only meaningful when `host_jobs > 1`. On a single-CPU host the
+    /// scheduler clamps both sweeps to one worker, so the two legs
+    /// differ only by cache warmth and this ratio is `1.0` plus
+    /// wall-clock noise — values slightly below `1.0` (e.g. a recorded
+    /// `0.83` with `host_jobs: 1`) indicate measurement jitter, not
+    /// pool overhead: the work-stealing pool runs the identical serial
+    /// schedule in both sweeps.
     pub host_parallel_speedup: f64,
     /// Per-ABI interpreter throughput.
     pub host_abi_rates: Vec<HostAbiRate>,
@@ -210,7 +254,10 @@ fn abi_models(rows: &[SuiteRow]) -> Vec<AbiModel> {
 ///    hits) — the model section is read off sweep 1, the cache stats
 ///    after sweep 2 (hit rate exactly 0.5),
 /// 3. a per-ABI execution-only timing pass over the pre-lowered
-///    programs (host insts/sec, simulated-vs-host ratio),
+///    programs, once on the architectural engine alone
+///    (`host_insts_per_sec`) and once with the timing model attached
+///    (`host_insts_per_sec_timed`, simulated-vs-host ratio) — the two
+///    legs must agree on the retired-instruction count,
 /// 4. the observer-effect cell (plain vs sampled vs traced).
 ///
 /// # Errors
@@ -270,15 +317,40 @@ pub fn run_bench(quick: bool, jobs: usize, spans: &dyn SpanSink) -> Result<Bench
     let mut host_abi_rates = Vec::new();
     for &abi in &Abi::ALL {
         let mut host_seconds = 0.0;
+        let mut host_seconds_timed = 0.0;
         let mut retired = 0_u64;
+        let mut retired_timed = 0_u64;
         let mut sim_seconds = 0.0;
         for w in workloads.iter().filter(|w| w.supports(abi)) {
             let prog = cache.get_or_lower(w, abi, scale);
+
+            // Engine leg: architectural fast path, batched class counts
+            // only — no per-event traffic into the timing model. One
+            // untimed warmup, then [`ENGINE_LEG_REPS`] individually
+            // timed runs of which the fastest counts (best-of-N).
+            let arch = runner.run_lowered_arch(&prog)?;
+            let mut best = f64::INFINITY;
+            for _ in 0..ENGINE_LEG_REPS {
+                let started = Instant::now();
+                let rerun = runner.run_lowered_arch(&prog)?;
+                let elapsed = started.elapsed().as_secs_f64();
+                assert_eq!(arch.retired, rerun.retired, "{}/{abi}: reruns agree", w.key);
+                best = best.min(elapsed);
+            }
+            retired += arch.retired;
+            host_seconds += best;
+
+            // Timed leg: same program with the full uarch model sink.
             let started = Instant::now();
             let rep = runner.run_lowered(w, abi, &prog)?;
-            host_seconds += started.elapsed().as_secs_f64();
-            retired += rep.retired;
+            host_seconds_timed += started.elapsed().as_secs_f64();
+            retired_timed += rep.retired;
             sim_seconds += rep.seconds;
+            assert_eq!(
+                arch.retired, rep.retired,
+                "{}/{abi}: engine and timed legs must retire identically",
+                w.key
+            );
         }
         host_abi_rates.push(HostAbiRate {
             abi: abi.to_string(),
@@ -288,8 +360,14 @@ pub fn run_bench(quick: bool, jobs: usize, spans: &dyn SpanSink) -> Result<Bench
             } else {
                 0.0
             },
-            host_sim_ratio: if host_seconds > 0.0 {
-                sim_seconds / host_seconds
+            host_sim_ratio: if host_seconds_timed > 0.0 {
+                sim_seconds / host_seconds_timed
+            } else {
+                0.0
+            },
+            host_seconds_timed,
+            host_insts_per_sec_timed: if host_seconds_timed > 0.0 {
+                retired_timed as f64 / host_seconds_timed
             } else {
                 0.0
             },
@@ -374,6 +452,7 @@ pub fn speed_table(report: &BenchReport) -> Table {
         "cycles",
         "sim (s)",
         "host insts/s",
+        "host timed/s",
         "sim/host",
     ]);
     for abi in &report.model.abis {
@@ -384,6 +463,7 @@ pub fn speed_table(report: &BenchReport) -> Table {
             abi.cycles.to_string(),
             format!("{:.4}", abi.sim_seconds),
             rate.map_or("-".into(), |r| fmt_metric(r.host_insts_per_sec)),
+            rate.map_or("-".into(), |r| fmt_metric(r.host_insts_per_sec_timed)),
             rate.map_or("-".into(), |r| fmt_metric(r.host_sim_ratio)),
         ]);
     }
@@ -485,6 +565,23 @@ pub fn compare(base: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Com
     CompareOutcome { diffs, regressions }
 }
 
+/// The fast-path floor check behind `bench_compare --min-host-rate`:
+/// returns every ABI whose engine-leg throughput
+/// ([`HostAbiRate::host_insts_per_sec`]) fell below `min` retired
+/// instructions per host second. A silent fall-back to the reference
+/// executor (or a fast path degraded into per-event sink traffic) drops
+/// the engine leg far below any realistic floor, so CI gates on this
+/// even though host numbers are otherwise informational.
+pub fn host_rate_floor(report: &BenchReport, min: f64) -> Vec<(String, f64)> {
+    report
+        .host
+        .host_abi_rates
+        .iter()
+        .filter(|r| r.host_insts_per_sec < min)
+        .map(|r| (r.abi.clone(), r.host_insts_per_sec))
+        .collect()
+}
+
 /// Renders a diff list the way `bench_compare` prints it.
 pub fn diff_table(diffs: &[MetricDiff]) -> Table {
     let mut t = Table::new(&["metric", "baseline", "candidate", "change %"]);
@@ -531,7 +628,66 @@ mod tests {
         assert_eq!(m2, m4, "model section must not depend on --jobs");
         // Host sections exist but are not compared.
         assert!(r2.host.host_wall_seconds_jobs1 > 0.0);
+        for rate in &r2.host.host_abi_rates {
+            assert!(
+                rate.host_insts_per_sec > 0.0 && rate.host_insts_per_sec_timed > 0.0,
+                "{}: both throughput legs must be measured",
+                rate.abi
+            );
+        }
         assert_eq!(compare(&r2, &r4, 0.0).regressions.len(), 0);
+    }
+
+    #[test]
+    fn parallel_speedup_exceeds_one_on_multicore() {
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if jobs < 2 {
+            // Single-CPU host: the pool clamps both sweeps to one
+            // worker running the identical serial schedule, so the
+            // ratio is 1.0 ± wall-clock noise and asserting on it
+            // would only test the noise floor (see
+            // `HostSection::host_parallel_speedup`).
+            eprintln!("parallel_speedup_exceeds_one_on_multicore: skipped (1 CPU)");
+            return;
+        }
+        let workloads = select(&TABLE3_KEYS);
+        let runner = Runner::new(Platform::morello().with_scale(Scale::Test));
+        let cache = ProgramCache::new();
+        // Warm the lowered-program cache so both timed sweeps below
+        // are execution-only and differ by worker count alone.
+        run_suite_traced(
+            &runner,
+            &workloads,
+            &cache,
+            &SuiteConfig::with_jobs(jobs),
+            None,
+            &NullSpanSink,
+        )
+        .expect("warm sweep runs");
+        let best_of = |j: usize| {
+            (0..3)
+                .map(|_| {
+                    let started = Instant::now();
+                    run_suite_traced(
+                        &runner,
+                        &workloads,
+                        &cache,
+                        &SuiteConfig::with_jobs(j),
+                        None,
+                        &NullSpanSink,
+                    )
+                    .expect("timed sweep runs");
+                    started.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let serial = best_of(1);
+        let parallel = best_of(jobs);
+        assert!(
+            serial / parallel > 1.0,
+            "full-matrix warm speedup at jobs={jobs} was {:.3} (serial {serial:.3}s, parallel {parallel:.3}s)",
+            serial / parallel
+        );
     }
 
     #[test]

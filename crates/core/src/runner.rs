@@ -241,6 +241,24 @@ impl Runner {
         Ok(self.assemble(workload, abi, stats, prog, result))
     }
 
+    /// Executes an already-lowered program on the architectural fast
+    /// path alone: no timing model is attached, so the engine's batched
+    /// per-class accumulation is the only per-instruction bookkeeping.
+    /// This is the engine-throughput mode behind `bench_speed`'s
+    /// per-ABI `host_insts_per_sec` rate; architectural results
+    /// (retired count, class counts, exit code, heap statistics) are
+    /// identical to a timed run's.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Interp`] if execution faults.
+    pub fn run_lowered_arch(
+        &self,
+        prog: &cheri_isa::Program,
+    ) -> Result<cheri_isa::RunResult, RunError> {
+        Ok(Interp::new(self.platform.interp).run(prog, &mut cheri_isa::NullSink)?)
+    }
+
     /// Runs one workload under one ABI and, on success, appends a
     /// [`RunRecord`](crate::RunRecord) — counts, derived metrics,
     /// configuration hash, and the host wall-time of the simulation —

@@ -210,8 +210,109 @@ impl ClassCounts {
 mod tests {
     use super::*;
     use crate::inst::{BranchKind, InstClass};
+    use crate::lower::RT_FREE_PC;
+    use proptest::prelude::*;
 
     const APP_PC: u64 = 0x1_0040;
+
+    /// A strategy over every constructible [`RetiredInfo`] payload —
+    /// each variant with arbitrary field values.
+    fn class_strategy() -> impl Strategy<Value = InstClass> {
+        prop_oneof![
+            Just(InstClass::Dp),
+            Just(InstClass::Vfp),
+            Just(InstClass::Ase),
+            Just(InstClass::Ld),
+            Just(InstClass::St),
+            Just(InstClass::BrImmed),
+            Just(InstClass::BrIndirect),
+            Just(InstClass::BrReturn),
+        ]
+    }
+
+    fn info_strategy() -> impl Strategy<Value = RetiredInfo> {
+        let kind = prop_oneof![
+            Just(BranchKind::Immediate),
+            Just(BranchKind::Indirect),
+            Just(BranchKind::Call),
+            Just(BranchKind::IndirectCall),
+            Just(BranchKind::Return),
+        ];
+        prop_oneof![
+            class_strategy().prop_map(RetiredInfo::Simple),
+            (class_strategy(), any::<u8>())
+                .prop_map(|(class, extra)| RetiredInfo::LongLatency { class, extra }),
+            Just(RetiredInfo::CapManip),
+            (any::<u64>(), any::<u8>(), any::<bool>(), any::<bool>()).prop_map(
+                |(addr, size, is_cap, dep_load)| RetiredInfo::Load {
+                    addr,
+                    size,
+                    is_cap,
+                    dep_load
+                }
+            ),
+            (any::<u64>(), any::<u8>(), any::<bool>())
+                .prop_map(|(addr, size, is_cap)| RetiredInfo::Store { addr, size, is_cap }),
+            (kind, any::<bool>(), any::<u64>(), any::<bool>()).prop_map(
+                |(kind, taken, target, pcc_change)| RetiredInfo::Branch {
+                    kind,
+                    taken,
+                    target,
+                    pcc_change
+                }
+            ),
+        ]
+    }
+
+    proptest! {
+        /// Classification is total and deterministic over every
+        /// constructible event, lands in exactly one of the eight
+        /// classes, and — outside the runtime PC windows — depends only
+        /// on the payload. A `bump` of the resulting class raises
+        /// exactly that slot, so per-class counts always partition the
+        /// retired stream.
+        #[test]
+        fn every_event_maps_to_exactly_one_class(pc in any::<u64>(), info in info_strategy()) {
+            let class = OpClass::of(pc, &info);
+            prop_assert!(OpClass::ALL.contains(&class));
+            prop_assert_eq!(class, OpClass::of(pc, &info), "deterministic");
+            if !(RT_MALLOC_PC..RT_END).contains(&pc) {
+                prop_assert_eq!(class, OpClass::of(APP_PC, &info), "pc-independent outside runtime windows");
+            }
+            let mut counts = ClassCounts::new();
+            counts.bump(class);
+            prop_assert_eq!(counts.total(), 1, "exactly one slot counted");
+            prop_assert_eq!(counts.get(class), 1);
+            for other in OpClass::ALL {
+                if other != class {
+                    prop_assert_eq!(counts.get(other), 0);
+                }
+            }
+        }
+    }
+
+    /// The runtime-window classification at the exact region
+    /// boundaries: `[RT_MALLOC_PC, RT_SWEEP_PC)` (which contains
+    /// `RT_FREE_PC`) is allocator runtime, `[RT_SWEEP_PC, RT_END)` is
+    /// metadata maintenance, and both edges are half-open.
+    #[test]
+    fn pc_region_boundaries() {
+        let load = RetiredInfo::Load {
+            addr: 0x4000_0000,
+            size: 8,
+            is_cap: false,
+            dep_load: false,
+        };
+        assert_eq!(OpClass::of(RT_MALLOC_PC - 4, &load), OpClass::MemScalar);
+        assert_eq!(OpClass::of(RT_MALLOC_PC, &load), OpClass::Runtime);
+        assert_eq!(OpClass::of(RT_FREE_PC - 4, &load), OpClass::Runtime);
+        assert_eq!(OpClass::of(RT_FREE_PC, &load), OpClass::Runtime);
+        assert_eq!(OpClass::of(RT_SWEEP_PC - 4, &load), OpClass::Runtime);
+        assert_eq!(OpClass::of(RT_SWEEP_PC, &load), OpClass::Meta);
+        assert_eq!(OpClass::of(RT_END - 4, &load), OpClass::Meta);
+        assert_eq!(OpClass::of(RT_END, &load), OpClass::MemScalar);
+        assert_eq!(OpClass::of(RT_END + 4, &load), OpClass::MemScalar);
+    }
 
     #[test]
     fn payload_kinds_classify() {

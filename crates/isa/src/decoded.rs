@@ -1,0 +1,445 @@
+//! The decoded micro-op arena behind the fast engine.
+//!
+//! [`DecodedProgram::decode`] lowers a [`Program`] once into a flat
+//! per-function array of [`Op`]s with everything the per-instruction
+//! `match` of the reference executor re-derives on every visit already
+//! resolved: label targets become `(ip, pc)` pairs, `Lea*`/captable
+//! addresses are absolute, long-latency extras and direct-call
+//! `pcc_change` bits are pre-computed, and call argument lists live in
+//! one shared pool so every [`Op`] stays `Copy` and cache-dense. The
+//! execution loop in [`crate::fastexec`] then dispatches on this dense
+//! enum without touching the original [`Inst`] stream.
+
+use crate::inst::{
+    CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, IntOp, LoadKind, MemSize, Operand, VecKind,
+};
+use crate::program::{ModuleId, Program};
+
+/// A call's argument registers: a window into [`DecodedProgram::args`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ArgsRef {
+    /// First index in the shared argument pool.
+    pub(crate) start: u32,
+    /// Number of arguments.
+    pub(crate) len: u16,
+}
+
+/// A pre-resolved memory-operand offset. `RegScaled` keeps the scale
+/// implicit (the access width) exactly as the `scaled` flag does on
+/// [`Inst::Load`]/[`Inst::Store`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Off {
+    /// Immediate byte offset.
+    Imm(i64),
+    /// Register byte offset.
+    Reg(u16),
+    /// Register element offset, scaled by the access width.
+    RegScaled(u16),
+}
+
+/// One decoded micro-op. Mirrors [`Inst`] one-to-one (the fast engine
+/// retires exactly one event per op, plus the synthetic frames and
+/// allocator bodies), but with operands in execution-ready form.
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)]
+// `CapOp`/`CapOp2` deliberately mirror the `Inst` variant names.
+#[allow(clippy::enum_variant_names)]
+pub(crate) enum Op {
+    MovImm {
+        dst: u16,
+        imm: u64,
+    },
+    MovF64 {
+        dst: u16,
+        imm: f64,
+    },
+    Mov {
+        dst: u16,
+        src: u16,
+    },
+    /// `ll` is the pre-computed long-latency extra (0 = pipelined).
+    IntAlu {
+        op: IntOp,
+        dst: u16,
+        a: u16,
+        b: Operand,
+        ll: u8,
+    },
+    Madd {
+        dst: u16,
+        a: u16,
+        b: u16,
+        c: u16,
+    },
+    FloatAlu {
+        op: FloatOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+        ll: u8,
+    },
+    FMadd {
+        dst: u16,
+        a: u16,
+        b: u16,
+        c: u16,
+    },
+    FCmp {
+        cond: Cond,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Vec {
+        op: VecKind,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Cvt {
+        dst: u16,
+        src: u16,
+        to_int: bool,
+    },
+    /// `LeaGlobal`/`LeaFunc` with the absolute address pre-computed.
+    LeaConst {
+        dst: u16,
+        addr: u64,
+    },
+    MovNullPtr {
+        dst: u16,
+    },
+    PtrAdd {
+        dst: u16,
+        base: u16,
+        off: Operand,
+    },
+    PtrToInt {
+        dst: u16,
+        src: u16,
+    },
+    /// A pointer-generic memory op that survived lowering (the
+    /// reference rejects these with `BadProgram`; so does the fast
+    /// engine).
+    BadGeneric,
+    /// Captable load with the slot address pre-computed.
+    LoadCapTable {
+        dst: u16,
+        addr: u64,
+        off: i64,
+    },
+    Load {
+        dst: u16,
+        base: u16,
+        off: Off,
+        size: MemSize,
+        kind: LoadKind,
+        bytes: u8,
+    },
+    Store {
+        src: u16,
+        base: u16,
+        off: Off,
+        size: MemSize,
+        kind: LoadKind,
+        bytes: u8,
+    },
+    Jump {
+        t_ip: u32,
+        t_pc: u64,
+    },
+    CondBr {
+        cond: Cond,
+        a: u16,
+        b: Operand,
+        t_ip: u32,
+        t_pc: u64,
+    },
+    /// Direct call: `pcc_change` is static (caller and callee modules
+    /// are both known at decode time).
+    Call {
+        callee: u32,
+        args: ArgsRef,
+        ret: Option<u16>,
+        pcc_change: bool,
+    },
+    CallIndirect {
+        target: u16,
+        args: ArgsRef,
+        ret: Option<u16>,
+    },
+    Ret {
+        val: Option<u16>,
+    },
+    Malloc {
+        dst: u16,
+        size: Operand,
+    },
+    Free {
+        ptr: u16,
+    },
+    CapOp {
+        op: CapOpKind,
+        dst: u16,
+        a: u16,
+        b: Operand,
+    },
+    CapOp2 {
+        op: CapOp2Kind,
+        a: u16,
+        auth: u16,
+        dst: u16,
+    },
+    Halt {
+        code: Option<u16>,
+    },
+    Region {
+        id: u32,
+    },
+}
+
+/// One decoded function: its op array plus the frame/layout facts the
+/// call and return paths need without chasing back into [`Program`].
+pub(crate) struct DecodedFunc {
+    pub(crate) ops: Box<[Op]>,
+    pub(crate) base_pc: u64,
+    pub(crate) frame_size: u64,
+    pub(crate) params: u16,
+    pub(crate) vregs: u16,
+    pub(crate) module: ModuleId,
+}
+
+/// The whole program, decoded once per run.
+pub(crate) struct DecodedProgram {
+    pub(crate) funcs: Box<[DecodedFunc]>,
+    /// Shared pool of call-argument registers ([`ArgsRef`] windows).
+    pub(crate) args: Box<[u16]>,
+}
+
+impl DecodedProgram {
+    /// Lowers `prog` into the micro-op arena.
+    pub(crate) fn decode(prog: &Program) -> DecodedProgram {
+        let mut pool: Vec<u16> = Vec::new();
+        let mut funcs = Vec::with_capacity(prog.funcs.len());
+        for (fi, f) in prog.funcs.iter().enumerate() {
+            let base_pc = prog.map.func_base[fi];
+            let caller_module = f.module;
+            let mut intern = |args: &[u16]| {
+                let start = pool.len() as u32;
+                pool.extend_from_slice(args);
+                ArgsRef {
+                    start,
+                    len: args.len() as u16,
+                }
+            };
+            let label = |l: crate::inst::Label| {
+                let t_ip = f.labels[l.0 as usize];
+                (t_ip, base_pc + u64::from(t_ip) * 4)
+            };
+            let ops: Vec<Op> = f
+                .insts
+                .iter()
+                .map(|inst| match inst {
+                    Inst::MovImm { dst, imm } => Op::MovImm {
+                        dst: *dst,
+                        imm: *imm,
+                    },
+                    Inst::MovF64 { dst, imm } => Op::MovF64 {
+                        dst: *dst,
+                        imm: *imm,
+                    },
+                    Inst::Mov { dst, src } => Op::Mov {
+                        dst: *dst,
+                        src: *src,
+                    },
+                    Inst::IntOp { op, dst, a, b } => Op::IntAlu {
+                        op: *op,
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        ll: match op {
+                            IntOp::Mul => 1,
+                            IntOp::UDiv | IntOp::URem => 9,
+                            _ => 0,
+                        },
+                    },
+                    Inst::Madd { dst, a, b, c, .. } => Op::Madd {
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        c: *c,
+                    },
+                    Inst::FloatOp { op, dst, a, b } => Op::FloatAlu {
+                        op: *op,
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        ll: match op {
+                            FloatOp::FDiv => 12,
+                            FloatOp::FSqrt => 16,
+                            _ => 0,
+                        },
+                    },
+                    Inst::FMadd { dst, a, b, c } => Op::FMadd {
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        c: *c,
+                    },
+                    Inst::FCmp { cond, dst, a, b } => Op::FCmp {
+                        cond: *cond,
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                    },
+                    Inst::VecOp { op, dst, a, b } => Op::Vec {
+                        op: *op,
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                    },
+                    Inst::Cvt { dst, src, to_int } => Op::Cvt {
+                        dst: *dst,
+                        src: *src,
+                        to_int: *to_int,
+                    },
+                    Inst::LeaGlobal { dst, global, off } => Op::LeaConst {
+                        dst: *dst,
+                        addr: prog.map.global_base[global.0 as usize].wrapping_add(*off as u64),
+                    },
+                    Inst::LeaFunc { dst, func } => Op::LeaConst {
+                        dst: *dst,
+                        addr: prog.map.func_base[func.0 as usize],
+                    },
+                    Inst::MovNullPtr { dst } => Op::MovNullPtr { dst: *dst },
+                    Inst::PtrAdd { dst, base, off } => Op::PtrAdd {
+                        dst: *dst,
+                        base: *base,
+                        off: *off,
+                    },
+                    Inst::PtrToInt { dst, src } => Op::PtrToInt {
+                        dst: *dst,
+                        src: *src,
+                    },
+                    Inst::LoadPtr { .. }
+                    | Inst::StorePtr { .. }
+                    | Inst::LoadPtrIdx { .. }
+                    | Inst::StorePtrIdx { .. } => Op::BadGeneric,
+                    Inst::LoadCapTable { dst, slot, off } => Op::LoadCapTable {
+                        dst: *dst,
+                        addr: prog.map.captable_base + u64::from(*slot) * 16,
+                        off: *off,
+                    },
+                    Inst::Load {
+                        dst,
+                        base,
+                        off,
+                        size,
+                        kind,
+                        scaled,
+                    } => {
+                        let bytes = match kind {
+                            LoadKind::Cap => 16,
+                            _ => size.bytes(),
+                        } as u8;
+                        Op::Load {
+                            dst: *dst,
+                            base: *base,
+                            off: decode_off(*off, *scaled),
+                            size: *size,
+                            kind: *kind,
+                            bytes,
+                        }
+                    }
+                    Inst::Store {
+                        src,
+                        base,
+                        off,
+                        size,
+                        kind,
+                        scaled,
+                    } => {
+                        let bytes = match kind {
+                            LoadKind::Cap => 16,
+                            _ => size.bytes(),
+                        } as u8;
+                        Op::Store {
+                            src: *src,
+                            base: *base,
+                            off: decode_off(*off, *scaled),
+                            size: *size,
+                            kind: *kind,
+                            bytes,
+                        }
+                    }
+                    Inst::Jump { target } => {
+                        let (t_ip, t_pc) = label(*target);
+                        Op::Jump { t_ip, t_pc }
+                    }
+                    Inst::CondBr { cond, a, b, target } => {
+                        let (t_ip, t_pc) = label(*target);
+                        Op::CondBr {
+                            cond: *cond,
+                            a: *a,
+                            b: *b,
+                            t_ip,
+                            t_pc,
+                        }
+                    }
+                    Inst::Call { func, args, ret } => Op::Call {
+                        callee: func.0,
+                        args: intern(args),
+                        ret: *ret,
+                        pcc_change: prog.abi.capability_branches()
+                            && prog.funcs[func.0 as usize].module != caller_module,
+                    },
+                    Inst::CallIndirect { target, args, ret } => Op::CallIndirect {
+                        target: *target,
+                        args: intern(args),
+                        ret: *ret,
+                    },
+                    Inst::Ret { val } => Op::Ret { val: *val },
+                    Inst::Malloc { dst, size } => Op::Malloc {
+                        dst: *dst,
+                        size: *size,
+                    },
+                    Inst::Free { ptr } => Op::Free { ptr: *ptr },
+                    Inst::CapOp { op, dst, a, b } => Op::CapOp {
+                        op: *op,
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                    },
+                    Inst::CapOp2 { op, a, auth, dst } => Op::CapOp2 {
+                        op: *op,
+                        a: *a,
+                        auth: *auth,
+                        dst: *dst,
+                    },
+                    Inst::Halt { code } => Op::Halt { code: *code },
+                    Inst::Region { id } => Op::Region { id: *id },
+                })
+                .collect();
+            funcs.push(DecodedFunc {
+                ops: ops.into_boxed_slice(),
+                base_pc,
+                frame_size: f.frame_size,
+                params: f.params,
+                vregs: f.vregs,
+                module: f.module,
+            });
+        }
+        DecodedProgram {
+            funcs: funcs.into_boxed_slice(),
+            args: pool.into_boxed_slice(),
+        }
+    }
+}
+
+fn decode_off(off: Operand, scaled: bool) -> Off {
+    match off {
+        Operand::Imm(i) => Off::Imm(i),
+        Operand::Reg(r) if scaled => Off::RegScaled(r),
+        Operand::Reg(r) => Off::Reg(r),
+    }
+}

@@ -1,0 +1,1494 @@
+//! The pre-decoded fast engine.
+//!
+//! Executes a [`DecodedProgram`] (see [`crate::decoded`]) in a tight
+//! dispatch loop over dense `Copy` micro-ops: no per-instruction
+//! re-decode, no fault-injection polls (an inert injector cannot fire,
+//! so the `active()` checks of the reference loop are compiled out of
+//! the hot path entirely), registers and taints in flat arenas indexed
+//! off a cached frame base, and classification resolved once per op
+//! through [`EventSink::retire_classified`].
+//!
+//! Equivalence contract: for any program and sink, this engine produces
+//! the *same event stream* (order and payload), the same architectural
+//! result, and the same error as the reference executor
+//! ([`crate::refexec`]). The differential harness
+//! (`tests/differential.rs`) locks this across every workload×ABI cell,
+//! random programs, and the error paths; `debug_assert`s in the emit
+//! macro additionally check every pre-computed class against
+//! [`OpClass::of`] in debug builds.
+
+use crate::classify::{ClassCounts, OpClass};
+use crate::decoded::{ArgsRef, DecodedFunc, DecodedProgram, Off, Op};
+use crate::inst::{
+    BranchKind, CapOp2Kind, CapOpKind, Cond, InstClass, LoadKind, MemSize, Operand, VecKind,
+};
+use crate::interp::{
+    eval_float_op, eval_int_op, EventSink, FaultInjector, InterpConfig, InterpError,
+    RecoveryPolicy, RetiredEvent, RetiredInfo, RunResult,
+};
+use crate::lower::{RT_FREE_PC, RT_MALLOC_PC, RT_SWEEP_PC, STACK_SIZE};
+use crate::program::Program;
+use crate::refexec::{init_memory, Value, META_LINES, SAVE_AREA};
+use cheri_cap::{CapFault, Capability, Perms};
+use cheri_mem::{HeapAllocator, TaggedMemory};
+use cheri_revoke::{RevokingHeap, StrategyKind, SweepOutcome};
+
+/// Runs `prog` to completion on the fast engine. The caller guarantees
+/// the injector is inert (`!active()` under `Abort`); the only hook an
+/// inert injector can still observe is `trapped` on an organic fault,
+/// which is replayed here exactly as the reference handler does.
+pub(crate) fn run<S: EventSink, I: FaultInjector>(
+    prog: &Program,
+    cfg: InterpConfig,
+    sink: &mut S,
+    mut inj: I,
+) -> Result<RunResult, InterpError> {
+    debug_assert!(
+        !inj.active() && inj.policy() == RecoveryPolicy::Abort,
+        "fast engine selected with an armed injector"
+    );
+    let dec = DecodedProgram::decode(prog);
+    let mut m = FastMachine::new(prog, &dec, cfg);
+    init_memory(prog, &mut m.mem)?;
+    let r = m.exec(sink);
+    if let Err(InterpError::Fault { pc, .. }) = &r {
+        // The reference SIGPROT-analogue handler journals every trap
+        // before aborting; keep that observable for inert injectors.
+        inj.trapped(*pc);
+    }
+    r
+}
+
+/// One active call frame. Registers live in the machine-wide arenas at
+/// `[reg_base, reg_base + vregs)`; the running frame's `func`/`ip` are
+/// cached in locals of the dispatch loop, so only the return plumbing
+/// is stored here.
+struct FastFrame {
+    func: u32,
+    reg_base: u32,
+    ret_reg: Option<u16>,
+    ret_ip: u32,
+    saved_sp: u64,
+}
+
+struct FastMachine<'p> {
+    prog: &'p Program,
+    dec: &'p DecodedProgram,
+    cfg: InterpConfig,
+    mem: TaggedMemory,
+    heap: RevokingHeap,
+    frames: Vec<FastFrame>,
+    regs: Vec<Value>,
+    taints: Vec<u64>,
+    sp: u64,
+    stack_cap: Capability,
+    code_root: Capability,
+    data_root: Capability,
+    retired: u64,
+    classes: ClassCounts,
+    load_seq: u64,
+    exit: Option<u64>,
+    cap_abi: bool,
+    pcc_branches: bool,
+}
+
+/// Emits one retired event with its pre-computed class: bumps the
+/// architectural counters and hands the sink the class so classifying
+/// sinks skip `OpClass::of`. Debug builds verify the hint.
+macro_rules! femit {
+    ($self:ident, $sink:ident, $pc:expr, $class:expr, $info:expr) => {{
+        let pc = $pc;
+        let info = $info;
+        let class = $class;
+        debug_assert_eq!(class, OpClass::of(pc, &info), "pre-computed class mismatch");
+        $self.retired += 1;
+        $self.classes.bump(class);
+        $sink.retire_classified(RetiredEvent { pc, info }, class);
+    }};
+}
+
+impl<'p> FastMachine<'p> {
+    fn new(prog: &'p Program, dec: &'p DecodedProgram, cfg: InterpConfig) -> FastMachine<'p> {
+        let cap_abi = prog.abi.is_capability();
+        let kind = if cap_abi {
+            match cfg.cap_alloc {
+                // Capability ABIs need representable bounds: classic
+                // layout would hand out unencodable large blocks.
+                StrategyKind::Classic => StrategyKind::CapabilityPadded,
+                k => k,
+            }
+        } else {
+            StrategyKind::Classic
+        };
+        let (heap_lo, heap_hi) = prog.map.heap;
+        let heap = RevokingHeap::new(heap_lo + (1 << 20), heap_hi, heap_lo + (1 << 19), kind);
+        let stack_base = prog.map.stack_top - STACK_SIZE;
+        let stack_cap = Capability::root_rw()
+            .set_bounds(stack_base, STACK_SIZE)
+            .expect("stack bounds representable");
+        FastMachine {
+            prog,
+            dec,
+            cfg,
+            mem: TaggedMemory::new(),
+            heap,
+            frames: Vec::with_capacity(64),
+            regs: Vec::with_capacity(256),
+            taints: Vec::with_capacity(256),
+            sp: prog.map.stack_top,
+            stack_cap,
+            code_root: Capability::root_exec(),
+            data_root: Capability::root_rw(),
+            retired: 0,
+            classes: ClassCounts::new(),
+            load_seq: 0,
+            exit: None,
+            cap_abi,
+            pcc_branches: prog.abi.capability_branches(),
+        }
+    }
+
+    // ---- Value plumbing (flat-arena addressing) ---------------------------
+
+    #[inline]
+    fn as_int(&self, idx: usize, pc: u64) -> Result<u64, InterpError> {
+        match self.regs[idx] {
+            Value::Int(v) => Ok(v),
+            _ => Err(InterpError::TypeConfusion {
+                pc,
+                expected: "integer",
+            }),
+        }
+    }
+
+    #[inline]
+    fn as_f64(&self, idx: usize, pc: u64) -> Result<f64, InterpError> {
+        match self.regs[idx] {
+            Value::F64(v) => Ok(v),
+            Value::Int(0) => Ok(0.0), // zero-initialised registers
+            _ => Err(InterpError::TypeConfusion {
+                pc,
+                expected: "float",
+            }),
+        }
+    }
+
+    #[inline]
+    fn as_cap(&self, idx: usize, pc: u64) -> Result<Capability, InterpError> {
+        match self.regs[idx] {
+            Value::Cap(c) => Ok(c),
+            _ => Err(InterpError::TypeConfusion {
+                pc,
+                expected: "capability",
+            }),
+        }
+    }
+
+    #[inline]
+    fn operand_int(&self, rb: usize, op: Operand, pc: u64) -> Result<u64, InterpError> {
+        match op {
+            Operand::Reg(r) => self.as_int(rb + r as usize, pc),
+            Operand::Imm(i) => Ok(i as u64),
+        }
+    }
+
+    #[inline]
+    fn operand_taint(&self, rb: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.taints[rb + r as usize],
+            Operand::Imm(_) => 0,
+        }
+    }
+
+    #[inline]
+    fn cap_fault(&self, fault: CapFault, pc: u64, fi: usize) -> InterpError {
+        InterpError::Fault {
+            fault,
+            pc,
+            func: self.prog.funcs[fi].name.clone(),
+        }
+    }
+
+    /// Resolves a memory operand to (effective address, authorising cap).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn resolve(
+        &self,
+        rb: usize,
+        fi: usize,
+        base: u16,
+        off: i64,
+        size: u64,
+        write: bool,
+        cap_access: bool,
+        pc: u64,
+    ) -> Result<(u64, Option<Capability>), InterpError> {
+        if self.cap_abi {
+            let c = self.as_cap(rb + base as usize, pc)?;
+            let addr = c.address().wrapping_add(off as u64);
+            let mut req = if write { Perms::STORE } else { Perms::LOAD };
+            if cap_access && write {
+                req = req | Perms::STORE_CAP;
+            }
+            c.check_access(addr, size, req)
+                .map_err(|fault| self.cap_fault(fault, pc, fi))?;
+            Ok((addr, Some(c)))
+        } else {
+            let b = self.as_int(rb + base as usize, pc)?;
+            Ok((b.wrapping_add(off as u64), None))
+        }
+    }
+
+    #[inline]
+    fn dep_load(&self, base_taint: u64) -> bool {
+        base_taint != 0 && self.load_seq.saturating_sub(base_taint) <= self.cfg.dep_window
+    }
+
+    // ---- Frame plumbing ---------------------------------------------------
+
+    /// Pushes a frame for `callee`: depth/arity checks, the call-site
+    /// branch event (`None` for the entry frame), the synthetic
+    /// prologue (SP adjust + return-address save), and fresh registers
+    /// in the flat arenas. Returns the new frame's register base.
+    /// `branch` is `(call_pc, kind, target, pcc_change)`.
+    #[allow(clippy::too_many_arguments)]
+    fn enter_frame<S: EventSink>(
+        &mut self,
+        sink: &mut S,
+        callee: u32,
+        caller_args: Option<(usize, ArgsRef)>,
+        ret_reg: Option<u16>,
+        ret_ip: u32,
+        branch: Option<(u64, BranchKind, u64, bool)>,
+        call_pc: u64,
+    ) -> Result<usize, InterpError> {
+        if self.frames.len() as u32 >= self.cfg.max_call_depth {
+            return Err(InterpError::CallDepth { pc: call_pc });
+        }
+        let dec = self.dec;
+        let f = &dec.funcs[callee as usize];
+        let n_args = caller_args.map_or(0, |(_, a)| a.len);
+        if n_args != f.params {
+            return Err(InterpError::BadProgram {
+                msg: format!(
+                    "call to `{}` with {} args (expects {})",
+                    self.prog.funcs[callee as usize].name, n_args, f.params
+                ),
+            });
+        }
+        let mut ret_pc = 0;
+        if let Some((pc, kind, target, pcc_change)) = branch {
+            ret_pc = pc + 4;
+            femit!(
+                self,
+                sink,
+                pc,
+                if pcc_change {
+                    OpClass::CapBranch
+                } else {
+                    OpClass::Branch
+                },
+                RetiredInfo::Branch {
+                    kind,
+                    taken: true,
+                    target,
+                    pcc_change,
+                }
+            );
+        }
+
+        // Prologue: SP adjust + return-address save.
+        let saved_sp = self.sp;
+        let new_sp = self.sp - (f.frame_size + SAVE_AREA);
+        self.sp = new_sp;
+        let base_pc = f.base_pc;
+        if self.cap_abi {
+            femit!(
+                self,
+                sink,
+                base_pc,
+                OpClass::CapManip,
+                RetiredInfo::CapManip
+            );
+        } else {
+            femit!(
+                self,
+                sink,
+                base_pc,
+                OpClass::IntAlu,
+                RetiredInfo::Simple(InstClass::Dp)
+            );
+        }
+        let lr_addr = new_sp + f.frame_size;
+        if self.cap_abi {
+            // Save the return address as a capability into the caller.
+            let ret_cap = self.code_root.set_address(ret_pc);
+            self.mem
+                .store_cap(lr_addr & !15, ret_cap.to_compressed(), true)
+                .map_err(|err| InterpError::Mem { err, pc: base_pc })?;
+            femit!(
+                self,
+                sink,
+                base_pc + 4,
+                OpClass::MemCap,
+                RetiredInfo::Store {
+                    addr: lr_addr & !15,
+                    size: 16,
+                    is_cap: true,
+                }
+            );
+        } else {
+            self.mem
+                .write_u64(lr_addr, ret_pc)
+                .map_err(|err| InterpError::Mem { err, pc: base_pc })?;
+            femit!(
+                self,
+                sink,
+                base_pc + 4,
+                OpClass::MemScalar,
+                RetiredInfo::Store {
+                    addr: lr_addr,
+                    size: 8,
+                    is_cap: false,
+                }
+            );
+        }
+
+        let new_base = self.regs.len();
+        self.regs.resize(new_base + f.vregs as usize, Value::Int(0));
+        self.taints.resize(new_base + f.vregs as usize, 0);
+        self.regs[new_base] = if self.cap_abi {
+            Value::Cap(self.stack_cap.set_address(new_sp))
+        } else {
+            Value::Int(new_sp)
+        };
+        if let Some((caller_rb, args)) = caller_args {
+            for k in 0..args.len as usize {
+                let src = dec.args[args.start as usize + k];
+                self.regs[new_base + 1 + k] = self.regs[caller_rb + src as usize];
+            }
+        }
+        self.frames.push(FastFrame {
+            func: callee,
+            reg_base: new_base as u32,
+            ret_reg,
+            ret_ip,
+            saved_sp,
+        });
+        Ok(new_base)
+    }
+
+    // ---- The dispatch loop ------------------------------------------------
+
+    fn exec<S: EventSink>(&mut self, sink: &mut S) -> Result<RunResult, InterpError> {
+        let prog = self.prog;
+        let dec = self.dec;
+        let entry = prog.entry.0;
+        if dec.funcs[entry as usize].params != 0 {
+            return Err(InterpError::BadProgram {
+                msg: format!(
+                    "entry `{}` must take no parameters",
+                    prog.funcs[entry as usize].name
+                ),
+            });
+        }
+        // The entry frame: no call-site branch event, return address 0.
+        self.enter_frame(sink, entry, None, None, 0, None, 0)?;
+        let mut fi = entry as usize;
+        let mut ip = 0usize;
+        let mut rb = 0usize;
+
+        while self.exit.is_none() {
+            if self.retired >= self.cfg.max_insts {
+                return Err(InterpError::FuelExhausted {
+                    retired: self.retired,
+                });
+            }
+            let fun: &DecodedFunc = &dec.funcs[fi];
+            debug_assert!(ip < fun.ops.len(), "fell off function {fi}");
+            let pc = fun.base_pc + (ip as u64) * 4;
+            match fun.ops[ip] {
+                Op::MovImm { dst, imm } => {
+                    self.regs[rb + dst as usize] = Value::Int(imm);
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    ip += 1;
+                }
+                Op::MovF64 { dst, imm } => {
+                    self.regs[rb + dst as usize] = Value::F64(imm);
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    ip += 1;
+                }
+                Op::Mov { dst, src } => {
+                    self.regs[rb + dst as usize] = self.regs[rb + src as usize];
+                    self.taints[rb + dst as usize] = self.taints[rb + src as usize];
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    ip += 1;
+                }
+                Op::IntAlu { op, dst, a, b, ll } => {
+                    let av = self.as_int(rb + a as usize, pc)?;
+                    let bv = self.operand_int(rb, b, pc)?;
+                    let r = eval_int_op(op, av, bv);
+                    let t = self.taints[rb + a as usize].max(self.operand_taint(rb, b));
+                    self.regs[rb + dst as usize] = Value::Int(r);
+                    self.taints[rb + dst as usize] = t;
+                    let info = if ll == 0 {
+                        RetiredInfo::Simple(InstClass::Dp)
+                    } else {
+                        RetiredInfo::LongLatency {
+                            class: InstClass::Dp,
+                            extra: ll,
+                        }
+                    };
+                    femit!(self, sink, pc, OpClass::IntAlu, info);
+                    ip += 1;
+                }
+                Op::Madd { dst, a, b, c } => {
+                    let r = self
+                        .as_int(rb + a as usize, pc)?
+                        .wrapping_mul(self.as_int(rb + b as usize, pc)?)
+                        .wrapping_add(self.as_int(rb + c as usize, pc)?);
+                    let t = self.taints[rb + a as usize]
+                        .max(self.taints[rb + b as usize])
+                        .max(self.taints[rb + c as usize]);
+                    self.regs[rb + dst as usize] = Value::Int(r);
+                    self.taints[rb + dst as usize] = t;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::LongLatency {
+                            class: InstClass::Dp,
+                            extra: 1,
+                        }
+                    );
+                    ip += 1;
+                }
+                Op::FloatAlu { op, dst, a, b, ll } => {
+                    let r = eval_float_op(
+                        op,
+                        self.as_f64(rb + a as usize, pc)?,
+                        self.as_f64(rb + b as usize, pc)?,
+                    );
+                    self.regs[rb + dst as usize] = Value::F64(r);
+                    self.taints[rb + dst as usize] = 0;
+                    let info = if ll == 0 {
+                        RetiredInfo::Simple(InstClass::Vfp)
+                    } else {
+                        RetiredInfo::LongLatency {
+                            class: InstClass::Vfp,
+                            extra: ll,
+                        }
+                    };
+                    femit!(self, sink, pc, OpClass::IntAlu, info);
+                    ip += 1;
+                }
+                Op::FMadd { dst, a, b, c } => {
+                    let r = self.as_f64(rb + a as usize, pc)?.mul_add(
+                        self.as_f64(rb + b as usize, pc)?,
+                        self.as_f64(rb + c as usize, pc)?,
+                    );
+                    self.regs[rb + dst as usize] = Value::F64(r);
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Vfp)
+                    );
+                    ip += 1;
+                }
+                Op::FCmp { cond, dst, a, b } => {
+                    let av = self.as_f64(rb + a as usize, pc)?;
+                    let bv = self.as_f64(rb + b as usize, pc)?;
+                    let r = match cond {
+                        Cond::Eq => av == bv,
+                        Cond::Ne => av != bv,
+                        Cond::Ltu | Cond::Lts => av < bv,
+                        Cond::Leu => av <= bv,
+                        Cond::Gtu | Cond::Gts => av > bv,
+                        Cond::Geu => av >= bv,
+                    };
+                    self.regs[rb + dst as usize] = Value::Int(u64::from(r));
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Vfp)
+                    );
+                    ip += 1;
+                }
+                Op::Vec { op, dst, a, b } => {
+                    match op {
+                        VecKind::VAdd => {
+                            let r = self.as_f64(rb + a as usize, pc)?
+                                + self.as_f64(rb + b as usize, pc)?;
+                            self.regs[rb + dst as usize] = Value::F64(r);
+                        }
+                        VecKind::VMul => {
+                            let r = self.as_f64(rb + a as usize, pc)?
+                                * self.as_f64(rb + b as usize, pc)?;
+                            self.regs[rb + dst as usize] = Value::F64(r);
+                        }
+                        VecKind::VFma => {
+                            let acc = self.as_f64(rb + dst as usize, pc)?;
+                            let r = self
+                                .as_f64(rb + a as usize, pc)?
+                                .mul_add(self.as_f64(rb + b as usize, pc)?, acc);
+                            self.regs[rb + dst as usize] = Value::F64(r);
+                        }
+                        VecKind::VSad => {
+                            let acc = self.as_int(rb + dst as usize, pc)?;
+                            let av = self.as_int(rb + a as usize, pc)?;
+                            let bv = self.as_int(rb + b as usize, pc)?;
+                            self.regs[rb + dst as usize] =
+                                Value::Int(acc.wrapping_add(av.abs_diff(bv)));
+                        }
+                    }
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Ase)
+                    );
+                    ip += 1;
+                }
+                Op::Cvt { dst, src, to_int } => {
+                    if to_int {
+                        let v = self.as_f64(rb + src as usize, pc)?;
+                        self.regs[rb + dst as usize] = Value::Int(v as i64 as u64);
+                    } else {
+                        let v = self.as_int(rb + src as usize, pc)?;
+                        self.regs[rb + dst as usize] = Value::F64(v as i64 as f64);
+                    }
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Vfp)
+                    );
+                    ip += 1;
+                }
+                Op::LeaConst { dst, addr } => {
+                    self.regs[rb + dst as usize] = Value::Int(addr);
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    ip += 1;
+                }
+                Op::MovNullPtr { dst } => {
+                    self.regs[rb + dst as usize] = if self.cap_abi {
+                        Value::Cap(Capability::null())
+                    } else {
+                        Value::Int(0)
+                    };
+                    self.taints[rb + dst as usize] = 0;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    ip += 1;
+                }
+                Op::PtrAdd { dst, base, off } => {
+                    // Only reachable pre-lowering misuse; behaves as an
+                    // integer add and (like the reference) skips taint.
+                    let b = self.as_int(rb + base as usize, pc)?;
+                    let o = self.operand_int(rb, off, pc)?;
+                    self.regs[rb + dst as usize] = Value::Int(b.wrapping_add(o));
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    ip += 1;
+                }
+                Op::PtrToInt { dst, src } => {
+                    let r = match self.regs[rb + src as usize] {
+                        Value::Int(i) => i,
+                        Value::Cap(c) => c.address(),
+                        Value::F64(_) => {
+                            return Err(InterpError::TypeConfusion {
+                                pc,
+                                expected: "pointer",
+                            })
+                        }
+                    };
+                    self.regs[rb + dst as usize] = Value::Int(r);
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    ip += 1;
+                }
+                Op::BadGeneric => {
+                    return Err(InterpError::BadProgram {
+                        msg: "pointer-generic memory op survived lowering".into(),
+                    });
+                }
+                Op::LoadCapTable { dst, addr, off } => {
+                    let (cc, tag) = self
+                        .mem
+                        .load_cap(addr)
+                        .map_err(|err| InterpError::Mem { err, pc })?;
+                    let mut cap = Capability::from_compressed(cc, tag);
+                    if off != 0 {
+                        cap = cap.inc_address(off);
+                    }
+                    self.load_seq += 1;
+                    let seq = self.load_seq;
+                    self.regs[rb + dst as usize] = Value::Cap(cap);
+                    self.taints[rb + dst as usize] = seq;
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::MemCap,
+                        RetiredInfo::Load {
+                            addr,
+                            size: 16,
+                            is_cap: true,
+                            dep_load: false,
+                        }
+                    );
+                    ip += 1;
+                }
+                Op::Load {
+                    dst,
+                    base,
+                    off,
+                    size,
+                    kind,
+                    bytes,
+                } => {
+                    let (off_v, off_taint) = match off {
+                        Off::Imm(i) => (i, 0),
+                        Off::Reg(r) => (
+                            self.as_int(rb + r as usize, pc)? as i64,
+                            self.taints[rb + r as usize],
+                        ),
+                        Off::RegScaled(r) => (
+                            (self.as_int(rb + r as usize, pc)? as i64).wrapping_mul(bytes as i64),
+                            self.taints[rb + r as usize],
+                        ),
+                    };
+                    let (addr, auth) =
+                        self.resolve(rb, fi, base, off_v, bytes as u64, false, false, pc)?;
+                    let base_taint = self.taints[rb + base as usize].max(off_taint);
+                    let dep = self.dep_load(base_taint);
+                    let v = match kind {
+                        LoadKind::Int => {
+                            let v = match size {
+                                MemSize::S1 => self.mem.read_u8(addr).map(u64::from),
+                                MemSize::S2 => self.mem.read_u16(addr).map(u64::from),
+                                MemSize::S4 => self.mem.read_u32(addr).map(u64::from),
+                                MemSize::S8 => self.mem.read_u64(addr),
+                            }
+                            .map_err(|err| InterpError::Mem { err, pc })?;
+                            Value::Int(v)
+                        }
+                        LoadKind::F64 => {
+                            let v = self
+                                .mem
+                                .read_u64(addr)
+                                .map_err(|err| InterpError::Mem { err, pc })?;
+                            Value::F64(f64::from_bits(v))
+                        }
+                        LoadKind::Cap => {
+                            let (cc, mut tag) = self
+                                .mem
+                                .load_cap(addr)
+                                .map_err(|err| InterpError::Mem { err, pc })?;
+                            // Loading through a capability without
+                            // LOAD_CAP strips the tag (Morello
+                            // semantics).
+                            if let Some(a) = auth {
+                                if !a.perms().contains(Perms::LOAD_CAP) {
+                                    tag = false;
+                                }
+                            }
+                            Value::Cap(Capability::from_compressed(cc, tag))
+                        }
+                    };
+                    self.load_seq += 1;
+                    let seq = self.load_seq;
+                    self.regs[rb + dst as usize] = v;
+                    self.taints[rb + dst as usize] = seq;
+                    let is_cap = matches!(kind, LoadKind::Cap);
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        if is_cap {
+                            OpClass::MemCap
+                        } else {
+                            OpClass::MemScalar
+                        },
+                        RetiredInfo::Load {
+                            addr,
+                            size: bytes,
+                            is_cap,
+                            dep_load: dep,
+                        }
+                    );
+                    ip += 1;
+                }
+                Op::Store {
+                    src,
+                    base,
+                    off,
+                    size,
+                    kind,
+                    bytes,
+                } => {
+                    let off_v = match off {
+                        Off::Imm(i) => i,
+                        Off::Reg(r) => self.as_int(rb + r as usize, pc)? as i64,
+                        Off::RegScaled(r) => {
+                            (self.as_int(rb + r as usize, pc)? as i64).wrapping_mul(bytes as i64)
+                        }
+                    };
+                    let is_cap = matches!(kind, LoadKind::Cap);
+                    let (addr, _auth) =
+                        self.resolve(rb, fi, base, off_v, bytes as u64, true, is_cap, pc)?;
+                    match kind {
+                        LoadKind::Int => {
+                            let v = self.as_int(rb + src as usize, pc)?;
+                            match size {
+                                MemSize::S1 => self.mem.write_u8(addr, v as u8),
+                                MemSize::S2 => self.mem.write_u16(addr, v as u16),
+                                MemSize::S4 => self.mem.write_u32(addr, v as u32),
+                                MemSize::S8 => self.mem.write_u64(addr, v),
+                            }
+                            .map_err(|err| InterpError::Mem { err, pc })?;
+                        }
+                        LoadKind::F64 => {
+                            let v = self.as_f64(rb + src as usize, pc)?;
+                            self.mem
+                                .write_u64(addr, v.to_bits())
+                                .map_err(|err| InterpError::Mem { err, pc })?;
+                        }
+                        LoadKind::Cap => {
+                            let c = self.as_cap(rb + src as usize, pc)?;
+                            self.mem
+                                .store_cap(addr, c.to_compressed(), c.tag())
+                                .map_err(|err| InterpError::Mem { err, pc })?;
+                        }
+                    }
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        if is_cap {
+                            OpClass::MemCap
+                        } else {
+                            OpClass::MemScalar
+                        },
+                        RetiredInfo::Store {
+                            addr,
+                            size: bytes,
+                            is_cap,
+                        }
+                    );
+                    ip += 1;
+                }
+                Op::Jump { t_ip, t_pc } => {
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::Branch,
+                        RetiredInfo::Branch {
+                            kind: BranchKind::Immediate,
+                            taken: true,
+                            target: t_pc,
+                            pcc_change: false,
+                        }
+                    );
+                    ip = t_ip as usize;
+                }
+                Op::CondBr {
+                    cond,
+                    a,
+                    b,
+                    t_ip,
+                    t_pc,
+                } => {
+                    let av = self.as_int(rb + a as usize, pc)?;
+                    let bv = self.operand_int(rb, b, pc)?;
+                    let taken = cond.eval(av, bv);
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::Branch,
+                        RetiredInfo::Branch {
+                            kind: BranchKind::Immediate,
+                            taken,
+                            target: t_pc,
+                            pcc_change: false,
+                        }
+                    );
+                    ip = if taken { t_ip as usize } else { ip + 1 };
+                }
+                Op::Call {
+                    callee,
+                    args,
+                    ret,
+                    pcc_change,
+                } => {
+                    let target = dec.funcs[callee as usize].base_pc;
+                    rb = self.enter_frame(
+                        sink,
+                        callee,
+                        Some((rb, args)),
+                        ret,
+                        (ip + 1) as u32,
+                        Some((pc, BranchKind::Call, target, pcc_change)),
+                        pc,
+                    )?;
+                    fi = callee as usize;
+                    ip = 0;
+                }
+                Op::CallIndirect { target, args, ret } => {
+                    let taddr = match self.regs[rb + target as usize] {
+                        Value::Int(a) if !self.cap_abi => a,
+                        Value::Cap(c) if self.cap_abi => {
+                            c.check_branch()
+                                .map_err(|fault| self.cap_fault(fault, pc, fi))?;
+                            c.address()
+                        }
+                        _ => {
+                            return Err(InterpError::TypeConfusion {
+                                pc,
+                                expected: "function pointer",
+                            })
+                        }
+                    };
+                    let callee = self
+                        .prog
+                        .map
+                        .func_at(taddr)
+                        .ok_or(InterpError::UnknownCode { addr: taddr, pc })?;
+                    let pcc_change = self.pcc_branches
+                        && dec.funcs[callee.0 as usize].module != dec.funcs[fi].module;
+                    rb = self.enter_frame(
+                        sink,
+                        callee.0,
+                        Some((rb, args)),
+                        ret,
+                        (ip + 1) as u32,
+                        Some((pc, BranchKind::IndirectCall, taddr, pcc_change)),
+                        pc,
+                    )?;
+                    fi = callee.0 as usize;
+                    ip = 0;
+                }
+                Op::Ret { val } => {
+                    let v = val.map(|r| self.regs[rb + r as usize]);
+                    let fr = self.frames.pop().expect("no frame");
+                    let fun = &dec.funcs[fi];
+                    let lr_addr = (self.sp + fun.frame_size) & if self.cap_abi { !15 } else { !0 };
+
+                    // Epilogue: LR reload + SP adjust + return branch.
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        if self.cap_abi {
+                            OpClass::MemCap
+                        } else {
+                            OpClass::MemScalar
+                        },
+                        RetiredInfo::Load {
+                            addr: lr_addr,
+                            size: if self.cap_abi { 16 } else { 8 },
+                            is_cap: self.cap_abi,
+                            dep_load: false,
+                        }
+                    );
+                    if self.cap_abi {
+                        self.mem
+                            .load_cap(lr_addr)
+                            .map_err(|err| InterpError::Mem { err, pc })?;
+                        femit!(self, sink, pc, OpClass::CapManip, RetiredInfo::CapManip);
+                    } else {
+                        self.mem
+                            .read_u64(lr_addr)
+                            .map_err(|err| InterpError::Mem { err, pc })?;
+                        femit!(
+                            self,
+                            sink,
+                            pc,
+                            OpClass::IntAlu,
+                            RetiredInfo::Simple(InstClass::Dp)
+                        );
+                    }
+                    self.sp = fr.saved_sp;
+
+                    match self.frames.last() {
+                        Some(caller) => {
+                            let caller_fun = &dec.funcs[caller.func as usize];
+                            let ret_target = caller_fun.base_pc + u64::from(fr.ret_ip) * 4;
+                            let pcc_change = self.pcc_branches && caller_fun.module != fun.module;
+                            let caller_rb = caller.reg_base as usize;
+                            let caller_func = caller.func as usize;
+                            if let (Some(r), Some(v)) = (fr.ret_reg, v) {
+                                // Return values inherit "recently loaded"
+                                // status conservatively: cleared.
+                                self.regs[caller_rb + r as usize] = v;
+                                self.taints[caller_rb + r as usize] = 0;
+                            }
+                            femit!(
+                                self,
+                                sink,
+                                pc,
+                                if pcc_change {
+                                    OpClass::CapBranch
+                                } else {
+                                    OpClass::Branch
+                                },
+                                RetiredInfo::Branch {
+                                    kind: BranchKind::Return,
+                                    taken: true,
+                                    target: ret_target,
+                                    pcc_change,
+                                }
+                            );
+                            self.regs.truncate(fr.reg_base as usize);
+                            self.taints.truncate(fr.reg_base as usize);
+                            fi = caller_func;
+                            ip = fr.ret_ip as usize;
+                            rb = caller_rb;
+                        }
+                        None => {
+                            // Returning from the entry function ends the
+                            // program.
+                            let code = match v {
+                                Some(Value::Int(v)) => v,
+                                _ => 0,
+                            };
+                            self.exit = Some(code);
+                        }
+                    }
+                }
+                Op::Malloc { dst, size } => {
+                    let sz = self.operand_int(rb, size, pc)?;
+                    self.run_malloc(rb + dst as usize, sz, pc, sink)?;
+                    ip += 1;
+                }
+                Op::Free { ptr } => {
+                    let addr = match self.regs[rb + ptr as usize] {
+                        Value::Int(a) => a,
+                        Value::Cap(c) => c.address(),
+                        Value::F64(_) => {
+                            return Err(InterpError::TypeConfusion {
+                                pc,
+                                expected: "pointer",
+                            })
+                        }
+                    };
+                    self.run_free(addr, pc, sink)?;
+                    ip += 1;
+                }
+                Op::CapOp { op, dst, a, b } => {
+                    let a_idx = rb + a as usize;
+                    let a_taint = self.taints[a_idx];
+                    let result: Value = match op {
+                        CapOpKind::IncOffset => {
+                            let c = self.as_cap(a_idx, pc)?;
+                            let d = self.operand_int(rb, b, pc)? as i64;
+                            Value::Cap(c.inc_address(d))
+                        }
+                        CapOpKind::SetAddr => {
+                            let c = self.as_cap(a_idx, pc)?;
+                            let addr = self.operand_int(rb, b, pc)?;
+                            Value::Cap(c.set_address(addr))
+                        }
+                        CapOpKind::SetBounds => {
+                            let c = self.as_cap(a_idx, pc)?;
+                            let len = self.operand_int(rb, b, pc)?;
+                            Value::Cap(
+                                c.set_bounds(c.address(), len)
+                                    .map_err(|f| self.cap_fault(f, pc, fi))?,
+                            )
+                        }
+                        CapOpKind::SetBoundsExact => {
+                            let c = self.as_cap(a_idx, pc)?;
+                            let len = self.operand_int(rb, b, pc)?;
+                            Value::Cap(
+                                c.set_bounds_exact(c.address(), len)
+                                    .map_err(|f| self.cap_fault(f, pc, fi))?,
+                            )
+                        }
+                        CapOpKind::GetAddr => Value::Int(self.as_cap(a_idx, pc)?.address()),
+                        CapOpKind::GetLen => Value::Int(self.as_cap(a_idx, pc)?.length()),
+                        CapOpKind::GetBase => Value::Int(self.as_cap(a_idx, pc)?.base()),
+                        CapOpKind::GetTag => Value::Int(u64::from(self.as_cap(a_idx, pc)?.tag())),
+                        CapOpKind::AndPerm => {
+                            let c = self.as_cap(a_idx, pc)?;
+                            let mask =
+                                Perms::from_bits_truncate(self.operand_int(rb, b, pc)? as u32);
+                            Value::Cap(c.and_perms(mask).map_err(|f| self.cap_fault(f, pc, fi))?)
+                        }
+                        CapOpKind::SealEntry => {
+                            let c = self.as_cap(a_idx, pc)?;
+                            Value::Cap(c.seal_sentry().map_err(|f| self.cap_fault(f, pc, fi))?)
+                        }
+                        CapOpKind::ClearTag => Value::Cap(self.as_cap(a_idx, pc)?.clear_tag()),
+                    };
+                    self.regs[rb + dst as usize] = result;
+                    self.taints[rb + dst as usize] = a_taint;
+                    femit!(self, sink, pc, OpClass::CapManip, RetiredInfo::CapManip);
+                    ip += 1;
+                }
+                Op::CapOp2 { op, a, auth, dst } => {
+                    let av = self.as_cap(rb + a as usize, pc)?;
+                    let authv = self.as_cap(rb + auth as usize, pc)?;
+                    let r = match op {
+                        CapOp2Kind::Seal => {
+                            av.seal(&authv).map_err(|f| self.cap_fault(f, pc, fi))?
+                        }
+                        CapOp2Kind::Unseal => {
+                            av.unseal(&authv).map_err(|f| self.cap_fault(f, pc, fi))?
+                        }
+                    };
+                    let t = self.taints[rb + a as usize];
+                    self.regs[rb + dst as usize] = Value::Cap(r);
+                    self.taints[rb + dst as usize] = t;
+                    femit!(self, sink, pc, OpClass::CapManip, RetiredInfo::CapManip);
+                    ip += 1;
+                }
+                Op::Halt { code } => {
+                    let c = match code {
+                        Some(r) => self.as_int(rb + r as usize, pc)?,
+                        None => 0,
+                    };
+                    femit!(
+                        self,
+                        sink,
+                        pc,
+                        OpClass::IntAlu,
+                        RetiredInfo::Simple(InstClass::Dp)
+                    );
+                    self.exit = Some(c);
+                }
+                // Profiling marker: no retired instruction, no cycles —
+                // just tell the sink the attribution context changed.
+                Op::Region { id } => {
+                    sink.region(id);
+                    ip += 1;
+                }
+            }
+        }
+        Ok(RunResult {
+            retired: self.retired,
+            exit_code: self.exit.unwrap_or(0),
+            mem_stats: self.mem.stats(),
+            heap_stats: self.heap.stats(),
+            pages_touched: self.mem.pages_touched(),
+            classes: self.classes,
+        })
+    }
+
+    // ---- Runtime intrinsics (same synthetic streams as the reference) -----
+
+    fn run_malloc<S: EventSink>(
+        &mut self,
+        dst_idx: usize,
+        size: u64,
+        pc: u64,
+        sink: &mut S,
+    ) -> Result<(), InterpError> {
+        // Same-bounds PLT stub: no PCC resteer (see the reference for
+        // the Morello rationale).
+        let pcc = false;
+        femit!(
+            self,
+            sink,
+            pc,
+            OpClass::Branch,
+            RetiredInfo::Branch {
+                kind: BranchKind::Call,
+                taken: true,
+                target: RT_MALLOC_PC,
+                pcc_change: pcc,
+            }
+        );
+        let alloc = self
+            .heap
+            .malloc(size)
+            .map_err(|e| InterpError::BadProgram { msg: e.to_string() })?;
+
+        let class = HeapAllocator::size_class(size);
+        let meta = self.prog.map.heap.0 + (class / 16 % META_LINES) * 64;
+        for i in 0..14u64 {
+            femit!(
+                self,
+                sink,
+                RT_MALLOC_PC + i * 4,
+                OpClass::Runtime,
+                RetiredInfo::Simple(InstClass::Dp)
+            );
+        }
+        let cap_meta = self.cap_abi;
+        let meta_sz: u8 = if cap_meta { 16 } else { 8 };
+        femit!(
+            self,
+            sink,
+            RT_MALLOC_PC + 56,
+            OpClass::Runtime,
+            RetiredInfo::Load {
+                addr: meta,
+                size: meta_sz,
+                is_cap: cap_meta,
+                dep_load: false,
+            }
+        );
+        femit!(
+            self,
+            sink,
+            RT_MALLOC_PC + 60,
+            OpClass::Runtime,
+            RetiredInfo::Load {
+                addr: meta + 16,
+                size: meta_sz,
+                is_cap: cap_meta,
+                dep_load: true,
+            }
+        );
+        femit!(
+            self,
+            sink,
+            RT_MALLOC_PC + 64,
+            OpClass::Runtime,
+            RetiredInfo::Store {
+                addr: meta + 16,
+                size: meta_sz,
+                is_cap: cap_meta,
+            }
+        );
+        if self.cap_abi {
+            for i in 0..10u64 {
+                femit!(
+                    self,
+                    sink,
+                    RT_MALLOC_PC + 68 + i * 4,
+                    OpClass::Runtime,
+                    RetiredInfo::CapManip
+                );
+            }
+            for i in 0..26u64 {
+                femit!(
+                    self,
+                    sink,
+                    RT_MALLOC_PC + 108 + i * 4,
+                    OpClass::Runtime,
+                    RetiredInfo::Simple(InstClass::Dp)
+                );
+            }
+            femit!(
+                self,
+                sink,
+                RT_MALLOC_PC + 156,
+                OpClass::Runtime,
+                RetiredInfo::Store {
+                    addr: meta + 32,
+                    size: 16,
+                    is_cap: true,
+                }
+            );
+            let revbm = self.prog.map.heap.0 + (1 << 19) + (alloc.addr >> 10 & 0x3FFFF);
+            femit!(
+                self,
+                sink,
+                RT_MALLOC_PC + 160,
+                OpClass::Runtime,
+                RetiredInfo::Load {
+                    addr: revbm,
+                    size: 8,
+                    is_cap: false,
+                    dep_load: false,
+                }
+            );
+            femit!(
+                self,
+                sink,
+                RT_MALLOC_PC + 164,
+                OpClass::Runtime,
+                RetiredInfo::Load {
+                    addr: revbm + 64,
+                    size: 8,
+                    is_cap: false,
+                    dep_load: true,
+                }
+            );
+            femit!(
+                self,
+                sink,
+                RT_MALLOC_PC + 168,
+                OpClass::Runtime,
+                RetiredInfo::Store {
+                    addr: revbm,
+                    size: 8,
+                    is_cap: false,
+                }
+            );
+            let cap = self
+                .data_root
+                .set_bounds_exact(alloc.addr, alloc.padded)
+                .expect("allocator guarantees representable bounds");
+            self.regs[dst_idx] = Value::Cap(cap);
+        } else {
+            self.regs[dst_idx] = Value::Int(alloc.addr);
+        }
+        self.taints[dst_idx] = 0;
+        femit!(
+            self,
+            sink,
+            RT_MALLOC_PC + 92,
+            OpClass::Runtime,
+            RetiredInfo::Branch {
+                kind: BranchKind::Return,
+                taken: true,
+                target: pc + 4,
+                pcc_change: pcc,
+            }
+        );
+        Ok(())
+    }
+
+    fn run_free<S: EventSink>(
+        &mut self,
+        addr: u64,
+        pc: u64,
+        sink: &mut S,
+    ) -> Result<(), InterpError> {
+        let pcc = false; // see run_malloc
+        femit!(
+            self,
+            sink,
+            pc,
+            OpClass::Branch,
+            RetiredInfo::Branch {
+                kind: BranchKind::Call,
+                taken: true,
+                target: RT_FREE_PC,
+                pcc_change: pcc,
+            }
+        );
+        let outcome = self
+            .heap
+            .free(&mut self.mem, addr)
+            .map_err(|e| InterpError::BadProgram { msg: e.to_string() })?;
+        for i in 0..8u64 {
+            femit!(
+                self,
+                sink,
+                RT_FREE_PC + i * 4,
+                OpClass::Runtime,
+                RetiredInfo::Simple(InstClass::Dp)
+            );
+        }
+        let cap_meta = self.cap_abi;
+        let meta_sz: u8 = if cap_meta { 16 } else { 8 };
+        let meta = self.prog.map.heap.0 + (addr / 64 % META_LINES) * 64;
+        femit!(
+            self,
+            sink,
+            RT_FREE_PC + 32,
+            OpClass::Runtime,
+            RetiredInfo::Load {
+                addr: meta,
+                size: meta_sz,
+                is_cap: cap_meta,
+                dep_load: false,
+            }
+        );
+        femit!(
+            self,
+            sink,
+            RT_FREE_PC + 36,
+            OpClass::Runtime,
+            RetiredInfo::Store {
+                addr: meta,
+                size: meta_sz,
+                is_cap: cap_meta,
+            }
+        );
+        if self.cap_abi {
+            for i in 0..4u64 {
+                femit!(
+                    self,
+                    sink,
+                    RT_FREE_PC + 40 + i * 4,
+                    OpClass::Runtime,
+                    RetiredInfo::CapManip
+                );
+            }
+            for i in 0..6u64 {
+                femit!(
+                    self,
+                    sink,
+                    RT_FREE_PC + 56 + i * 4,
+                    OpClass::Runtime,
+                    RetiredInfo::Simple(InstClass::Dp)
+                );
+            }
+            let revbm = self.prog.map.heap.0 + (1 << 19) + (addr >> 10 & 0x3FFFF);
+            femit!(
+                self,
+                sink,
+                RT_FREE_PC + 80,
+                OpClass::Runtime,
+                RetiredInfo::Load {
+                    addr: revbm,
+                    size: 8,
+                    is_cap: false,
+                    dep_load: false,
+                }
+            );
+            femit!(
+                self,
+                sink,
+                RT_FREE_PC + 84,
+                OpClass::Runtime,
+                RetiredInfo::Store {
+                    addr: revbm,
+                    size: 8,
+                    is_cap: false,
+                }
+            );
+            femit!(
+                self,
+                sink,
+                RT_FREE_PC + 88,
+                OpClass::Runtime,
+                RetiredInfo::Store {
+                    addr: revbm + 64,
+                    size: 8,
+                    is_cap: false,
+                }
+            );
+        }
+        if let Some(sweep) = outcome.sweep {
+            self.emit_sweep(&sweep, sink);
+        }
+        femit!(
+            self,
+            sink,
+            RT_FREE_PC + 48,
+            OpClass::Runtime,
+            RetiredInfo::Branch {
+                kind: BranchKind::Return,
+                taken: true,
+                target: pc + 4,
+                pcc_change: pcc,
+            }
+        );
+        Ok(())
+    }
+
+    fn emit_sweep<S: EventSink>(&mut self, sweep: &SweepOutcome, sink: &mut S) {
+        for i in 0..4u64 {
+            femit!(
+                self,
+                sink,
+                RT_SWEEP_PC + i * 4,
+                OpClass::Meta,
+                RetiredInfo::Simple(InstClass::Dp)
+            );
+        }
+        let mut page_boundary = 0u64;
+        for (i, acc) in sweep.accesses.iter().enumerate() {
+            let pc = RT_SWEEP_PC + 16 + (i as u64 % 48) * 4;
+            if acc.write {
+                femit!(
+                    self,
+                    sink,
+                    pc,
+                    OpClass::Meta,
+                    RetiredInfo::Store {
+                        addr: acc.addr,
+                        size: acc.size,
+                        is_cap: acc.is_cap,
+                    }
+                );
+            } else {
+                femit!(
+                    self,
+                    sink,
+                    pc,
+                    OpClass::Meta,
+                    RetiredInfo::Load {
+                        addr: acc.addr,
+                        size: acc.size,
+                        is_cap: acc.is_cap,
+                        dep_load: false,
+                    }
+                );
+            }
+            femit!(
+                self,
+                sink,
+                pc + 4,
+                OpClass::Meta,
+                RetiredInfo::Simple(InstClass::Dp)
+            );
+            if acc.addr >> 12 != page_boundary {
+                page_boundary = acc.addr >> 12;
+                femit!(
+                    self,
+                    sink,
+                    RT_SWEEP_PC + 16 + 49 * 4,
+                    OpClass::Meta,
+                    RetiredInfo::Branch {
+                        kind: BranchKind::Immediate,
+                        taken: true,
+                        target: RT_SWEEP_PC + 16,
+                        pcc_change: false,
+                    }
+                );
+            }
+        }
+    }
+}

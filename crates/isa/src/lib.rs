@@ -47,11 +47,14 @@ mod abi;
 mod binlayout;
 mod builder;
 mod classify;
+mod decoded;
 mod disasm;
+mod fastexec;
 mod inst;
 mod interp;
 mod lower;
 mod program;
+mod refexec;
 mod trace;
 
 pub use abi::Abi;

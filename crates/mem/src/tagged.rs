@@ -4,6 +4,7 @@ use cheri_cap::CompressedCap;
 use core::fmt;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Page size in bytes (4 KiB, matching CheriBSD's base page size).
 pub const PAGE_SIZE: u64 = 4096;
@@ -90,6 +91,34 @@ impl Page {
     }
 }
 
+/// A multiplicative hasher for page numbers. Every functional access
+/// hashes a page key, and the default SipHash dominates that path; page
+/// numbers are small and well-spread, so a Fibonacci multiply (plus a
+/// shift to fold the high bits the map's bucket index ignores) is
+/// enough. Nothing observable depends on map iteration order: sweep
+/// accessors sort, and `revoke_region` computes order-independent sums.
+#[derive(Clone, Copy, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
 /// A sparse, paged, tagged physical memory.
 ///
 /// Pages are materialised on first touch; the number of touched pages is
@@ -97,7 +126,7 @@ impl Page {
 /// metric in §4.4).
 #[derive(Default)]
 pub struct TaggedMemory {
-    pages: HashMap<u64, Page>,
+    pages: HashMap<u64, Page, BuildHasherDefault<PageHasher>>,
     stats: MemStats,
 }
 
@@ -139,6 +168,15 @@ impl TaggedMemory {
         Self::end_addr(addr, buf.len() as u64)?;
         self.stats.data_reads += 1;
         self.stats.bytes_read += buf.len() as u64;
+        // Scalar accesses almost never straddle a page: resolve the page
+        // once and copy directly. Empty accesses take the general loop,
+        // which touches no page at all.
+        let in_page = (addr & (PAGE_SIZE - 1)) as usize;
+        if !buf.is_empty() && in_page + buf.len() <= PAGE_SIZE as usize {
+            let page = self.page_mut(addr >> PAGE_SHIFT);
+            buf.copy_from_slice(&page.data[in_page..in_page + buf.len()]);
+            return Ok(());
+        }
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
@@ -162,6 +200,27 @@ impl TaggedMemory {
         let end = Self::end_addr(addr, buf.len() as u64)?;
         self.stats.data_writes += 1;
         self.stats.bytes_written += buf.len() as u64;
+        // Single-page fast path: the data write and the tag-invalidation
+        // walk share one page resolution. The granule range of a
+        // single-page write starts at or after the page base, so every
+        // cleared tag lives on this page.
+        let in_page = (addr & (PAGE_SIZE - 1)) as usize;
+        if !buf.is_empty() && in_page + buf.len() <= PAGE_SIZE as usize {
+            let mut cleared = 0u64;
+            let page = self.page_mut(addr >> PAGE_SHIFT);
+            page.data[in_page..in_page + buf.len()].copy_from_slice(buf);
+            let mut g = addr & !(CAP_GRANULE - 1);
+            while g < end {
+                let gi = ((g & (PAGE_SIZE - 1)) / CAP_GRANULE) as usize;
+                if page.tag(gi) {
+                    page.set_tag(gi, false);
+                    cleared += 1;
+                }
+                g += CAP_GRANULE;
+            }
+            self.stats.tags_cleared_by_data += cleared;
+            return Ok(());
+        }
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;

@@ -12,7 +12,7 @@
 //! they reproduce the single-shot [`EventCounts`] exactly — a property
 //! locked by an integration test.
 
-use cheri_isa::{lower, Abi, EventSink, Interp, InterpError, RetiredEvent};
+use cheri_isa::{lower, Abi, EventSink, Interp, InterpError, OpClass, RetiredEvent};
 use cheri_workloads::Workload;
 use morello_pmu::{DerivedMetrics, EventCounts, PmuEvent};
 use morello_sim::{Platform, RunError};
@@ -105,6 +105,14 @@ impl EventSink for IntervalSampler {
     #[inline]
     fn retire(&mut self, ev: RetiredEvent) {
         self.core.retire(ev);
+        if self.core.cycles() >= self.next_boundary {
+            self.flush();
+        }
+    }
+
+    #[inline]
+    fn retire_classified(&mut self, ev: RetiredEvent, class: OpClass) {
+        self.core.retire_classified(ev, class);
         if self.core.cycles() >= self.next_boundary {
             self.flush();
         }

@@ -10,7 +10,7 @@
 //! deterministic, zero-overhead analogue of sampling profilers like
 //! `pmcstat -G` on the real platform.
 
-use cheri_isa::{lower, Abi, EventSink, Interp, InterpError, RetiredEvent};
+use cheri_isa::{lower, Abi, EventSink, Interp, InterpError, OpClass, RetiredEvent};
 use cheri_workloads::Workload;
 use morello_pmu::{fmt_metric, Table};
 use morello_sim::{Platform, RunError};
@@ -138,6 +138,11 @@ impl EventSink for Profiler {
     #[inline]
     fn retire(&mut self, ev: RetiredEvent) {
         self.core.retire(ev);
+    }
+
+    #[inline]
+    fn retire_classified(&mut self, ev: RetiredEvent, class: OpClass) {
+        self.core.retire_classified(ev, class);
     }
 
     fn region(&mut self, id: u32) {

@@ -1,6 +1,35 @@
 //! Set-associative caches and TLBs.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for page numbers (see the TLB index below).
+/// Identical in spirit to FxHash: page keys are small integers, so a
+/// Fibonacci multiply plus a high-bit fold beats SipHash by an order of
+/// magnitude on the TLB hot path. Map iteration order is never
+/// observed — lookups and removals only.
+#[derive(Clone, Copy, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
 
 /// Geometry of a set-associative cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,12 +72,41 @@ pub struct CacheStats {
     pub writebacks: u64,
 }
 
+/// One cache line's metadata, packed into 16 bytes so a 4-way set spans
+/// exactly one host cache line: `meta` holds the tag (a full line
+/// address, at most 58 bits for ≥64-byte lines) with the valid and
+/// dirty flags in the top two bits.
 #[derive(Clone, Copy, Default)]
 struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+    meta: u64,
     lru: u64,
+}
+
+const LINE_VALID: u64 = 1 << 63;
+const LINE_DIRTY: u64 = 1 << 62;
+const LINE_TAG_MASK: u64 = LINE_DIRTY - 1;
+
+impl Line {
+    #[inline]
+    fn valid(self) -> bool {
+        self.meta & LINE_VALID != 0
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.meta & LINE_DIRTY != 0
+    }
+
+    #[inline]
+    fn tag(self) -> u64 {
+        self.meta & LINE_TAG_MASK
+    }
+
+    /// `valid && tag == want` as a single comparison (a hit check).
+    #[inline]
+    fn matches(self, want: u64) -> bool {
+        self.meta & (LINE_VALID | LINE_TAG_MASK) == LINE_VALID | want
+    }
 }
 
 /// A write-back, write-allocate set-associative cache with LRU
@@ -64,6 +122,13 @@ pub struct Cache {
     set_mask: u64,
     line_shift: u32,
     stamp: u64,
+    // Index of the most recently hit/filled line. Tags are full line
+    // addresses (they include the set bits), so a tag match against the
+    // hinted slot is sufficient: that line can only ever live in its own
+    // set. Purely an access-order shortcut, as in [`Tlb`]: a stale hint
+    // falls through to the scan, so hit/miss outcomes, LRU state, and
+    // counters are unchanged.
+    last_hit: usize,
     stats: CacheStats,
 }
 
@@ -77,6 +142,7 @@ impl Cache {
             set_mask: sets - 1,
             line_shift: geo.line.trailing_zeros(),
             stamp: 0,
+            last_hit: 0,
             stats: CacheStats::default(),
         }
     }
@@ -111,11 +177,21 @@ impl Cache {
         self.stats.accesses += 1;
         self.stamp += 1;
         let (set, tag) = self.set_range(addr);
-        let ways = self.geo.ways as usize;
-        for way in &mut self.sets[set..set + ways] {
-            if way.valid && way.tag == tag {
+        debug_assert!(tag <= LINE_TAG_MASK);
+        let dirty = if write { LINE_DIRTY } else { 0 };
+        if let Some(way) = self.sets.get_mut(self.last_hit) {
+            if way.matches(tag) {
                 way.lru = self.stamp;
-                way.dirty |= write;
+                way.meta |= dirty;
+                return (true, None);
+            }
+        }
+        let ways = self.geo.ways as usize;
+        for (i, way) in self.sets[set..set + ways].iter_mut().enumerate() {
+            if way.matches(tag) {
+                way.lru = self.stamp;
+                way.meta |= dirty;
+                self.last_hit = set + i;
                 return (true, None);
             }
         }
@@ -129,8 +205,8 @@ impl Cache {
         self.stamp += 1;
         let (set, tag) = self.set_range(addr);
         let ways = self.geo.ways as usize;
-        for way in &mut self.sets[set..set + ways] {
-            if way.valid && way.tag == tag {
+        for way in &self.sets[set..set + ways] {
+            if way.matches(tag) {
                 return;
             }
         }
@@ -142,29 +218,27 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_range(addr);
         let ways = self.geo.ways as usize;
-        self.sets[set..set + ways]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.sets[set..set + ways].iter().any(|w| w.matches(tag))
     }
 
     fn fill_line(&mut self, set: usize, tag: u64, write: bool) -> Option<u64> {
         let ways = self.geo.ways as usize;
-        let victim = self.sets[set..set + ways]
+        let (slot, victim) = self.sets[set..set + ways]
             .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid() { w.lru } else { 0 })
             .expect("nonzero associativity");
-        let wb = if victim.valid && victim.dirty {
+        let wb = if victim.valid() && victim.dirty() {
             self.stats.writebacks += 1;
-            Some(victim.tag << self.line_shift)
+            Some(victim.tag() << self.line_shift)
         } else {
             None
         };
         *victim = Line {
-            tag,
-            valid: true,
-            dirty: write,
+            meta: tag | LINE_VALID | if write { LINE_DIRTY } else { 0 },
             lru: self.stamp,
         };
+        self.last_hit = set + slot;
         wb
     }
 }
@@ -179,11 +253,24 @@ pub struct TlbStats {
 }
 
 /// A fully associative TLB with LRU replacement over 4 KiB pages.
+///
+/// Lookup goes through a page→slot hash index instead of a linear scan:
+/// the big second-level TLB (1280 entries) made every first-level miss
+/// an O(capacity) walk. Hit/miss outcomes, LRU stamps, and the eviction
+/// choice are untouched — stamps are unique, so the LRU minimum is the
+/// same entry whichever way it is found.
 #[derive(Clone)]
 pub struct Tlb {
-    entries: Vec<(u64, u64)>, // (page, lru)
+    entries: Vec<(u64, u64)>,                                   // (page, lru)
+    index: HashMap<u64, usize, BuildHasherDefault<PageHasher>>, // page → slot
     capacity: usize,
     stamp: u64,
+    // Index of the most recently hit entry. Page locality makes
+    // back-to-back lookups land on the same page, so checking this slot
+    // first skips even the hash lookup on the common path. Purely an
+    // access-order shortcut: a stale hint just falls through, so
+    // hit/miss outcomes, LRU state, and counters are unchanged.
+    last_hit: usize,
     stats: TlbStats,
 }
 
@@ -192,8 +279,10 @@ impl Tlb {
     pub fn new(entries: u32) -> Tlb {
         Tlb {
             entries: Vec::with_capacity(entries as usize),
+            index: HashMap::with_capacity_and_hasher(entries as usize, Default::default()),
             capacity: entries as usize,
             stamp: 0,
+            last_hit: 0,
             stats: TlbStats::default(),
         }
     }
@@ -208,8 +297,15 @@ impl Tlb {
         self.stats.accesses += 1;
         self.stamp += 1;
         let page = addr >> 12;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.stamp;
+        if let Some(e) = self.entries.get_mut(self.last_hit) {
+            if e.0 == page {
+                e.1 = self.stamp;
+                return true;
+            }
+        }
+        if let Some(&idx) = self.index.get(&page) {
+            self.entries[idx].1 = self.stamp;
+            self.last_hit = idx;
             return true;
         }
         self.stats.refills += 1;
@@ -220,9 +316,15 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, (_, lru))| *lru)
                 .expect("nonempty TLB");
-            self.entries.swap_remove(idx);
+            let (evicted, _) = self.entries.swap_remove(idx);
+            self.index.remove(&evicted);
+            if let Some(&(moved, _)) = self.entries.get(idx) {
+                self.index.insert(moved, idx);
+            }
         }
         self.entries.push((page, self.stamp));
+        self.index.insert(page, self.entries.len() - 1);
+        self.last_hit = self.entries.len() - 1;
         false
     }
 }

@@ -88,7 +88,27 @@ pub struct TimingCore {
     last_fetch_line: u64,
     last_fetch_page: u64,
     prev_was_mul: bool,
+    // `cycles()` as of the end of the previous retire: buckets only
+    // change inside `retire`, so the next event's "cycles before" is the
+    // previous event's "cycles after" — caching it halves the number of
+    // bucket summations on the hot path without changing any value.
+    cycles_after_last_retire: u64,
+    // `1.0 / issue_width`, computed once: the quotient is the same f64
+    // every retire, so dividing up front instead of per event changes
+    // nothing downstream.
+    issue_slot_cost: f64,
     s: UarchStats,
+}
+
+/// Adds `amount` to one bucket and the running cycle clock, exactly as
+/// the old fn-pointer `charge` helper did (same two f64 additions in the
+/// same order), but monomorphised per bucket field.
+macro_rules! charge {
+    ($self:ident, $amount:expr, $field:ident) => {{
+        let amount = $amount;
+        $self.buckets.$field += amount;
+        $self.cycle += amount;
+    }};
 }
 
 impl TimingCore {
@@ -116,6 +136,8 @@ impl TimingCore {
             last_fetch_line: u64::MAX,
             last_fetch_page: u64::MAX,
             prev_was_mul: false,
+            cycles_after_last_retire: 0,
+            issue_slot_cost: 1.0 / cfg.issue_width as f64,
             cfg,
             s: UarchStats::default(),
         }
@@ -169,12 +191,6 @@ impl TimingCore {
         self.buckets.total().ceil() as u64
     }
 
-    #[inline]
-    fn charge(&mut self, amount: f64, bucket: fn(&mut Buckets) -> &mut f64) {
-        *bucket(&mut self.buckets) += amount;
-        self.cycle += amount;
-    }
-
     // ---- Instruction fetch -------------------------------------------------
 
     fn fetch(&mut self, pc: u64) {
@@ -192,17 +208,17 @@ impl TimingCore {
                 _ => self.cfg.lat_dram,
             } as f64;
             // Fetch-ahead hides part of the refill latency.
-            self.charge(pen * 0.7, |b| &mut b.frontend);
+            charge!(self, pen * 0.7, frontend);
         }
         let page = pc >> 12;
         if page != self.last_fetch_page {
             self.last_fetch_page = page;
             if !self.itlb.access(pc) {
                 if self.l2tlb.access(pc) {
-                    self.charge(self.cfg.lat_l2_tlb as f64, |b| &mut b.frontend);
+                    charge!(self, self.cfg.lat_l2_tlb as f64, frontend);
                 } else {
                     self.s.itlb_walk += 1;
-                    self.charge(self.cfg.tlb_walk_cycles as f64, |b| &mut b.frontend);
+                    charge!(self, self.cfg.tlb_walk_cycles as f64, frontend);
                 }
             }
         }
@@ -232,10 +248,10 @@ impl TimingCore {
     fn dtlb_lookup(&mut self, addr: u64) {
         if !self.dtlb.access(addr) {
             if self.l2tlb.access(addr) {
-                self.charge(self.cfg.lat_l2_tlb as f64, |b| &mut b.mem_l1);
+                charge!(self, self.cfg.lat_l2_tlb as f64, mem_l1);
             } else {
                 self.s.dtlb_walk += 1;
-                self.charge(self.cfg.tlb_walk_cycles as f64, |b| &mut b.mem_ext);
+                charge!(self, self.cfg.tlb_walk_cycles as f64, mem_ext);
             }
         }
     }
@@ -278,7 +294,7 @@ impl TimingCore {
         if !self.tag_cache.access(tag_addr, false) {
             self.s.tag_cache_miss += 1;
             let extra = self.cfg.tag_miss_penalty as f64 / self.cfg.mlp_streaming as f64;
-            self.charge(extra, |b| &mut b.mem_ext);
+            charge!(self, extra, mem_ext);
         }
     }
 
@@ -300,25 +316,44 @@ impl TimingCore {
         if is_cap && served == Served::Dram {
             self.tag_table_access(addr);
         }
-        let base = match served {
-            Served::L1 => 0.0,
-            Served::L2 => (self.cfg.lat_l2 - self.cfg.lat_l1) as f64,
-            Served::Llc => (self.cfg.lat_llc - self.cfg.lat_l1) as f64,
-            Served::Dram => (self.cfg.lat_dram - self.cfg.lat_l1) as f64 + self.dram_queue_delay(),
-        };
-        let exposed = if dep {
-            base + self.cfg.chase_l1_penalty
-        } else {
-            base / self.cfg.mlp_streaming as f64
-        };
+        // Exposed latency: a dependent (pointer-chasing) access pays the
+        // full level latency plus the chase penalty; a streaming access
+        // amortises it across the memory-level parallelism window. The
+        // common case — a non-dependent L1 hit — charges nothing, so its
+        // (zero) exposed latency is never computed.
         match served {
             Served::L1 => {
                 if dep {
-                    self.charge(exposed, |b| &mut b.mem_l1);
+                    charge!(self, 0.0 + self.cfg.chase_l1_penalty, mem_l1);
                 }
             }
-            Served::L2 => self.charge(exposed, |b| &mut b.mem_l2),
-            Served::Llc | Served::Dram => self.charge(exposed, |b| &mut b.mem_ext),
+            Served::L2 => {
+                let base = (self.cfg.lat_l2 - self.cfg.lat_l1) as f64;
+                let exposed = if dep {
+                    base + self.cfg.chase_l1_penalty
+                } else {
+                    base / self.cfg.mlp_streaming as f64
+                };
+                charge!(self, exposed, mem_l2);
+            }
+            Served::Llc => {
+                let base = (self.cfg.lat_llc - self.cfg.lat_l1) as f64;
+                let exposed = if dep {
+                    base + self.cfg.chase_l1_penalty
+                } else {
+                    base / self.cfg.mlp_streaming as f64
+                };
+                charge!(self, exposed, mem_ext);
+            }
+            Served::Dram => {
+                let base = (self.cfg.lat_dram - self.cfg.lat_l1) as f64 + self.dram_queue_delay();
+                let exposed = if dep {
+                    base + self.cfg.chase_l1_penalty
+                } else {
+                    base / self.cfg.mlp_streaming as f64
+                };
+                charge!(self, exposed, mem_ext);
+            }
         }
     }
 
@@ -365,7 +400,7 @@ impl TimingCore {
                 .expect("store buffer cannot be empty while over capacity");
             if t > self.cycle {
                 let stall = t - self.cycle;
-                self.charge(stall, |b| &mut b.sb_stall);
+                charge!(self, stall, sb_stall);
             }
         }
         let completion = self.cycle.max(self.last_store_completion) + service;
@@ -401,12 +436,12 @@ impl TimingCore {
         };
         if mispredicted {
             self.s.br_mis_pred_retired += 1;
-            self.charge(self.cfg.mispredict_penalty as f64, |b| &mut b.badspec);
+            charge!(self, self.cfg.mispredict_penalty as f64, badspec);
         }
         if pcc {
             self.s.pcc_change_branches += 1;
             if !self.cfg.pcc_aware_branch_predictor {
-                self.charge(self.cfg.pcc_change_stall as f64, |b| &mut b.pcc);
+                charge!(self, self.cfg.pcc_change_stall as f64, pcc);
             }
         }
         if taken {
@@ -430,19 +465,25 @@ impl TimingCore {
     }
 }
 
-impl EventSink for TimingCore {
-    fn retire(&mut self, ev: RetiredEvent) {
-        // Per-opcode-class attribution: everything this instruction
-        // charges (fetch, issue, execute, memory, resteers) lands in the
-        // cycles() delta across the call, so per-class cycles telescope
-        // exactly to CPU_CYCLES and retired counts to INST_RETIRED.
-        let opclass = OpClass::of(ev.pc, &ev.info);
-        let cycles_before = self.cycles();
+impl TimingCore {
+    /// The shared retire body behind both [`EventSink`] entry points.
+    ///
+    /// Per-opcode-class attribution: everything this instruction
+    /// charges (fetch, issue, execute, memory, resteers) lands in the
+    /// cycles() delta across the call, so per-class cycles telescope
+    /// exactly to CPU_CYCLES and retired counts to INST_RETIRED.
+    fn retire_with_class(&mut self, ev: RetiredEvent, opclass: OpClass) {
+        debug_assert_eq!(opclass, OpClass::of(ev.pc, &ev.info));
+        // Buckets change only inside this function, so the cached
+        // post-retire reading from the previous event is exactly
+        // `self.cycles()` now.
+        let cycles_before = self.cycles_after_last_retire;
+        debug_assert_eq!(cycles_before, self.cycles());
         self.s.inst_retired += 1;
         self.s.inst_spec += 1;
         self.fetch(ev.pc);
         // Every instruction consumes one issue slot.
-        self.charge(1.0 / self.cfg.issue_width as f64, |b| &mut b.retire);
+        charge!(self, self.issue_slot_cost, retire);
 
         let mut is_mul = false;
         match ev.info {
@@ -454,7 +495,7 @@ impl EventSink for TimingCore {
                     _ => 0.0,
                 };
                 if cost > 0.0 {
-                    self.charge(cost, |b| &mut b.core);
+                    charge!(self, cost, core);
                 }
             }
             RetiredInfo::LongLatency { class, extra } => {
@@ -463,14 +504,14 @@ impl EventSink for TimingCore {
                 // Long-latency ops expose a fraction of their latency as
                 // execution-resource pressure (out-of-order execution
                 // overlaps independent long ops).
-                self.charge(extra as f64 * 0.3, |b| &mut b.core);
+                charge!(self, extra as f64 * 0.3, core);
             }
             RetiredInfo::CapManip => {
                 self.count_class(InstClass::Dp);
                 self.s.cap_manip_spec += 1;
                 let fused = self.cfg.cap_madd_fusion && self.prev_was_mul;
                 if !fused {
-                    self.charge(self.cfg.cap_manip_core_cost, |b| &mut b.core);
+                    charge!(self, self.cfg.cap_manip_core_cost, core);
                 }
             }
             RetiredInfo::Load {
@@ -491,7 +532,21 @@ impl EventSink for TimingCore {
             }
         }
         self.prev_was_mul = is_mul;
-        self.s.opc_attribute(opclass, self.cycles() - cycles_before);
+        let cycles_after = self.cycles();
+        self.s.opc_attribute(opclass, cycles_after - cycles_before);
+        self.cycles_after_last_retire = cycles_after;
+    }
+}
+
+impl EventSink for TimingCore {
+    fn retire(&mut self, ev: RetiredEvent) {
+        let opclass = OpClass::of(ev.pc, &ev.info);
+        self.retire_with_class(ev, opclass);
+    }
+
+    #[inline]
+    fn retire_classified(&mut self, ev: RetiredEvent, class: OpClass) {
+        self.retire_with_class(ev, class);
     }
 }
 

@@ -1,0 +1,79 @@
+//! Cross-engine timing differential: the pre-decoded fast engine and
+//! the reference executor must drive the [`TimingCore`] to *identical*
+//! [`UarchStats`] — every counter, not just totals — and the per-class
+//! attribution must partition the run on both engines
+//! (`Σ opc_*_retired == inst_retired`, `Σ opc_*_cycles == cpu_cycles`).
+//!
+//! This complements `cheri-isa`'s `tests/differential.rs` (which locks
+//! the raw event streams): here the full microarchitectural model
+//! consumes the streams, so any divergence in event payloads, class
+//! hints, or ordering shows up as a counter mismatch.
+
+use cheri_isa::{lower, Abi, Interp, InterpConfig};
+use cheri_workloads::{by_key, Scale};
+use morello_uarch::{TimingCore, UarchConfig, UarchStats};
+
+const KEYS: [&str; 5] = [
+    "lbm_519",
+    "omnetpp_520",
+    "xz_557",
+    "quickjs",
+    "alloc_stress",
+];
+
+fn partition_checks(s: &UarchStats, ctx: &str) {
+    let retired = s.opc_int_alu_retired
+        + s.opc_cap_manip_retired
+        + s.opc_mem_scalar_retired
+        + s.opc_mem_cap_retired
+        + s.opc_branch_retired
+        + s.opc_cap_branch_retired
+        + s.opc_runtime_retired
+        + s.opc_meta_retired;
+    assert_eq!(retired, s.inst_retired, "{ctx}: class retired partition");
+    let cycles = s.opc_int_alu_cycles
+        + s.opc_cap_manip_cycles
+        + s.opc_mem_scalar_cycles
+        + s.opc_mem_cap_cycles
+        + s.opc_branch_cycles
+        + s.opc_cap_branch_cycles
+        + s.opc_runtime_cycles
+        + s.opc_meta_cycles;
+    assert_eq!(cycles, s.cpu_cycles, "{ctx}: class cycle partition");
+}
+
+#[test]
+fn both_engines_produce_identical_uarch_stats() {
+    for key in KEYS {
+        let w = by_key(key).expect("registry workload");
+        for abi in Abi::ALL {
+            if !w.supports(abi) {
+                continue;
+            }
+            let prog = lower(&w.build(abi, Scale::Test));
+            let interp = Interp::new(InterpConfig::default());
+
+            let mut fast_core = TimingCore::new(UarchConfig::neoverse_n1_morello());
+            let fast_res = interp.run(&prog, &mut fast_core).expect("fast run");
+            let fast = fast_core.finish();
+
+            let mut ref_core = TimingCore::new(UarchConfig::neoverse_n1_morello());
+            let ref_res = interp
+                .run_reference(&prog, &mut ref_core)
+                .expect("reference run");
+            let reference = ref_core.finish();
+
+            let ctx = format!("{key}/{abi}");
+            assert_eq!(fast_res.retired, ref_res.retired, "{ctx}: retired");
+            assert_eq!(
+                fast, reference,
+                "{ctx}: UarchStats must be identical across engines"
+            );
+            assert_eq!(
+                fast.inst_retired, fast_res.retired,
+                "{ctx}: timing core saw every retirement"
+            );
+            partition_checks(&fast, &ctx);
+        }
+    }
+}

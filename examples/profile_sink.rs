@@ -1,0 +1,93 @@
+//! Microbenchmark: per-event cost of TimingCore by event-mix variant.
+use cheri_isa::{BranchKind, EventSink, InstClass, OpClass, RetiredEvent, RetiredInfo};
+use morello_uarch::{TimingCore, UarchConfig};
+use std::time::Instant;
+
+const N: u64 = 4_000_000;
+
+fn run(name: &str, mut ev: impl FnMut(u64) -> RetiredEvent) {
+    let mut core = TimingCore::new(UarchConfig::neoverse_n1_morello());
+    // warmup
+    for i in 0..100_000 {
+        let e = ev(i);
+        core.retire_classified(e, OpClass::of(e.pc, &e.info));
+    }
+    let t0 = Instant::now();
+    for i in 0..N {
+        let e = ev(i);
+        core.retire_classified(e, OpClass::of(e.pc, &e.info));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "{name:28} {:6.1}M ev/s  {:5.1} ns/ev",
+        N as f64 / dt / 1e6,
+        dt / N as f64 * 1e9
+    );
+    std::hint::black_box(core.finish());
+}
+
+fn main() {
+    // Sequential code in a 1 KiB loop: all IntAlu.
+    run("intalu/loop", |i| RetiredEvent {
+        pc: 0x1000 + (i % 256) * 4,
+        info: RetiredInfo::Simple(InstClass::Dp),
+    });
+    // Loads, all to one hot line (L1 hit, same page).
+    run("load/hot-line", |i| RetiredEvent {
+        pc: 0x1000 + (i % 256) * 4,
+        info: RetiredInfo::Load {
+            addr: 0x10000,
+            size: 8,
+            is_cap: false,
+            dep_load: false,
+        },
+    });
+    // Loads streaming over 64 MiB (misses to DRAM every 8th).
+    run("load/stream-64M", |i| RetiredEvent {
+        pc: 0x1000 + (i % 256) * 4,
+        info: RetiredInfo::Load {
+            addr: 0x100_0000 + (i * 8) % (64 << 20),
+            size: 8,
+            is_cap: false,
+            dep_load: false,
+        },
+    });
+    // Loads over a 256 KiB set (fits L2, misses L1).
+    run("load/l2-set", |i| RetiredEvent {
+        pc: 0x1000 + (i % 256) * 4,
+        info: RetiredInfo::Load {
+            addr: 0x100_0000 + (i * 64) % (256 << 10),
+            size: 8,
+            is_cap: false,
+            dep_load: false,
+        },
+    });
+    // Stores to one hot line.
+    run("store/hot-line", |i| RetiredEvent {
+        pc: 0x1000 + (i % 256) * 4,
+        info: RetiredInfo::Store {
+            addr: 0x10000,
+            size: 8,
+            is_cap: false,
+        },
+    });
+    // Taken branch closing a 64-inst loop.
+    run("branch/loop", |i| {
+        if i % 16 == 15 {
+            RetiredEvent {
+                pc: 0x1000 + 15 * 4,
+                info: RetiredInfo::Branch {
+                    kind: BranchKind::Immediate,
+                    taken: true,
+                    target: 0x1000,
+                    pcc_change: false,
+                },
+            }
+        } else {
+            RetiredEvent {
+                pc: 0x1000 + (i % 16) * 4,
+                info: RetiredInfo::Simple(InstClass::Dp),
+            }
+        }
+    });
+}

@@ -1,0 +1,50 @@
+//! Quick timing split: interp-with-NullSink vs interp-with-TimingCore.
+use cheri_isa::{lower, Abi, Interp, InterpConfig, NullSink};
+use cheri_workloads::{by_key, Scale};
+use morello_uarch::{TimingCore, UarchConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale = match std::env::var("SCALE").as_deref() {
+        Ok("default") => Scale::Default,
+        Ok("small") => Scale::Small,
+        _ => Scale::Test,
+    };
+    for key in [
+        "lbm_519",
+        "omnetpp_520",
+        "xz_557",
+        "quickjs",
+        "alloc_stress",
+    ] {
+        let w = by_key(key).unwrap();
+        for abi in [Abi::Hybrid, Abi::Purecap] {
+            if !w.supports(abi) {
+                continue;
+            }
+            let prog = lower(&w.build(abi, scale));
+            let interp = Interp::new(InterpConfig::default());
+            // warmup
+            let r = interp.run(&prog, &mut NullSink).unwrap();
+            let t0 = Instant::now();
+            for _ in 0..5 {
+                interp.run(&prog, &mut NullSink).unwrap();
+            }
+            let null_t = t0.elapsed().as_secs_f64() / 5.0;
+            let t0 = Instant::now();
+            for _ in 0..5 {
+                let mut core = TimingCore::new(UarchConfig::neoverse_n1_morello());
+                interp.run(&prog, &mut core).unwrap();
+                core.finish();
+            }
+            let core_t = t0.elapsed().as_secs_f64() / 5.0;
+            println!(
+                "{key:14} {abi:10} retired={:9} null={:7.1}M/s timed={:7.1}M/s sink_share={:.0}%",
+                r.retired,
+                r.retired as f64 / null_t / 1e6,
+                r.retired as f64 / core_t / 1e6,
+                (core_t - null_t) / core_t * 100.0
+            );
+        }
+    }
+}
