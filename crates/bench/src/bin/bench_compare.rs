@@ -1,5 +1,5 @@
 //! `bench_compare`: the perf-regression gate over two
-//! `BENCH_interp.json` files.
+//! `BENCH_interp.json` — or two `BENCH_service.json` — files.
 //!
 //! Diffs the deterministic `model` sections (retired, cycles, simulated
 //! seconds, per-opcode-class attribution, cache hit rate) and exits
@@ -19,22 +19,48 @@
 //!     --threshold 10 --min-host-rate 5e7
 //! ```
 //!
+//! Both documents of a run must be the same kind: a document whose
+//! top-level `kind` is `"service"` parses as a `ServiceReport` and is
+//! gated on `morello_serve::service_metrics` (per-ABI capacity plus
+//! throughput and p99 at every load point — all deterministic);
+//! anything else parses as a `BenchReport`. `--min-host-rate` applies
+//! to interpreter reports only.
+//!
 //! Exit codes: 0 = within threshold, 1 = regression or floor violation,
 //! 2 = usage/schema error.
 
-use morello_bench::speed::{compare, diff_table, host_rate_floor, BenchReport};
+use morello_bench::speed::{
+    compare, compare_metric_sets, diff_table, host_rate_floor, BenchReport, CompareOutcome,
+};
 use morello_pmu::fmt_metric;
+use morello_serve::{service_metrics, ServiceReport};
 use std::path::Path;
 
-fn load(path: &str) -> BenchReport {
-    let text = std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| {
+fn load_text(path: &str) -> String {
+    std::fs::read_to_string(Path::new(path)).unwrap_or_else(|e| {
         eprintln!("could not read {path}: {e}");
         std::process::exit(2);
-    });
-    serde_json::from_str(&text).unwrap_or_else(|e| {
+    })
+}
+
+fn parse<T: serde::Deserialize>(path: &str, text: &str) -> T {
+    serde_json::from_str(text).unwrap_or_else(|e| {
         eprintln!("could not parse {path}: {e}");
         std::process::exit(2);
     })
+}
+
+fn is_service(text: &str) -> bool {
+    let Ok(value) = serde_json::from_str::<serde::Value>(text) else {
+        return false;
+    };
+    let serde::Value::Map(entries) = &value else {
+        return false;
+    };
+    matches!(
+        serde::map_get(entries, "kind"),
+        Some(serde::Value::Str(kind)) if kind == "service"
+    )
 }
 
 fn main() {
@@ -73,23 +99,57 @@ fn main() {
         std::process::exit(2);
     };
 
-    let base = load(base_path);
-    let new = load(new_path);
-    if base.schema_version != new.schema_version {
-        eprintln!(
-            "schema mismatch: baseline v{} vs candidate v{} — regenerate the baseline",
-            base.schema_version, new.schema_version
-        );
-        std::process::exit(2);
-    }
+    let base_text = load_text(base_path);
+    let new_text = load_text(new_path);
+    let service = match (is_service(&base_text), is_service(&new_text)) {
+        (true, true) => true,
+        (false, false) => false,
+        _ => {
+            eprintln!(
+                "kind mismatch: one file is a service report and the other is not — \
+                 compare like with like"
+            );
+            std::process::exit(2);
+        }
+    };
 
     let mut failed = false;
-    let outcome = compare(&base, &new, threshold);
+    let outcome: CompareOutcome;
+    let mut host_gate: Option<BenchReport> = None;
+    if service {
+        let base: ServiceReport = parse(base_path, &base_text);
+        let new: ServiceReport = parse(new_path, &new_text);
+        if base.schema_version != new.schema_version {
+            eprintln!(
+                "schema mismatch: baseline v{} vs candidate v{} — regenerate the baseline",
+                base.schema_version, new.schema_version
+            );
+            std::process::exit(2);
+        }
+        if min_host_rate.is_some() {
+            eprintln!("--min-host-rate does not apply to service reports");
+            std::process::exit(2);
+        }
+        outcome = compare_metric_sets(&service_metrics(&base), &service_metrics(&new), threshold);
+    } else {
+        let base: BenchReport = parse(base_path, &base_text);
+        let new: BenchReport = parse(new_path, &new_text);
+        if base.schema_version != new.schema_version {
+            eprintln!(
+                "schema mismatch: baseline v{} vs candidate v{} — regenerate the baseline",
+                base.schema_version, new.schema_version
+            );
+            std::process::exit(2);
+        }
+        outcome = compare(&base, &new, threshold);
+        host_gate = Some(new);
+    }
+    let section = if service { "service" } else { "model" };
     if outcome.diffs.is_empty() && outcome.regressions.is_empty() {
-        println!("bench_compare: model sections identical (threshold {threshold}%)");
+        println!("bench_compare: {section} sections identical (threshold {threshold}%)");
     } else {
         if !outcome.diffs.is_empty() {
-            println!("model metrics that moved:");
+            println!("{section} metrics that moved:");
             println!("{}", diff_table(&outcome.diffs).render());
         }
         if outcome.regressions.is_empty() {
@@ -107,8 +167,8 @@ fn main() {
         }
     }
 
-    if let Some(min) = min_host_rate {
-        let violations = host_rate_floor(&new, min);
+    if let (Some(min), Some(new)) = (min_host_rate, &host_gate) {
+        let violations = host_rate_floor(new, min);
         if violations.is_empty() {
             println!(
                 "bench_compare: engine-leg host_insts_per_sec >= {} on every ABI",

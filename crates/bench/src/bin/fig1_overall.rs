@@ -8,15 +8,15 @@
 //! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
 //! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
-use morello_bench::{experiments, harness_runner, human, suite_rows, write_json};
+use morello_bench::{experiments, harness_runner, human, suite_rows, BenchCli};
 
 fn main() {
-    let _trace = morello_bench::init_trace();
+    let cli = BenchCli::parse("fig1_overall");
     let runner = harness_runner();
     let rows = suite_rows(&runner, None);
     let _report = morello_bench::trace_phase(concat!("report ", env!("CARGO_BIN_NAME")), "report");
     let (table, data) = experiments::fig1_overall(&rows);
     human!("Figure 1: execution time normalised to the hybrid ABI");
     human!("{}", table.render());
-    write_json("fig1_overall", &data);
+    cli.write_json(&data);
 }

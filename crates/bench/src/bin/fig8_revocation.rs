@@ -13,7 +13,7 @@
 //! JSONL run records incl. wall-time), `--out <path>` (JSON artefact;
 //! `-` = stdout), `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
-use morello_bench::{experiments, harness_runner, human, jobs_from_env, write_json};
+use morello_bench::{experiments, harness_runner, human, BenchCli};
 use morello_obs::JsonlJournal;
 use morello_sim::suite::{run_suite_traced, select, SuiteConfig, SuiteRow};
 use morello_sim::{ProgramCache, Runner, StrategyKind};
@@ -22,20 +22,12 @@ use morello_sim::{ProgramCache, Runner, StrategyKind};
 const THRESHOLDS_KIB: [u64; 4] = [16, 32, 64, 256];
 
 fn main() {
-    let _trace = morello_bench::init_trace();
+    let cli = BenchCli::parse("fig8_revocation");
     let base = harness_runner();
     let workloads = select(&["alloc_stress"]);
     let cache = ProgramCache::new();
-    let config = SuiteConfig::with_jobs(jobs_from_env());
-    let args: Vec<String> = std::env::args().collect();
-    let mut journal = morello_pmu::journal_flag(&args).map(|path| {
-        let j = JsonlJournal::append(&path).unwrap_or_else(|e| {
-            eprintln!("could not open journal {}: {e}", path.display());
-            std::process::exit(1);
-        });
-        eprintln!("(run journal: {})", path.display());
-        j
-    });
+    let config = SuiteConfig::with_jobs(cli.jobs);
+    let mut journal = cli.open_journal();
 
     let started = std::time::Instant::now();
     let mut sets: Vec<(u64, Vec<SuiteRow>)> = Vec::new();
@@ -76,5 +68,5 @@ fn main() {
     let (table, points) = experiments::fig8_revocation(&sets);
     human!("Figure 8: revocation overhead vs quarantine threshold (alloc_stress)");
     human!("{}", table.render());
-    write_json("fig8_revocation", &points);
+    cli.write_json(&points);
 }

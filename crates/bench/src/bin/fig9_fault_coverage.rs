@@ -18,7 +18,7 @@
 //! `--trace <path>` (phase trace: Chrome JSON + JSONL).
 
 use cheri_workloads::Scale;
-use morello_bench::{exit_with_error, human, jobs_from_env, scale_from_env, write_json};
+use morello_bench::{exit_with_error, human, BenchCli};
 use morello_fault::{coverage_table, run_coverage, CampaignConfig, RecoveryPolicy};
 use morello_sim::suite::select;
 use morello_sim::Platform;
@@ -27,18 +27,17 @@ use morello_sim::Platform;
 const KEYS: [&str; 3] = ["omnetpp_520", "xz_557", "sqlite"];
 
 fn main() {
-    let _trace = morello_bench::init_trace();
-    let scale = scale_from_env();
-    let platform = Platform::morello().with_scale(scale);
+    let cli = BenchCli::parse("fig9_fault_coverage");
+    let platform = Platform::morello().with_scale(cli.scale);
     let workloads = select(&KEYS);
     let config = CampaignConfig {
         seed: 0x5EED_FA17,
         rates_per_million: vec![50, 200, 800],
         // Test scale keeps the CI determinism diff quick; the larger
         // scales buy tighter rate estimates.
-        trials: if scale == Scale::Test { 2 } else { 3 },
+        trials: if cli.scale == Scale::Test { 2 } else { 3 },
         policy: RecoveryPolicy::SkipFaultingOp,
-        jobs: jobs_from_env(),
+        jobs: cli.jobs,
     };
     let started = std::time::Instant::now();
     let report = {
@@ -66,5 +65,5 @@ fn main() {
     let trapped: u64 = report.cells.iter().map(|c| u64::from(c.trapped_runs)).sum();
     let silent: u64 = report.cells.iter().map(|c| u64::from(c.silent_runs)).sum();
     human!("total trapped runs: {trapped}; total silent corruptions: {silent}");
-    write_json("fig9_fault_coverage", &report);
+    cli.write_json(&report);
 }

@@ -10,8 +10,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod experiments;
 pub mod speed;
+
+pub use cli::{flag_present, BenchCli};
 
 use cheri_workloads::{registry, Scale};
 use morello_obs::{JsonlJournal, Tracer};

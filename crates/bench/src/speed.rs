@@ -516,11 +516,21 @@ pub fn model_metrics(report: &BenchReport) -> Vec<(String, f64)> {
 /// or suspiciously faster) lands in `regressions`, as does a metric
 /// present in only one report.
 pub fn compare(base: &BenchReport, new: &BenchReport, threshold_pct: f64) -> CompareOutcome {
-    let base_metrics = model_metrics(base);
-    let new_metrics = model_metrics(new);
+    compare_metric_sets(&model_metrics(base), &model_metrics(new), threshold_pct)
+}
+
+/// The generic deterministic-metric gate behind [`compare`]: diffs two
+/// named metric sets against a percent threshold. Shared by the
+/// `BENCH_interp.json` gate (via [`model_metrics`]) and the
+/// `BENCH_service.json` gate (via `morello_serve::service_metrics`).
+pub fn compare_metric_sets(
+    base_metrics: &[(String, f64)],
+    new_metrics: &[(String, f64)],
+    threshold_pct: f64,
+) -> CompareOutcome {
     let mut diffs = Vec::new();
     let mut regressions = Vec::new();
-    for (name, b) in &base_metrics {
+    for (name, b) in base_metrics {
         let Some((_, n)) = new_metrics.iter().find(|(k, _)| k == name) else {
             regressions.push(MetricDiff {
                 metric: format!("{name} (missing from candidate)"),
@@ -552,7 +562,7 @@ pub fn compare(base: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Com
             diffs.push(d);
         }
     }
-    for (name, n) in &new_metrics {
+    for (name, n) in new_metrics {
         if !base_metrics.iter().any(|(k, _)| k == name) {
             regressions.push(MetricDiff {
                 metric: format!("{name} (missing from baseline)"),

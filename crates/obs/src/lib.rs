@@ -24,6 +24,11 @@
 //!   JSONL and as Chrome `trace_event` JSON for
 //!   `chrome://tracing`/Perfetto — the `--trace` flag of every
 //!   experiment binary.
+//! * **Latency quantiles** ([`LogHistogram`]): a fixed-layout
+//!   log-bucket histogram (HDR-style, 16 sub-buckets per octave) whose
+//!   merges are exact — per-thread shards fold into the histogram a
+//!   single thread would have recorded, which is what keeps the serving
+//!   simulation's p50/p99/p999 byte-identical across `--jobs` counts.
 //!
 //! ```no_run
 //! use cheri_isa::Abi;
@@ -41,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hist;
 mod interval;
 mod journal;
 mod profile;
 mod trace;
 
+pub use hist::{LogHistogram, BUCKETS, SUB_BUCKETS};
 pub use interval::{run_sampled, IntervalSample, IntervalSampler, SampledRun};
 pub use journal::{read_journal, JsonlJournal};
 pub use profile::{

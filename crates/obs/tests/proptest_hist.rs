@@ -1,0 +1,69 @@
+//! Property tests for [`LogHistogram`]: sharding a sample stream over
+//! any number of per-thread histograms and merging the shards must be
+//! *exactly* the histogram of the unsharded stream — the invariant the
+//! serving simulation's `--jobs`-independent quantiles rest on — and
+//! quantile estimates must bracket the exact order statistic within the
+//! bucket quantisation error.
+
+use morello_obs::{LogHistogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// `(sample, shard label)` pairs: values span unit buckets through deep
+/// octaves; the shard label assigns each sample to one of 8 shards.
+fn labelled_samples() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    let sample = prop_oneof![0_u64..16, 16_u64..100_000, 1_000_000_u64..=u64::MAX / 2,];
+    proptest::collection::vec((sample, 0_u8..8), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merged shards equal the unsharded histogram, whatever the
+    /// sharding and whatever the merge order.
+    #[test]
+    fn merging_shards_equals_unsharded(labelled in labelled_samples()) {
+        let mut whole = LogHistogram::new();
+        let mut shards = vec![LogHistogram::new(); 8];
+        for (v, s) in &labelled {
+            whole.record(*v);
+            shards[*s as usize].record(*v);
+        }
+        // Forward merge order.
+        let mut fwd = LogHistogram::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        prop_assert_eq!(&fwd, &whole);
+        // Reverse merge order.
+        let mut rev = LogHistogram::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        prop_assert_eq!(&rev, &whole);
+        prop_assert_eq!(fwd.count(), labelled.len() as u64);
+    }
+
+    /// Quantile estimates never undershoot the exact order statistic
+    /// and overshoot by at most one sub-bucket width.
+    #[test]
+    fn quantiles_bracket_exact_order_statistics(labelled in labelled_samples()) {
+        let mut h = LogHistogram::new();
+        for (v, _) in &labelled {
+            h.record(*v);
+        }
+        let mut sorted: Vec<u64> = labelled.iter().map(|(v, _)| *v).collect();
+        sorted.sort_unstable();
+        for q in [0.0_f64, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(est >= exact, "q{}: {} < exact {}", q, est, exact);
+            let bound = exact as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0;
+            prop_assert!(
+                (est as f64) <= bound,
+                "q{}: {} above error bound {} (exact {})",
+                q, est, bound, exact
+            );
+        }
+    }
+}

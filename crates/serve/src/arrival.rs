@@ -1,0 +1,296 @@
+//! Open-loop traffic generation: seeded Poisson and bursty on/off
+//! arrival processes, and the request stream they emit.
+//!
+//! Everything here is a pure function of the seed: the arrival cycle of
+//! request *k*, its tenant, its shape, and its fault draw never depend
+//! on scheduling or host state, so the same `TrafficSpec` replayed
+//! under any `--jobs` count (or any ABI — the stream is generated once
+//! per load point and shared conceptually across ABIs by reusing the
+//! seed) produces the identical stream.
+
+use serde::{Deserialize, Serialize};
+
+/// A splitmix64 PRNG — the same scrambler the fault campaigns derive
+/// plan seeds from, small enough to embed one per tenant and one per
+/// stream without caring.
+#[derive(Clone, Copy, Debug)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1_u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// The arrival process shape.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Memoryless arrivals: exponential inter-arrival times at the
+    /// offered rate.
+    Poisson,
+    /// Bursty on/off traffic: arrivals only during the *on* fraction of
+    /// each period, at `offered_rate / on_share` so the long-run
+    /// offered load matches the Poisson case — the tail-latency
+    /// stressor.
+    OnOff {
+        /// Period length in simulated cycles.
+        period_cycles: u64,
+        /// Fraction of each period that is on, in `(0, 1]`.
+        on_share: f64,
+    },
+}
+
+impl TrafficModel {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficModel::Poisson => "poisson",
+            TrafficModel::OnOff { .. } => "on-off",
+        }
+    }
+}
+
+/// One request of the open-loop stream.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Stream-order id (0-based).
+    pub id: u64,
+    /// Arrival time in simulated cycles.
+    pub arrival: u64,
+    /// Index into the tenant list.
+    pub tenant: usize,
+    /// Index into the request-shape mix.
+    pub shape: usize,
+    /// Uniform `[0, 1)` draw deciding whether this request falls under
+    /// the background fault campaign (compared against the per-shape
+    /// fault fraction, which depends on the ABI's retired count — the
+    /// draw itself is ABI-independent so streams align across ABIs).
+    pub fault_draw: f64,
+}
+
+/// Generates the open-loop request stream: arrival process plus the
+/// per-request tenant / shape / fault draws.
+#[derive(Clone, Debug)]
+pub struct ArrivalGen {
+    rng: SimRng,
+    model: TrafficModel,
+    /// Mean arrivals per simulated cycle of the *offered* (long-run)
+    /// load.
+    rate_per_cycle: f64,
+    clock: f64,
+    next_id: u64,
+    /// Continuous arrival clock, in cycles.
+    t: f64,
+    tenant_shares: Vec<f64>,
+    n_shapes: usize,
+}
+
+impl ArrivalGen {
+    /// A generator emitting `offered_rps` requests per simulated second
+    /// against a core clock of `clock_ghz`, spread over `tenant_shares`
+    /// (cumulative-normalised internally) and `n_shapes` request shapes
+    /// drawn uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offered_rps` is not positive or shares are empty.
+    pub fn new(
+        seed: u64,
+        model: TrafficModel,
+        offered_rps: f64,
+        clock_ghz: f64,
+        tenant_shares: &[f64],
+        n_shapes: usize,
+    ) -> ArrivalGen {
+        assert!(offered_rps > 0.0, "offered load must be positive");
+        assert!(!tenant_shares.is_empty(), "at least one tenant");
+        let total: f64 = tenant_shares.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = tenant_shares
+            .iter()
+            .map(|s| {
+                acc += s / total;
+                acc
+            })
+            .collect();
+        let clock = clock_ghz * 1e9;
+        ArrivalGen {
+            rng: SimRng::new(seed),
+            model,
+            rate_per_cycle: offered_rps / clock,
+            clock,
+            next_id: 0,
+            t: 0.0,
+            tenant_shares: cumulative,
+            n_shapes,
+        }
+    }
+
+    /// The clock the generator is running against, in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock
+    }
+
+    /// Emits the next request of the stream.
+    pub fn next_request(&mut self) -> Request {
+        self.t += self.next_gap();
+        let arrival = self.t as u64;
+        let tenant_draw = self.rng.next_f64();
+        let tenant = self
+            .tenant_shares
+            .iter()
+            .position(|&c| tenant_draw < c)
+            .unwrap_or(self.tenant_shares.len() - 1);
+        let shape = self.rng.below(self.n_shapes as u64) as usize;
+        let fault_draw = self.rng.next_f64();
+        let id = self.next_id;
+        self.next_id += 1;
+        Request {
+            id,
+            arrival,
+            tenant,
+            shape,
+            fault_draw,
+        }
+    }
+
+    /// Exponential inter-arrival gap in cycles, shaped by the traffic
+    /// model.
+    fn next_gap(&mut self) -> f64 {
+        match self.model {
+            TrafficModel::Poisson => self.exp_gap(self.rate_per_cycle),
+            TrafficModel::OnOff {
+                period_cycles,
+                on_share,
+            } => {
+                let period = period_cycles as f64;
+                let on = period * on_share.clamp(1e-6, 1.0);
+                let burst_rate = self.rate_per_cycle / on_share.clamp(1e-6, 1.0);
+                // Sample at the burst rate; any candidate landing past
+                // the end of the current on-window is carried into the
+                // next period's on-window (the off-window emits
+                // nothing).
+                let mut t = self.t + self.exp_gap(burst_rate);
+                loop {
+                    let into_period = t % period;
+                    if into_period < on {
+                        break;
+                    }
+                    // Jump to the next period start, preserving the
+                    // residual progress past the window (memorylessness
+                    // makes the residual exponential again).
+                    t += period - into_period;
+                }
+                t - self.t
+            }
+        }
+    }
+
+    fn exp_gap(&mut self, rate: f64) -> f64 {
+        let u = self.rng.next_f64();
+        -(1.0 - u).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_stream_is_deterministic_and_rate_accurate() {
+        let gen = || ArrivalGen::new(42, TrafficModel::Poisson, 10_000.0, 2.5, &[1.0, 1.0], 4);
+        let mut a = gen();
+        let mut b = gen();
+        let mut last = 0;
+        for _ in 0..5_000 {
+            let ra = a.next_request();
+            let rb = b.next_request();
+            assert_eq!(ra.arrival, rb.arrival);
+            assert_eq!(ra.tenant, rb.tenant);
+            assert_eq!(ra.shape, rb.shape);
+            assert!(ra.arrival >= last, "arrivals are time-ordered");
+            last = ra.arrival;
+        }
+        // 5000 arrivals at 10k rps ≈ 0.5 s ≈ 1.25e9 cycles at 2.5 GHz.
+        let seconds = last as f64 / 2.5e9;
+        let rate = 5_000.0 / seconds;
+        assert!(
+            (rate - 10_000.0).abs() / 10_000.0 < 0.1,
+            "measured rate {rate} too far from offered 10000"
+        );
+    }
+
+    #[test]
+    fn onoff_stream_matches_offered_rate_and_stays_in_windows() {
+        let period = 2_500_000_u64; // 1 ms at 2.5 GHz
+        let on_share = 0.25;
+        let mut g = ArrivalGen::new(
+            7,
+            TrafficModel::OnOff {
+                period_cycles: period,
+                on_share,
+            },
+            20_000.0,
+            2.5,
+            &[1.0],
+            2,
+        );
+        let mut last = 0;
+        for _ in 0..5_000 {
+            let r = g.next_request();
+            assert!(r.arrival >= last);
+            last = r.arrival;
+            let into = r.arrival % period;
+            assert!(
+                (into as f64) < period as f64 * on_share + 1.0,
+                "arrival at {into} landed in the off window"
+            );
+        }
+        let seconds = last as f64 / 2.5e9;
+        let rate = 5_000.0 / seconds;
+        assert!(
+            (rate - 20_000.0).abs() / 20_000.0 < 0.15,
+            "long-run on-off rate {rate} too far from offered 20000"
+        );
+    }
+
+    #[test]
+    fn tenant_shares_are_respected() {
+        let mut g = ArrivalGen::new(3, TrafficModel::Poisson, 1_000.0, 2.5, &[9.0, 1.0], 1);
+        let mut counts = [0_u64; 2];
+        for _ in 0..10_000 {
+            counts[g.next_request().tenant] += 1;
+        }
+        let heavy = counts[0] as f64 / 10_000.0;
+        assert!(
+            (heavy - 0.9).abs() < 0.03,
+            "heavy tenant drew {heavy}, expected ~0.9"
+        );
+    }
+}

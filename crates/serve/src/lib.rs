@@ -1,0 +1,44 @@
+//! Morello-as-a-service: a multi-tenant request-serving simulation
+//! over the Morello performance model, with tail-latency and capacity
+//! reporting.
+//!
+//! The paper characterises Morello with batch workloads; this crate
+//! asks the deployment-facing question the same numbers imply: *if
+//! those workloads were request bodies behind a service, what do the
+//! CHERI ABIs do to tail latency and capacity?* The pieces:
+//!
+//! - [`arrival`] — open-loop traffic: seeded Poisson and bursty on/off
+//!   arrival processes emitting request-shaped workload instances.
+//! - [`tenant`] — N tenants, each owning a real [`cheri_revoke::RevokingHeap`]
+//!   under its own quarantine policy, churned per completed request.
+//! - [`profile`] — per-(shape × ABI) service demand measured through
+//!   the full timing model, with a fuel watchdog and fault-injected
+//!   variants for the background corruption campaign.
+//! - [`sim`] — a deterministic discrete-event scheduler: bounded
+//!   admission queues (backpressure), deficit-round-robin fairness
+//!   across tenants, a fixed core pool, all in simulated cycles.
+//! - [`report`] — the offered-load sweep and the `BENCH_service.json`
+//!   schema (throughput-vs-load and latency-vs-load per ABI), gated in
+//!   CI by `bench_compare`.
+//!
+//! Latency quantiles come from [`morello_obs::LogHistogram`], whose
+//! exact-merge property keeps every number byte-identical across
+//! `--jobs` counts.
+
+mod arrival;
+mod profile;
+mod report;
+mod sim;
+mod tenant;
+
+pub use arrival::{ArrivalGen, Request, SimRng, TrafficModel};
+pub use profile::{
+    mean_service_cycles, profile_shapes, FaultClass, FaultProfile, ShapeProfile, PROFILE_FUEL,
+    PROFILE_RETRIES,
+};
+pub use report::{
+    run_service_sweep, service_metrics, AbiService, LoadPoint, ServiceReport, SweepConfig,
+    TenantPoint, FULL_RATIOS, QUICK_RATIOS, SHAPE_KEYS,
+};
+pub use sim::{simulate, ServiceConfig, SimResult, TenantOutcome};
+pub use tenant::{default_tenants, TenantCounters, TenantSpec, TenantState};

@@ -1,0 +1,432 @@
+//! The load-sweep driver and the `BENCH_service.json` schema.
+//!
+//! [`run_service_sweep`] profiles the request shapes per ABI (phase A),
+//! derives each ABI's analytic capacity, then simulates every
+//! (ABI × offered-load) cell (phase B) on the work-stealing pool.
+//! Offered loads are fixed *fractions of the hybrid ABI's capacity*, so
+//! all three ABIs face the same absolute request rates and the
+//! capability ABIs — whose per-request service demand is higher —
+//! saturate at a measurably lower offered load, the serving-facing
+//! restatement of the paper's throughput gap.
+//!
+//! Every cell is a pure function of the seed and the profile table, and
+//! cells are reduced in cell order, so the report is byte-identical
+//! whatever `--jobs` is — the property `bench_compare` and CI lock.
+
+use crate::arrival::TrafficModel;
+use crate::profile::{mean_service_cycles, profile_shapes, ShapeProfile};
+use crate::sim::{simulate, ServiceConfig, SimResult};
+use crate::tenant::{default_tenants, TenantSpec};
+use cheri_isa::Abi;
+use cheri_workloads::Scale;
+use morello_sim::engine::{run_cells, CellOutcome};
+use morello_sim::suite::select;
+use morello_sim::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Request shapes served: a pointer-light compressor, a pointer-chasing
+/// simulator, a request-shaped database workload, and the allocator
+/// stressor (the shape that exercises the tenant quarantines hardest).
+pub const SHAPE_KEYS: [&str; 4] = ["xz_557", "omnetpp_520", "sqlite", "alloc_stress"];
+
+/// Offered-load ratios (of hybrid capacity) for the quick sweep.
+pub const QUICK_RATIOS: [f64; 5] = [0.25, 0.5, 0.75, 1.0, 1.25];
+
+/// Offered-load ratios for the full sweep.
+pub const FULL_RATIOS: [f64; 9] = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5];
+
+/// Sweep-level configuration (the knobs `fig11_service` exposes).
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Quick mode: fewer load points, fewer requests per point.
+    pub quick: bool,
+    /// Worker threads for the profile and sweep pools (never affects
+    /// results).
+    pub jobs: usize,
+    /// Master seed for arrival streams and fault campaigns.
+    pub seed: u64,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Serving cores.
+    pub cores: usize,
+    /// Background corruption rate in requests per million (0 disables
+    /// the fault campaign entirely).
+    pub fault_rate_ppm: u64,
+    /// Arrival process.
+    pub traffic: TrafficModel,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            quick: false,
+            jobs: 1,
+            seed: 0x5EE7_CE11,
+            tenants: 3,
+            cores: 4,
+            fault_rate_ppm: 0,
+            traffic: TrafficModel::Poisson,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Requests simulated per load point.
+    pub fn requests_per_point(&self) -> u64 {
+        if self.quick {
+            2_000
+        } else {
+            20_000
+        }
+    }
+
+    /// The offered-load ratios swept.
+    pub fn ratios(&self) -> &'static [f64] {
+        if self.quick {
+            &QUICK_RATIOS
+        } else {
+            &FULL_RATIOS
+        }
+    }
+}
+
+/// Per-tenant row of one load point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TenantPoint {
+    /// Tenant name.
+    pub tenant: String,
+    /// Effective quarantine policy label.
+    pub policy: String,
+    /// Requests served correctly.
+    pub completed: u64,
+    /// Requests dropped at admission.
+    pub dropped: u64,
+    /// Requests rejected (degraded shape).
+    pub rejected: u64,
+    /// Faulted requests returning errors.
+    pub errors: u64,
+    /// Silently corrupted responses.
+    pub silent: u64,
+    /// Tenant p99 sojourn time in milliseconds.
+    pub p99_ms: f64,
+    /// Tenant quarantine high-water mark in bytes.
+    pub quarantine_bytes_hwm: u64,
+    /// Revocation epochs the tenant heap ran.
+    pub revocation_epochs: u64,
+    /// Allocation failures under quarantine pressure.
+    pub heap_pressure: u64,
+}
+
+/// One (ABI × offered-load) row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load in requests per second.
+    pub offered_rps: f64,
+    /// Offered load as a fraction of hybrid capacity.
+    pub offered_ratio: f64,
+    /// Requests emitted by the arrival process.
+    pub arrivals: u64,
+    /// Requests served correctly.
+    pub completed: u64,
+    /// Requests dropped at admission (backpressure).
+    pub dropped: u64,
+    /// Requests rejected (degraded shape).
+    pub rejected: u64,
+    /// Faulted requests returning errors.
+    pub errors: u64,
+    /// Silently corrupted responses (hybrid's failure mode).
+    pub silent: u64,
+    /// Responses per simulated second.
+    pub throughput_rps: f64,
+    /// Simulated run length in seconds.
+    pub sim_seconds: f64,
+    /// Median sojourn time in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile sojourn time in milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile sojourn time in milliseconds.
+    pub p999_ms: f64,
+    /// Worst sojourn time in milliseconds.
+    pub max_ms: f64,
+    /// Mean sojourn time in milliseconds.
+    pub mean_ms: f64,
+    /// Sum of tenant quarantine high-water marks in bytes.
+    pub quarantine_bytes_hwm: u64,
+    /// Per-tenant breakdown.
+    pub tenants: Vec<TenantPoint>,
+}
+
+/// One ABI's sweep: capacity plus the per-load-point curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AbiService {
+    /// The ABI served.
+    pub abi: Abi,
+    /// Analytic capacity: `cores × clock / mean service cycles`.
+    pub capacity_rps: f64,
+    /// Mean per-request service demand in cycles (uniform shape mix).
+    pub mean_service_cycles: f64,
+    /// Highest offered load (rps) at which measured throughput stayed
+    /// within 5% of offered — the measured saturation knee.
+    pub saturation_offered_rps: f64,
+    /// The shape profile table this sweep served from.
+    pub profiles: Vec<ShapeProfile>,
+    /// The load curve.
+    pub points: Vec<LoadPoint>,
+}
+
+/// The `BENCH_service.json` document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Schema version of this document.
+    pub schema_version: u32,
+    /// Document discriminator (`"service"`), how `bench_compare` tells
+    /// this report apart from `BENCH_interp.json`.
+    pub kind: String,
+    /// Quick mode was used.
+    pub quick: bool,
+    /// Workload scale of the request shapes.
+    pub scale: String,
+    /// Serving cores.
+    pub cores: usize,
+    /// Admission queue depth per tenant.
+    pub queue_per_tenant: usize,
+    /// DRR quantum in cycles.
+    pub quantum_cycles: u64,
+    /// Requests per load point.
+    pub requests_per_point: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Arrival process label.
+    pub traffic: String,
+    /// Background corruption rate (requests per million).
+    pub fault_rate_ppm: u64,
+    /// Tenant specs served.
+    pub tenants: Vec<TenantSpec>,
+    /// Request-shape keys.
+    pub shapes: Vec<String>,
+    /// Offered-load ratios swept (of hybrid capacity).
+    pub load_ratios: Vec<f64>,
+    /// Per-ABI results.
+    pub abis: Vec<AbiService>,
+}
+
+fn cycles_to_ms(cycles: u64, clock_hz: f64) -> f64 {
+    cycles as f64 / clock_hz * 1e3
+}
+
+fn load_point(r: &SimResult, offered_rps: f64, ratio: f64, clock_hz: f64) -> LoadPoint {
+    LoadPoint {
+        offered_rps,
+        offered_ratio: ratio,
+        arrivals: r.arrivals,
+        completed: r.completed,
+        dropped: r.dropped,
+        rejected: r.rejected,
+        errors: r.errors,
+        silent: r.silent,
+        throughput_rps: r.throughput_rps(clock_hz),
+        sim_seconds: r.sim_cycles as f64 / clock_hz,
+        p50_ms: cycles_to_ms(r.latency.quantile(0.50), clock_hz),
+        p99_ms: cycles_to_ms(r.latency.quantile(0.99), clock_hz),
+        p999_ms: cycles_to_ms(r.latency.quantile(0.999), clock_hz),
+        max_ms: cycles_to_ms(r.latency.max(), clock_hz),
+        mean_ms: r.latency.mean() / clock_hz * 1e3,
+        quarantine_bytes_hwm: r.tenants.iter().map(|t| t.heap.quarantine_bytes_hwm).sum(),
+        tenants: r
+            .tenants
+            .iter()
+            .map(|t| TenantPoint {
+                tenant: t.name.clone(),
+                policy: t.policy.to_owned(),
+                completed: t.counters.completed,
+                dropped: t.counters.dropped,
+                rejected: t.counters.rejected,
+                errors: t.counters.errors,
+                silent: t.counters.silent,
+                p99_ms: cycles_to_ms(t.latency.quantile(0.99), clock_hz),
+                quarantine_bytes_hwm: t.heap.quarantine_bytes_hwm,
+                revocation_epochs: t.heap.revocation_epochs,
+                heap_pressure: t.counters.heap_pressure,
+            })
+            .collect(),
+    }
+}
+
+/// Runs the full sweep: profile each ABI's shapes, derive capacities,
+/// simulate every (ABI × load ratio) cell, and assemble the report.
+///
+/// # Panics
+///
+/// Panics if the hybrid profile table is entirely degraded (no capacity
+/// to anchor the sweep on) or a pool worker panics.
+pub fn run_service_sweep(cfg: &SweepConfig) -> ServiceReport {
+    let platform = Platform::morello().with_scale(Scale::Test);
+    let clock_hz = platform.uarch.clock_ghz * 1e9;
+    let shapes = select(&SHAPE_KEYS);
+    let fault_seed = (cfg.fault_rate_ppm > 0).then_some(cfg.seed ^ 0xFA17);
+
+    // Phase A: profile every ABI's shape table (cells are independent).
+    let abi_profiles: Vec<(Abi, Vec<ShapeProfile>)> = {
+        let outcomes = run_cells(Abi::ALL.len(), cfg.jobs, |i| {
+            let abi = Abi::ALL[i];
+            (abi, profile_shapes(platform, &shapes, abi, 1, fault_seed))
+        });
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                CellOutcome::Done(v) => v,
+                CellOutcome::Panicked(msg) => panic!("profile cell panicked: {msg}"),
+            })
+            .collect()
+    };
+
+    let hybrid_mean = abi_profiles
+        .iter()
+        .find(|(abi, _)| *abi == Abi::Hybrid)
+        .and_then(|(_, p)| mean_service_cycles(p))
+        .expect("hybrid shapes must profile");
+    let hybrid_capacity = cfg.cores as f64 * clock_hz / hybrid_mean;
+
+    let ratios = cfg.ratios();
+    let requests = cfg.requests_per_point();
+    let specs = default_tenants(cfg.tenants);
+    // Quantum of one hybrid mean service demand: a visit's credit buys
+    // roughly one median request, the classic DRR setting.
+    let quantum = hybrid_mean as u64 + 1;
+    let service = ServiceConfig {
+        cores: cfg.cores,
+        queue_per_tenant: 256,
+        quantum_cycles: quantum,
+        fault_rate_ppm: cfg.fault_rate_ppm,
+        seed: cfg.seed,
+        traffic: cfg.traffic,
+    };
+
+    // Phase B: one pure cell per (ABI × ratio).
+    let n_cells = abi_profiles.len() * ratios.len();
+    let outcomes = run_cells(n_cells, cfg.jobs, |i| {
+        let (abi, profiles) = &abi_profiles[i / ratios.len()];
+        let ratio = ratios[i % ratios.len()];
+        let offered = hybrid_capacity * ratio;
+        let r = simulate(
+            &service,
+            profiles,
+            &specs,
+            *abi,
+            offered,
+            platform.uarch.clock_ghz,
+            requests,
+        );
+        load_point(&r, offered, ratio, clock_hz)
+    });
+    let mut points: Vec<LoadPoint> = outcomes
+        .into_iter()
+        .map(|o| match o {
+            CellOutcome::Done(p) => p,
+            CellOutcome::Panicked(msg) => panic!("sweep cell panicked: {msg}"),
+        })
+        .collect();
+
+    let abis = abi_profiles
+        .into_iter()
+        .map(|(abi, profiles)| {
+            let abi_points: Vec<LoadPoint> = points.drain(..ratios.len()).collect();
+            let mean = mean_service_cycles(&profiles).unwrap_or(0.0);
+            let capacity = if mean > 0.0 {
+                cfg.cores as f64 * clock_hz / mean
+            } else {
+                0.0
+            };
+            let saturation = abi_points
+                .iter()
+                .filter(|p| p.throughput_rps >= 0.95 * p.offered_rps)
+                .map(|p| p.offered_rps)
+                .fold(0.0, f64::max);
+            AbiService {
+                abi,
+                capacity_rps: capacity,
+                mean_service_cycles: mean,
+                saturation_offered_rps: saturation,
+                profiles,
+                points: abi_points,
+            }
+        })
+        .collect();
+
+    ServiceReport {
+        schema_version: 1,
+        kind: "service".to_owned(),
+        quick: cfg.quick,
+        scale: format!("{:?}", Scale::Test),
+        cores: cfg.cores,
+        queue_per_tenant: service.queue_per_tenant,
+        quantum_cycles: quantum,
+        requests_per_point: requests,
+        seed: cfg.seed,
+        traffic: cfg.traffic.label().to_owned(),
+        fault_rate_ppm: cfg.fault_rate_ppm,
+        tenants: specs,
+        shapes: SHAPE_KEYS.iter().map(|s| (*s).to_owned()).collect(),
+        load_ratios: ratios.to_vec(),
+        abis,
+    }
+}
+
+/// The deterministic metrics `bench_compare` gates on: per-ABI capacity
+/// plus throughput and p99 at every load point. All of these are pure
+/// functions of the seed, so any drift is a real model change.
+pub fn service_metrics(report: &ServiceReport) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for a in &report.abis {
+        out.push((format!("{}.capacity_rps", a.abi), a.capacity_rps));
+        for p in &a.points {
+            out.push((
+                format!("{}.r{:.2}.throughput_rps", a.abi, p.offered_ratio),
+                p.throughput_rps,
+            ));
+            out.push((
+                format!("{}.r{:.2}.p99_ms", a.abi, p.offered_ratio),
+                p.p99_ms,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_unique() {
+        let report = ServiceReport {
+            schema_version: 1,
+            kind: "service".into(),
+            quick: true,
+            scale: "Test".into(),
+            cores: 4,
+            queue_per_tenant: 256,
+            quantum_cycles: 1,
+            requests_per_point: 1,
+            seed: 0,
+            traffic: "poisson".into(),
+            fault_rate_ppm: 0,
+            tenants: default_tenants(2),
+            shapes: vec!["xz_557".into()],
+            load_ratios: vec![0.5, 1.0],
+            abis: vec![AbiService {
+                abi: Abi::Hybrid,
+                capacity_rps: 1.0,
+                mean_service_cycles: 1.0,
+                saturation_offered_rps: 1.0,
+                profiles: Vec::new(),
+                points: Vec::new(),
+            }],
+        };
+        let metrics = service_metrics(&report);
+        let mut names: Vec<&String> = metrics.iter().map(|(n, _)| n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), metrics.len());
+    }
+}
