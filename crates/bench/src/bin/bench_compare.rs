@@ -19,12 +19,15 @@
 //!     --threshold 10 --min-host-rate 5e7
 //! ```
 //!
-//! Both documents of a run must be the same kind: a document whose
-//! top-level `kind` is `"service"` parses as a `ServiceReport` and is
-//! gated on `morello_serve::service_metrics` (per-ABI capacity plus
-//! throughput and p99 at every load point — all deterministic);
-//! anything else parses as a `BenchReport`. `--min-host-rate` applies
-//! to interpreter reports only.
+//! Both documents of a run must be the same kind, discriminated by the
+//! top-level `kind` field: `"service"` parses as a `ServiceReport` and
+//! is gated on `morello_serve::service_metrics`; `"resilience"` parses
+//! as a `ResilienceReport` and is gated on
+//! `morello_serve::resilience_metrics` (goodput, SLO attainment, retry
+//! amplification, p99, silent counts per cell — all deterministic); a
+//! missing `kind` parses as an interpreter `BenchReport`. A kind
+//! mismatch is a usage error (exit 2) naming both kinds.
+//! `--min-host-rate` applies to interpreter reports only.
 //!
 //! Exit codes: 0 = within threshold, 1 = regression or floor violation,
 //! 2 = usage/schema error.
@@ -33,7 +36,7 @@ use morello_bench::speed::{
     compare, compare_metric_sets, diff_table, host_rate_floor, BenchReport, CompareOutcome,
 };
 use morello_pmu::fmt_metric;
-use morello_serve::{service_metrics, ServiceReport};
+use morello_serve::{resilience_metrics, service_metrics, ResilienceReport, ServiceReport};
 use std::path::Path;
 
 fn load_text(path: &str) -> String {
@@ -50,17 +53,19 @@ fn parse<T: serde::Deserialize>(path: &str, text: &str) -> T {
     })
 }
 
-fn is_service(text: &str) -> bool {
+/// The document kind, from the top-level `kind` discriminator. Interp
+/// reports predate the field, so its absence means `interp`.
+fn doc_kind(text: &str) -> String {
     let Ok(value) = serde_json::from_str::<serde::Value>(text) else {
-        return false;
+        return "interp".to_owned();
     };
     let serde::Value::Map(entries) = &value else {
-        return false;
+        return "interp".to_owned();
     };
-    matches!(
-        serde::map_get(entries, "kind"),
-        Some(serde::Value::Str(kind)) if kind == "service"
-    )
+    match serde::map_get(entries, "kind") {
+        Some(serde::Value::Str(kind)) => kind.clone(),
+        _ => "interp".to_owned(),
+    }
 }
 
 fn main() {
@@ -101,50 +106,72 @@ fn main() {
 
     let base_text = load_text(base_path);
     let new_text = load_text(new_path);
-    let service = match (is_service(&base_text), is_service(&new_text)) {
-        (true, true) => true,
-        (false, false) => false,
-        _ => {
+    let kind = {
+        let base_kind = doc_kind(&base_text);
+        let new_kind = doc_kind(&new_text);
+        if base_kind != new_kind {
             eprintln!(
-                "kind mismatch: one file is a service report and the other is not — \
-                 compare like with like"
+                "kind mismatch: baseline {base_path} is a `{base_kind}` report but \
+                 candidate {new_path} is a `{new_kind}` report — compare like with like"
+            );
+            std::process::exit(2);
+        }
+        base_kind
+    };
+    if kind != "interp" && min_host_rate.is_some() {
+        eprintln!("--min-host-rate does not apply to {kind} reports");
+        std::process::exit(2);
+    }
+
+    let check_schema = |base: u64, new: u64| {
+        if base != new {
+            eprintln!(
+                "schema mismatch: baseline v{base} vs candidate v{new} — regenerate the baseline"
             );
             std::process::exit(2);
         }
     };
-
     let mut failed = false;
     let outcome: CompareOutcome;
     let mut host_gate: Option<BenchReport> = None;
-    if service {
-        let base: ServiceReport = parse(base_path, &base_text);
-        let new: ServiceReport = parse(new_path, &new_text);
-        if base.schema_version != new.schema_version {
+    match kind.as_str() {
+        "service" => {
+            let base: ServiceReport = parse(base_path, &base_text);
+            let new: ServiceReport = parse(new_path, &new_text);
+            check_schema(base.schema_version.into(), new.schema_version.into());
+            outcome =
+                compare_metric_sets(&service_metrics(&base), &service_metrics(&new), threshold);
+        }
+        "resilience" => {
+            let base: ResilienceReport = parse(base_path, &base_text);
+            let new: ResilienceReport = parse(new_path, &new_text);
+            check_schema(base.schema_version.into(), new.schema_version.into());
+            outcome = compare_metric_sets(
+                &resilience_metrics(&base),
+                &resilience_metrics(&new),
+                threshold,
+            );
+        }
+        "interp" => {
+            let base: BenchReport = parse(base_path, &base_text);
+            let new: BenchReport = parse(new_path, &new_text);
+            check_schema(base.schema_version, new.schema_version);
+            outcome = compare(&base, &new, threshold);
+            host_gate = Some(new);
+        }
+        other => {
             eprintln!(
-                "schema mismatch: baseline v{} vs candidate v{} — regenerate the baseline",
-                base.schema_version, new.schema_version
+                "unknown report kind `{other}` in {base_path} — \
+                 this bench_compare understands interp, service, and resilience"
             );
             std::process::exit(2);
         }
-        if min_host_rate.is_some() {
-            eprintln!("--min-host-rate does not apply to service reports");
-            std::process::exit(2);
-        }
-        outcome = compare_metric_sets(&service_metrics(&base), &service_metrics(&new), threshold);
-    } else {
-        let base: BenchReport = parse(base_path, &base_text);
-        let new: BenchReport = parse(new_path, &new_text);
-        if base.schema_version != new.schema_version {
-            eprintln!(
-                "schema mismatch: baseline v{} vs candidate v{} — regenerate the baseline",
-                base.schema_version, new.schema_version
-            );
-            std::process::exit(2);
-        }
-        outcome = compare(&base, &new, threshold);
-        host_gate = Some(new);
     }
-    let section = if service { "service" } else { "model" };
+    let section = if kind == "interp" {
+        "model"
+    } else {
+        kind.as_str()
+    };
     if outcome.diffs.is_empty() && outcome.regressions.is_empty() {
         println!("bench_compare: {section} sections identical (threshold {threshold}%)");
     } else {

@@ -32,6 +32,7 @@ mod report;
 mod runner;
 mod span;
 pub mod suite;
+mod watchdog;
 
 pub use cache::ProgramCache;
 pub use observe::{uarch_config_hash, RunObserver, RunRecord, VecObserver};
@@ -39,6 +40,7 @@ pub use projection::{project, project_with, ProjectionRow};
 pub use report::{HeapSummary, RunReport, TopDown};
 pub use runner::{fold_heap_stats, Platform, RunError, Runner};
 pub use span::{span, NullSpanSink, SpanGuard, SpanSink};
+pub use watchdog::Watchdog;
 
 // Re-exported so experiment drivers can select allocator strategies
 // without depending on `cheri-revoke` directly.

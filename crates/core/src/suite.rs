@@ -16,6 +16,7 @@ use crate::observe::{RunObserver, RunRecord};
 use crate::report::RunReport;
 use crate::runner::{RunError, Runner};
 use crate::span::{span, NullSpanSink, SpanSink};
+use crate::watchdog::Watchdog;
 use cheri_isa::Abi;
 use cheri_workloads::{registry, Workload};
 use serde::{Deserialize, Serialize};
@@ -107,14 +108,11 @@ impl SuiteConfig {
         }
     }
 
-    /// The fuel budget for a given attempt (1-based): the watchdog
-    /// deadline doubled per retry, saturating.
-    fn fuel_for_attempt(&self, attempt: u32) -> Option<u64> {
-        let fuel = self.cell_fuel?;
-        let mult = 1_u64
-            .checked_shl(attempt.saturating_sub(1))
-            .unwrap_or(u64::MAX);
-        Some(fuel.saturating_mul(mult))
+    /// The shared [`Watchdog`] this config describes: the per-cell fuel
+    /// budget plus the bounded retry ladder (budget doubling per
+    /// attempt).
+    pub fn watchdog(&self) -> Watchdog {
+        Watchdog::new(self.cell_fuel, self.max_retries)
     }
 }
 
@@ -356,36 +354,19 @@ pub fn run_suite_resilient(
         }
     }
 
+    let watchdog = config.watchdog();
     let outcomes = run_cells(cells.len(), config.effective_jobs(), |i| {
         let cell = cells[i];
         let w = &workloads[cell.workload];
         let abi = Abi::ALL[cell.abi_idx];
-        let mut attempt = 1_u32;
-        loop {
-            let result = match config.fuel_for_attempt(attempt) {
-                Some(budget) => {
-                    let mut platform = *runner.platform();
-                    platform.interp.max_insts = platform.interp.max_insts.min(budget);
-                    Runner::new(platform).run_with_cache(w, abi, cache)
-                }
-                None => runner.run_with_cache(w, abi, cache),
-            };
-            match result {
-                Ok(report) => {
-                    return ResilientCell {
-                        result: Ok(report),
-                        attempts: attempt,
-                    }
-                }
-                Err(e) if attempt > config.max_retries => {
-                    return ResilientCell {
-                        result: Err(e),
-                        attempts: attempt,
-                    }
-                }
-                Err(_) => attempt += 1,
+        let (result, attempts) = watchdog.run(runner.platform(), |_, capped| {
+            if watchdog.fuel().is_some() {
+                Runner::new(*capped).run_with_cache(w, abi, cache)
+            } else {
+                runner.run_with_cache(w, abi, cache)
             }
-        }
+        });
+        ResilientCell { result, attempts }
     });
 
     let mut rows: Vec<SuiteRow> = workloads

@@ -14,7 +14,7 @@ use cheri_isa::{Abi, RecoveryPolicy};
 use cheri_workloads::Workload;
 use morello_pmu::{fmt_metric, Table};
 use morello_sim::engine::{run_cells, CellOutcome};
-use morello_sim::{Platform, RunError};
+use morello_sim::{Platform, RunError, Watchdog};
 use serde::{Deserialize, Serialize};
 
 /// Campaign shape: seed, injection rates, trials per cell, disposition.
@@ -221,12 +221,8 @@ pub fn run_coverage(
         // generous multiple of the clean horizon; a run that blows it
         // classifies as crashed (detected by watchdog, not by the
         // capability system) instead of stalling the campaign.
-        let mut capped = *platform;
-        capped.interp.max_insts = capped
-            .interp
-            .max_insts
-            .min(horizon.saturating_mul(8).saturating_add(100_000));
-        FaultRunner::new(capped).run(w, cell.abi, &plan)
+        let watchdog = Watchdog::budgeted(horizon.saturating_mul(8).saturating_add(100_000));
+        FaultRunner::new(watchdog.cap_platform(platform, 1)).run(w, cell.abi, &plan)
     });
 
     // Phase 2: aggregation, in cell order.

@@ -84,11 +84,15 @@ impl LogHistogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Bucket and total counts saturate at
+    /// `u64::MAX` (and the sum at `u128::MAX`) rather than wrapping, so
+    /// a pathological stream degrades quantile precision instead of
+    /// corrupting the histogram.
     pub fn record(&mut self, value: u64) {
-        self.counts[bucket_index(value)] += 1;
-        self.total += 1;
-        self.sum += u128::from(value);
+        let i = bucket_index(value);
+        self.counts[i] = self.counts[i].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(value));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -153,13 +157,14 @@ impl LogHistogram {
 
     /// Folds another histogram into this one. Merging is commutative
     /// and associative, and the merge of any sharding of a sample
-    /// stream equals the histogram of the unsharded stream.
+    /// stream equals the histogram of the unsharded stream. Counts
+    /// saturate rather than wrap, mirroring [`LogHistogram::record`].
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.total += other.total;
-        self.sum += other.sum;
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -231,6 +236,86 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merging_empty_shards_is_the_identity() {
+        let mut filled = LogHistogram::new();
+        for v in [3, 99, 4096, 1 << 33] {
+            filled.record(v);
+        }
+        // empty.merge(filled) == filled.
+        let mut onto_empty = LogHistogram::new();
+        onto_empty.merge(&filled);
+        assert_eq!(onto_empty, filled);
+        // filled.merge(empty) == filled — and min must survive the
+        // empty shard's sentinel `u64::MAX` min.
+        let mut onto_filled = filled.clone();
+        onto_filled.merge(&LogHistogram::new());
+        assert_eq!(onto_filled, filled);
+        assert_eq!(onto_filled.min(), 3);
+        // empty.merge(empty) stays a well-formed empty histogram.
+        let mut both_empty = LogHistogram::new();
+        both_empty.merge(&LogHistogram::new());
+        assert_eq!(both_empty, LogHistogram::new());
+        assert_eq!(both_empty.count(), 0);
+        assert_eq!(both_empty.min(), 0);
+        assert_eq!(both_empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_exactly() {
+        for v in [0, 1, 17, 12_345, u64::MAX] {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            for q in [0.0, 0.001, 0.25, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "q{q} of single sample {v}");
+            }
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            assert_eq!(h.mean(), v as f64);
+        }
+    }
+
+    #[test]
+    fn rank_quantiles_at_exact_bounds_hit_min_and_max() {
+        let mut h = LogHistogram::new();
+        for v in [10, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        // q=0.0 has rank ceil(0) clamped up to 1 → exact min; q=1.0 has
+        // rank == total → exact max. Neither passes through a bucket
+        // upper bound.
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 50);
+        // A tiny-but-positive q also clamps to rank 1.
+        assert_eq!(h.quantile(1e-12), 10);
+        // And a q above 1.0 clamps to rank total rather than running
+        // off the bucket array.
+        assert_eq!(h.quantile(1.5), 50);
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        let mut h = LogHistogram::new();
+        h.record(7);
+        h.record(9);
+        // Repeated self-merge doubles every counter; ~70 doublings
+        // drives them far past u64::MAX, which must saturate, not wrap
+        // or panic.
+        for _ in 0..70 {
+            let snapshot = h.clone();
+            h.merge(&snapshot);
+        }
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 9);
+        // Quantiles stay well-formed on a saturated histogram.
+        assert!(h.quantile(0.5) >= 7);
+        assert!(h.quantile(0.5) <= 9);
+        // Saturated recording is also a no-panic no-op on the counts.
+        h.record(8);
+        assert_eq!(h.count(), u64::MAX);
     }
 
     #[test]

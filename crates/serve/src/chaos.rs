@@ -1,0 +1,236 @@
+//! Seeded chaos campaigns: deterministic adversity for the serving
+//! simulator.
+//!
+//! A [`ChaosPlan`] is a set of time-windowed events injected into one
+//! simulation cell: **fault storms** (the background corruption rate
+//! burst to a storm rate between two cycle boundaries), **heap-pressure
+//! spikes** (one tenant's per-request allocation churn multiplied,
+//! driving its quarantine machinery hot), and **core outages** (cores
+//! removed from the dispatch pool, no preemption of in-flight work).
+//! All window boundaries are splitmix64-jittered from the cell's seed —
+//! never from scheduling or the host clock — so a chaos campaign is as
+//! byte-identical across `--jobs` counts as every other campaign in the
+//! repo.
+//!
+//! The plan is purely declarative: the event loop in
+//! [`crate::resilience`] queries it (`fault_ppm_at`, `cores_down_at`,
+//! `churn_mult_at`) and wakes at its [`ChaosPlan::boundaries`] so an
+//! outage ending between two request events still restarts dispatch on
+//! time.
+
+use crate::arrival::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A time-windowed burst of elevated background corruption.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FaultStorm {
+    /// First cycle of the storm (inclusive).
+    pub start: u64,
+    /// First cycle after the storm (exclusive).
+    pub end: u64,
+    /// Corruption rate inside the window, requests per million.
+    pub fault_ppm: u64,
+}
+
+/// A heap-pressure spike: one tenant's churn multiplied for a window.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HeapSpike {
+    /// First cycle of the spike (inclusive).
+    pub start: u64,
+    /// First cycle after the spike (exclusive).
+    pub end: u64,
+    /// The tenant whose heap is pressured.
+    pub tenant: usize,
+    /// Churn multiplier (≥ 1) applied per completed request.
+    pub churn_mult: u32,
+}
+
+/// A core outage: cores removed from the dispatch pool for a window.
+/// In-flight requests are never preempted; the pool only shrinks for
+/// *new* dispatches.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CoreOutage {
+    /// First cycle of the outage (inclusive).
+    pub start: u64,
+    /// First cycle after the outage (exclusive).
+    pub end: u64,
+    /// Cores down during the window.
+    pub cores_down: usize,
+}
+
+/// One cell's chaos campaign: every adversity window the cell endures.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Fault-rate bursts.
+    pub storms: Vec<FaultStorm>,
+    /// Tenant heap-pressure spikes.
+    pub heap_spikes: Vec<HeapSpike>,
+    /// Core outages.
+    pub outages: Vec<CoreOutage>,
+}
+
+impl ChaosPlan {
+    /// The empty plan: no adversity beyond the configured background.
+    pub fn none() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.storms.is_empty() && self.heap_spikes.is_empty() && self.outages.is_empty()
+    }
+
+    /// The standard fig. 12 storm campaign over a run of roughly
+    /// `horizon` cycles: one fault storm at `storm_ppm` covering about
+    /// the 30–55 % span of the run, a heap-pressure spike against a
+    /// seeded tenant over the storm's first half, and a one-core outage
+    /// inside the storm. Every boundary is splitmix64-jittered (±1 % of
+    /// the horizon) from `seed`, so two cells with the same coordinates
+    /// get the same storm and different seeds get different ones.
+    /// `storm_ppm == 0` returns the empty plan.
+    pub fn storm_campaign(seed: u64, horizon: u64, storm_ppm: u64, tenants: usize) -> ChaosPlan {
+        if storm_ppm == 0 || horizon == 0 {
+            return ChaosPlan::none();
+        }
+        let mut rng = SimRng::new(seed);
+        // ±1% jitter around a fraction of the horizon, in per-mille.
+        let mut at = |mille: u64| -> u64 {
+            let base = (horizon / 1000).saturating_mul(mille);
+            let jitter_span = (horizon / 50).max(1); // 2% wide, centred
+            base.saturating_add(rng.below(jitter_span))
+                .saturating_sub(jitter_span / 2)
+                .max(1)
+        };
+        let start = at(300);
+        let end = at(550).max(start + 1);
+        let spike_end = at(430).clamp(start + 1, end);
+        let out_start = at(350).clamp(start, end.saturating_sub(1));
+        let out_end = at(450).clamp(out_start + 1, end);
+        let spike_tenant = if tenants == 0 {
+            0
+        } else {
+            rng.below(tenants as u64) as usize
+        };
+        ChaosPlan {
+            storms: vec![FaultStorm {
+                start,
+                end,
+                fault_ppm: storm_ppm,
+            }],
+            heap_spikes: vec![HeapSpike {
+                start,
+                end: spike_end,
+                tenant: spike_tenant,
+                churn_mult: 4,
+            }],
+            outages: vec![CoreOutage {
+                start: out_start,
+                end: out_end,
+                cores_down: 1,
+            }],
+        }
+    }
+
+    /// The effective corruption rate at `now`: the max of the
+    /// background rate and every active storm.
+    pub fn fault_ppm_at(&self, now: u64, background_ppm: u64) -> u64 {
+        self.storms
+            .iter()
+            .filter(|s| s.start <= now && now < s.end)
+            .map(|s| s.fault_ppm)
+            .fold(background_ppm, u64::max)
+    }
+
+    /// The churn multiplier for `tenant` at `now` (1 outside spikes).
+    pub fn churn_mult_at(&self, now: u64, tenant: usize) -> u32 {
+        self.heap_spikes
+            .iter()
+            .filter(|s| s.tenant == tenant && s.start <= now && now < s.end)
+            .map(|s| s.churn_mult.max(1))
+            .fold(1, u32::max)
+    }
+
+    /// Cores down at `now` (summed over active outages).
+    pub fn cores_down_at(&self, now: u64) -> usize {
+        self.outages
+            .iter()
+            .filter(|o| o.start <= now && now < o.end)
+            .map(|o| o.cores_down)
+            .sum()
+    }
+
+    /// Every window boundary, sorted and deduplicated — the cycles the
+    /// event loop must wake at even if no request event lands there
+    /// (an outage ending must restart dispatch).
+    pub fn boundaries(&self) -> Vec<u64> {
+        let mut b: Vec<u64> = self
+            .storms
+            .iter()
+            .flat_map(|s| [s.start, s.end])
+            .chain(self.heap_spikes.iter().flat_map(|s| [s.start, s.end]))
+            .chain(self.outages.iter().flat_map(|o| [o.start, o.end]))
+            .collect();
+        b.sort_unstable();
+        b.dedup();
+        b
+    }
+
+    /// The first storm's window, when one exists.
+    pub fn storm_window(&self) -> Option<(u64, u64)> {
+        self.storms.first().map(|s| (s.start, s.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = ChaosPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.fault_ppm_at(123, 777), 777);
+        assert_eq!(p.churn_mult_at(123, 0), 1);
+        assert_eq!(p.cores_down_at(123), 0);
+        assert!(p.boundaries().is_empty());
+        assert_eq!(
+            ChaosPlan::storm_campaign(9, 1_000_000, 0, 3).boundaries(),
+            []
+        );
+    }
+
+    #[test]
+    fn storm_campaign_is_seed_deterministic_and_windowed() {
+        let a = ChaosPlan::storm_campaign(42, 10_000_000, 250_000, 3);
+        let b = ChaosPlan::storm_campaign(42, 10_000_000, 250_000, 3);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        let c = ChaosPlan::storm_campaign(43, 10_000_000, 250_000, 3);
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap()
+        );
+        let (start, end) = a.storm_window().unwrap();
+        assert!(start < end);
+        // The storm sits in the interior of the run.
+        assert!(start > 10_000_000 / 5, "start {start}");
+        assert!(end < 10_000_000 * 7 / 10, "end {end}");
+        // Inside the storm the rate is the storm rate; outside it the
+        // background survives.
+        assert_eq!(a.fault_ppm_at(start, 100), 250_000);
+        assert_eq!(a.fault_ppm_at(end, 100), 100);
+        assert_eq!(a.fault_ppm_at(0, 100), 100);
+        // Exactly one core goes down, inside the storm.
+        let o = a.outages[0];
+        assert!(o.start >= start && o.end <= end);
+        assert_eq!(a.cores_down_at(o.start), 1);
+        // The spike tenant is in range.
+        assert!(a.heap_spikes[0].tenant < 3);
+        assert!(a.churn_mult_at(a.heap_spikes[0].start, a.heap_spikes[0].tenant) > 1);
+        // Boundaries are sorted and unique.
+        let bounds = a.boundaries();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+}

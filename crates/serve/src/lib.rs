@@ -17,28 +17,44 @@
 //! - [`sim`] — a deterministic discrete-event scheduler: bounded
 //!   admission queues (backpressure), deficit-round-robin fairness
 //!   across tenants, a fixed core pool, all in simulated cycles.
+//! - [`resilience`] — the reliability tier over the same scheduler:
+//!   per-request deadlines, budgeted retries with decorrelated-jitter
+//!   backoff, hedged requests, per-tenant circuit breakers, and
+//!   SLO-aware load shedding.
+//! - [`chaos`] — seeded chaos campaigns (fault storms, heap-pressure
+//!   spikes, core outages) injected into resilient cells.
 //! - [`report`] — the offered-load sweep and the `BENCH_service.json`
-//!   schema (throughput-vs-load and latency-vs-load per ABI), gated in
-//!   CI by `bench_compare`.
+//!   schema (throughput-vs-load and latency-vs-load per ABI), plus the
+//!   storm-intensity × policy resilience sweep behind
+//!   `BENCH_resilience.json`; both gated in CI by `bench_compare`.
 //!
 //! Latency quantiles come from [`morello_obs::LogHistogram`], whose
 //! exact-merge property keeps every number byte-identical across
 //! `--jobs` counts.
 
 mod arrival;
+mod chaos;
 mod profile;
 mod report;
+mod resilience;
 mod sim;
 mod tenant;
 
 pub use arrival::{ArrivalGen, Request, SimRng, TrafficModel};
+pub use chaos::{ChaosPlan, CoreOutage, FaultStorm, HeapSpike};
 pub use profile::{
     mean_service_cycles, profile_shapes, FaultClass, FaultProfile, ShapeProfile, PROFILE_FUEL,
     PROFILE_RETRIES,
 };
 pub use report::{
-    run_service_sweep, service_metrics, AbiService, LoadPoint, ServiceReport, SweepConfig,
-    TenantPoint, FULL_RATIOS, QUICK_RATIOS, SHAPE_KEYS,
+    resilience_metrics, run_resilience_sweep, run_service_sweep, service_metrics, AbiResilience,
+    AbiService, LoadPoint, ResilienceCell, ResilienceReport, ResilienceTenantPoint, ServiceReport,
+    SweepConfig, TenantPoint, FULL_RATIOS, FULL_STORM_PPM, POLICY_TIERS, QUICK_RATIOS,
+    QUICK_STORM_PPM, RESILIENCE_UTILIZATION, SHAPE_KEYS,
+};
+pub use resilience::{
+    simulate_resilient, BreakerPolicy, HedgePolicy, ResiliencePolicy, ResilientSimParams,
+    ResilientSimResult, ResilientTenantOutcome, RetryPolicy, WindowPoint,
 };
 pub use sim::{simulate, ServiceConfig, SimResult, TenantOutcome};
 pub use tenant::{default_tenants, TenantCounters, TenantSpec, TenantState};

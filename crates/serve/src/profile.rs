@@ -9,7 +9,8 @@
 //! outcome of a fault-injected variant of the same request.
 //!
 //! Profiling runs on the work-stealing pool with a per-cell fuel
-//! watchdog borrowed from the resilient suite engine: each attempt caps
+//! watchdog (the shared [`morello_sim::Watchdog`], the same helper the
+//! resilient suite engine and the fault campaign use): each attempt caps
 //! `interp.max_insts`, and a cell that exhausts its budget retries with
 //! the budget doubled (deterministic backoff) up to a bounded number of
 //! attempts before the shape is marked **degraded**. Degraded shapes
@@ -22,7 +23,7 @@ use cheri_isa::Abi;
 use cheri_workloads::Workload;
 use morello_fault::{FaultOutcome, FaultPlan, FaultRunner};
 use morello_sim::engine::{run_cells, CellOutcome};
-use morello_sim::{Platform, ProgramCache, Runner};
+use morello_sim::{Platform, ProgramCache, Runner, Watchdog};
 use serde::{Deserialize, Serialize};
 
 /// Initial per-attempt instruction budget for the profiling watchdog.
@@ -149,12 +150,14 @@ fn profile_one(
     if !shape.supports(abi) {
         return degraded_row;
     }
-    for attempt in 0..=PROFILE_RETRIES {
-        let budget = PROFILE_FUEL.saturating_mul(1 << attempt);
-        let mut fuelled = platform;
-        fuelled.interp.max_insts = fuelled.interp.max_insts.min(budget);
-        let runner = Runner::new(fuelled);
-        if let Ok(report) = runner.run_with_cache(shape, abi, cache) {
+    let watchdog = Watchdog::budgeted(PROFILE_FUEL).with_retries(PROFILE_RETRIES);
+    let (result, attempts) = watchdog.run(&platform, |_, fuelled| {
+        Runner::new(*fuelled)
+            .run_with_cache(shape, abi, cache)
+            .map(|report| (report, *fuelled))
+    });
+    match result {
+        Ok((report, fuelled)) => {
             let fault = fault_seed.map(|seed| {
                 let plan = FaultPlan::tag_clear_campaign(seed, 1, report.retired);
                 match FaultRunner::new(fuelled).run(shape, abi, &plan) {
@@ -175,20 +178,22 @@ fn profile_one(
                     },
                 }
             });
-            return ShapeProfile {
+            ShapeProfile {
                 key: shape.key.to_owned(),
                 abi,
                 degraded: false,
                 service_cycles: report.stats.cpu_cycles,
                 retired: report.retired,
                 allocs: report.heap.allocs,
-                attempts: attempt + 1,
+                attempts,
                 fault,
-            };
+            }
+        }
+        Err(_) => {
+            degraded_row.attempts = attempts;
+            degraded_row
         }
     }
-    degraded_row.attempts = PROFILE_RETRIES + 1;
-    degraded_row
 }
 
 /// Mean service demand in cycles over the non-degraded shapes of a

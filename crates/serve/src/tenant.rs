@@ -91,6 +91,30 @@ pub struct TenantCounters {
     /// Allocation failures under quarantine pressure (the heap emptied
     /// half its live set to recover).
     pub heap_pressure: u64,
+    /// Requests that exhausted their deadline (queued too long or
+    /// finished past it) — resilient policies only.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Retry attempts this tenant's failed requests were granted from
+    /// its retry budget — resilient policies only.
+    #[serde(default)]
+    pub retries: u64,
+    /// Fresh arrivals dropped by SLO-aware load shedding — resilient
+    /// policies only.
+    #[serde(default)]
+    pub shed: u64,
+    /// Arrivals fast-rejected by an open circuit breaker — resilient
+    /// policies only.
+    #[serde(default)]
+    pub breaker_rejected: u64,
+    /// Hedge legs launched for this tenant's slow requests — resilient
+    /// policies only.
+    #[serde(default)]
+    pub hedges: u64,
+    /// Served requests whose end-to-end sojourn met the SLO — resilient
+    /// policies only.
+    #[serde(default)]
+    pub slo_attained: u64,
 }
 
 /// One tenant's live simulation state.
