@@ -16,7 +16,10 @@
 //! Flags: `--quick` (golden five at test scale; default: Table 3 set at
 //! `MORELLO_SCALE`), `--jobs N` (parallel-sweep worker count),
 //! `--out <path>` (default `BENCH_interp.json`; `-` = stdout),
-//! `--trace <path>` (phase trace: Chrome JSON + JSONL).
+//! `--trace <path>` (phase trace: Chrome JSON + JSONL),
+//! `--block-hist <path>` (write the model's dispatch subsection — the
+//! engine's dispatch mode plus per-ABI superblock block-size
+//! histogram — as a standalone JSON artefact).
 
 use morello_bench::speed::{run_bench, speed_table};
 use morello_bench::{exit_with_error, human, jobs_from_env};
@@ -52,6 +55,26 @@ fn main() {
         oe.host_sampling_overhead,
         oe.host_tracing_overhead
     );
+
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--block-hist")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--block-hist="))
+                .map(PathBuf::from)
+        })
+    {
+        match morello_pmu::write_json_out(&path, &report.model.dispatch) {
+            Ok(()) => eprintln!("(block-size histogram: {})", path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     let out = morello_pmu::out_flag(&args).unwrap_or_else(|| PathBuf::from("BENCH_interp.json"));
     if out == Path::new("-") {

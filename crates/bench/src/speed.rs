@@ -18,7 +18,7 @@
 //! `BENCH_interp.json` at the repo root; `bench_compare` diffs two such
 //! files with [`compare`] and exits nonzero past `--threshold`.
 
-use cheri_isa::Abi;
+use cheri_isa::{superblock_stats, Abi};
 use cheri_workloads::Scale;
 use morello_obs::{run_sampled, Tracer};
 use morello_pmu::{fmt_metric, PmuEvent, Table};
@@ -29,7 +29,17 @@ use std::time::Instant;
 
 /// Schema version stamped into every `BENCH_interp.json`; bump on any
 /// shape change so `bench_compare` refuses cross-schema diffs.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the `model` section gained the `dispatch` subsection (engine
+/// dispatch mode plus per-ABI superblock structure and block-size
+/// histogram).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// How the engine leg reaches its handlers: the direct-threaded
+/// superblock engine (fn-pointer table over fused micro-op blocks).
+/// Stamped into the report so a future dispatch-strategy change is
+/// visible in the artefact, not just the commit log.
+pub const DISPATCH_MODE: &str = "fn_ptr_superblocks";
 
 /// The `--quick` workload selection: the golden-report five, run at
 /// test scale. The full selection is the paper's Table 3 set at the
@@ -95,6 +105,37 @@ pub struct CacheModel {
     pub hit_rate: f64,
 }
 
+/// Superblock structure of one ABI's lowered selection: what the
+/// direct-threaded engine actually dispatches. Decode-derived, so
+/// deterministic — a lowering change that reshapes the partition moves
+/// these counts and trips the gate.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DispatchAbi {
+    /// ABI label.
+    pub abi: String,
+    /// Superblocks across the selection's functions.
+    pub blocks: u64,
+    /// Packed interior micro-ops (fast-path fn-pointer dispatched).
+    pub interior_ops: u64,
+    /// Ops kept as terminators (inline-branched or slow-path stepped).
+    pub terminators: u64,
+    /// Blocks that fall through to the next block without a terminator.
+    pub fallthrough_blocks: u64,
+    /// `size_hist[k]` = blocks with `k` interior ops; the last bucket
+    /// aggregates every larger block. Buckets sum to `blocks`.
+    pub size_hist: Vec<u64>,
+}
+
+/// Dispatch-structure subsection of the model: the engine's dispatch
+/// mode and the per-ABI superblock partition of the selection.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DispatchModel {
+    /// [`DISPATCH_MODE`].
+    pub mode: String,
+    /// Per-ABI partition totals and block-size histogram.
+    pub abis: Vec<DispatchAbi>,
+}
+
 /// The deterministic section of the report: model-derived only,
 /// byte-identical across hosts and `--jobs` values.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -105,6 +146,9 @@ pub struct ModelSection {
     pub abis: Vec<AbiModel>,
     /// Lowered-program cache behaviour.
     pub cache: CacheModel,
+    /// Engine dispatch structure (absent in pre-v2 reports).
+    #[serde(default)]
+    pub dispatch: DispatchModel,
 }
 
 /// Host-side throughput of one ABI (interpreter speed on this machine).
@@ -315,14 +359,34 @@ pub fn run_bench(quick: bool, jobs: usize, spans: &dyn SpanSink) -> Result<Bench
     };
 
     let mut host_abi_rates = Vec::new();
+    let mut dispatch_abis = Vec::new();
     for &abi in &Abi::ALL {
         let mut host_seconds = 0.0;
         let mut host_seconds_timed = 0.0;
         let mut retired = 0_u64;
         let mut retired_timed = 0_u64;
         let mut sim_seconds = 0.0;
+        let mut dispatch = DispatchAbi {
+            abi: abi.to_string(),
+            ..DispatchAbi::default()
+        };
         for w in workloads.iter().filter(|w| w.supports(abi)) {
             let prog = cache.get_or_lower(w, abi, scale);
+
+            // Superblock partition of this cell — static decode
+            // structure, folded per ABI into the model's dispatch
+            // subsection.
+            let sb = superblock_stats(&prog);
+            dispatch.blocks += sb.blocks;
+            dispatch.interior_ops += sb.interior_ops;
+            dispatch.terminators += sb.terminators;
+            dispatch.fallthrough_blocks += sb.fallthrough_blocks;
+            if dispatch.size_hist.len() < sb.size_hist.len() {
+                dispatch.size_hist.resize(sb.size_hist.len(), 0);
+            }
+            for (bucket, n) in sb.size_hist.iter().enumerate() {
+                dispatch.size_hist[bucket] += n;
+            }
 
             // Engine leg: architectural fast path, batched class counts
             // only — no per-event traffic into the timing model. One
@@ -352,6 +416,7 @@ pub fn run_bench(quick: bool, jobs: usize, spans: &dyn SpanSink) -> Result<Bench
                 w.key
             );
         }
+        dispatch_abis.push(dispatch);
         host_abi_rates.push(HostAbiRate {
             abi: abi.to_string(),
             host_seconds,
@@ -384,6 +449,10 @@ pub fn run_bench(quick: bool, jobs: usize, spans: &dyn SpanSink) -> Result<Bench
             workloads: keys.iter().map(|k| (*k).to_owned()).collect(),
             abis: abi_models(&rows),
             cache: cache_model,
+            dispatch: DispatchModel {
+                mode: DISPATCH_MODE.to_owned(),
+                abis: dispatch_abis,
+            },
         },
         host: HostSection {
             host_jobs: jobs as u64,
@@ -506,6 +575,20 @@ pub fn model_metrics(report: &BenchReport) -> Vec<(String, f64)> {
             m.push((format!("{}.{}.retired", abi.abi, c.class), c.retired as f64));
             m.push((format!("{}.{}.cycles", abi.abi, c.class), c.cycles as f64));
         }
+    }
+    // Dispatch structure (v2+; a pre-v2 report deserialises to an empty
+    // subsection, and the schema gate refuses cross-version diffs
+    // before this set is ever compared).
+    for d in &report.model.dispatch.abis {
+        m.push((format!("{}.dispatch.blocks", d.abi), d.blocks as f64));
+        m.push((
+            format!("{}.dispatch.interior_ops", d.abi),
+            d.interior_ops as f64,
+        ));
+        m.push((
+            format!("{}.dispatch.terminators", d.abi),
+            d.terminators as f64,
+        ));
     }
     m
 }
@@ -631,6 +714,22 @@ mod tests {
             let class_cycles: u64 = abi.classes.iter().map(|c| c.cycles).sum();
             assert_eq!(class_retired, abi.retired, "{}: classes partition", abi.abi);
             assert_eq!(class_cycles, abi.cycles, "{}: cycles partition", abi.abi);
+        }
+        // v2 dispatch subsection: one row per ABI, histogram buckets
+        // partition the block count, interiors + terminators tile the
+        // lowered ops.
+        assert_eq!(r2.model.dispatch.mode, DISPATCH_MODE);
+        assert_eq!(r2.model.dispatch.abis.len(), 3);
+        for d in &r2.model.dispatch.abis {
+            assert!(d.blocks > 0, "{}: selection decodes to blocks", d.abi);
+            assert!(d.interior_ops > 0 && d.terminators > 0);
+            assert_eq!(
+                d.size_hist.iter().sum::<u64>(),
+                d.blocks,
+                "{}: size_hist buckets partition the block count",
+                d.abi
+            );
+            assert_eq!(d.blocks, d.terminators + d.fallthrough_blocks);
         }
         // The gated section is byte-identical regardless of --jobs.
         let m2 = serde_json::to_string(&r2.model).unwrap();

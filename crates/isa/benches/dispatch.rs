@@ -1,0 +1,115 @@
+//! Dispatch micro-benchmarks: the per-op match-loop engine (the
+//! reference executor) against the direct-threaded superblock engine
+//! (fn-pointer table, fused micro-op blocks) on the same programs.
+//!
+//! Three shapes bracket the engine's behaviour: a long straight-line
+//! ALU body (interior dispatch dominates), a tight branchy loop (block
+//! transitions dominate), and a strided load/store loop (the memory
+//! substrate dominates). Throughput is reported in retired
+//! instructions per second, so the two engines are directly comparable
+//! per shape.
+
+use cheri_isa::{Abi, Cond, Interp, InterpConfig, MemSize, NullSink, Program, ProgramBuilder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn alu_program(abi: Abi) -> Program {
+    let mut b = ProgramBuilder::new("alu", abi);
+    let main = b.function("main", 0, |f| {
+        let i = f.vreg();
+        let acc = f.vreg();
+        let t = f.vreg();
+        f.mov_imm(i, 2_000);
+        f.mov_imm(acc, 1);
+        f.mov_imm(t, 7);
+        let top = f.here();
+        for _ in 0..50 {
+            f.add(acc, acc, t);
+            f.eor(acc, acc, 0x5555);
+            f.lsl(t, acc, 3u64);
+            f.sub(t, t, acc);
+        }
+        f.sub(i, i, 1u64);
+        f.br(Cond::Ne, i, 0u64, top);
+        f.halt();
+    });
+    b.set_entry(main);
+    b.lower()
+}
+
+fn branchy_program(abi: Abi) -> Program {
+    let mut b = ProgramBuilder::new("branchy", abi);
+    let main = b.function("main", 0, |f| {
+        let i = f.vreg();
+        let acc = f.vreg();
+        f.mov_imm(i, 120_000);
+        f.mov_imm(acc, 0);
+        let top = f.here();
+        f.add(acc, acc, i);
+        f.sub(i, i, 1u64);
+        f.br(Cond::Ne, i, 0u64, top);
+        f.halt();
+    });
+    b.set_entry(main);
+    b.lower()
+}
+
+fn mem_program(abi: Abi) -> Program {
+    let mut b = ProgramBuilder::new("mem", abi);
+    let buf = b.global_zero("buf", 64 * 1024);
+    let main = b.function("main", 0, |f| {
+        let i = f.vreg();
+        let p = f.vreg();
+        let t = f.vreg();
+        let acc = f.vreg();
+        f.mov_imm(i, 30_000);
+        f.lea_global(p, buf, 0);
+        f.mov_imm(acc, 3);
+        let top = f.here();
+        for k in 0..2 {
+            f.load_int(t, p, k * 4096, MemSize::S8);
+            f.add(acc, acc, t);
+            f.store_int(acc, p, k * 4096 + 8, MemSize::S8);
+        }
+        f.sub(i, i, 1u64);
+        f.br(Cond::Ne, i, 0u64, top);
+        f.halt();
+    });
+    b.set_entry(main);
+    b.lower()
+}
+
+fn retired_count(prog: &Program) -> u64 {
+    Interp::new(InterpConfig::default())
+        .run(prog, &mut NullSink)
+        .expect("bench programs complete")
+        .retired
+}
+
+type ShapeBuilder = fn(Abi) -> Program;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let shapes: [(&str, ShapeBuilder); 3] = [
+        ("alu_straightline", alu_program),
+        ("branchy_loop", branchy_program),
+        ("mem_strided", mem_program),
+    ];
+    for (name, build) in shapes {
+        let mut g = c.benchmark_group(name);
+        for abi in [Abi::Hybrid, Abi::Purecap] {
+            let prog = build(abi);
+            g.throughput(Throughput::Elements(retired_count(&prog)));
+            g.bench_function(format!("match_loop/{abi}"), |b| {
+                let interp = Interp::new(InterpConfig::default());
+                b.iter(|| interp.run_reference(&prog, &mut NullSink).unwrap())
+            });
+            g.bench_function(format!("fn_ptr_superblocks/{abi}"), |b| {
+                let interp = Interp::new(InterpConfig::default());
+                b.iter(|| interp.run(&prog, &mut NullSink).unwrap())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(dispatch, bench_dispatch);
+criterion_main!(dispatch);

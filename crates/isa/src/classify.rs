@@ -168,6 +168,36 @@ impl ClassCounts {
         *self.slot(class) += 1;
     }
 
+    /// Adds every count in `other` — the superblock fast path folds a
+    /// pre-summed per-block [`ClassCounts`] into the run accumulator
+    /// with one call instead of a `bump` per retired op.
+    #[inline]
+    pub fn add(&mut self, other: &ClassCounts) {
+        self.int_alu += other.int_alu;
+        self.cap_manip += other.cap_manip;
+        self.mem_scalar += other.mem_scalar;
+        self.mem_cap += other.mem_cap;
+        self.branch += other.branch;
+        self.cap_branch += other.cap_branch;
+        self.runtime += other.runtime;
+        self.meta += other.meta;
+    }
+
+    /// Adds every count in `other` multiplied by `k` — folds a block's
+    /// pre-summed class profile times its execution count into the run
+    /// accumulator in one call at run end.
+    #[inline]
+    pub fn add_scaled(&mut self, other: &ClassCounts, k: u64) {
+        self.int_alu += other.int_alu * k;
+        self.cap_manip += other.cap_manip * k;
+        self.mem_scalar += other.mem_scalar * k;
+        self.mem_cap += other.mem_cap * k;
+        self.branch += other.branch * k;
+        self.cap_branch += other.cap_branch * k;
+        self.runtime += other.runtime * k;
+        self.meta += other.meta * k;
+    }
+
     /// The count for one class.
     pub fn get(&self, class: OpClass) -> u64 {
         match class {

@@ -10,6 +10,7 @@
 //! execution loop in [`crate::fastexec`] then dispatches on this dense
 //! enum without touching the original [`Inst`] stream.
 
+use crate::classify::{ClassCounts, OpClass};
 use crate::inst::{
     CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, IntOp, LoadKind, MemSize, Operand, VecKind,
 };
@@ -199,9 +200,27 @@ pub(crate) enum Op {
 }
 
 /// One decoded function: its op array plus the frame/layout facts the
-/// call and return paths need without chasing back into [`Program`].
+/// call and return paths need without chasing back into [`Program`],
+/// and its superblock partition (micro-op arena, block table, and the
+/// ip→block map) for the direct-threaded dispatch loop.
 pub(crate) struct DecodedFunc {
     pub(crate) ops: Box<[Op]>,
+    /// Flat arena of packed interior micro-ops, block by block.
+    pub(crate) micros: Box<[MicroOp]>,
+    /// Superblocks in `start_ip` order; they tile `ops` exactly.
+    pub(crate) blocks: Box<[Superblock]>,
+    /// Pre-summed interior event classes per block (parallel to
+    /// `blocks`). Kept out of [`Superblock`] so the dispatch loop's
+    /// block table stays cache-dense; only the run-end class fold and
+    /// the stats reader touch this.
+    pub(crate) block_classes: Box<[ClassCounts]>,
+    /// `block_idx[ip]` = index into `blocks` of the block containing
+    /// `ip`. Every control-transfer target is a block's `start_ip`.
+    pub(crate) block_idx: Box<[u32]>,
+    /// This function's offset into the program-wide block numbering
+    /// (`block_base + local index` = global block id), used by the
+    /// engine's per-block execution counters.
+    pub(crate) block_base: u32,
     pub(crate) base_pc: u64,
     pub(crate) frame_size: u64,
     pub(crate) params: u16,
@@ -214,6 +233,9 @@ pub(crate) struct DecodedProgram {
     pub(crate) funcs: Box<[DecodedFunc]>,
     /// Shared pool of call-argument registers ([`ArgsRef`] windows).
     pub(crate) args: Box<[u16]>,
+    /// Total superblocks across all functions (sizes the engine's
+    /// per-block execution-count table).
+    pub(crate) total_blocks: u32,
 }
 
 impl DecodedProgram {
@@ -221,6 +243,7 @@ impl DecodedProgram {
     pub(crate) fn decode(prog: &Program) -> DecodedProgram {
         let mut pool: Vec<u16> = Vec::new();
         let mut funcs = Vec::with_capacity(prog.funcs.len());
+        let mut total_blocks: u32 = 0;
         for (fi, f) in prog.funcs.iter().enumerate() {
             let base_pc = prog.map.func_base[fi];
             let caller_module = f.module;
@@ -420,8 +443,16 @@ impl DecodedProgram {
                     Inst::Region { id } => Op::Region { id: *id },
                 })
                 .collect();
+            let (micros, blocks, block_idx, block_classes) = build_blocks(&ops, base_pc);
+            let block_base = total_blocks;
+            total_blocks += blocks.len() as u32;
             funcs.push(DecodedFunc {
                 ops: ops.into_boxed_slice(),
+                micros: micros.into_boxed_slice(),
+                blocks: blocks.into_boxed_slice(),
+                block_classes: block_classes.into_boxed_slice(),
+                block_idx: block_idx.into_boxed_slice(),
+                block_base,
                 base_pc,
                 frame_size: f.frame_size,
                 params: f.params,
@@ -432,6 +463,7 @@ impl DecodedProgram {
         DecodedProgram {
             funcs: funcs.into_boxed_slice(),
             args: pool.into_boxed_slice(),
+            total_blocks,
         }
     }
 }
@@ -442,4 +474,614 @@ fn decode_off(off: Operand, scaled: bool) -> Off {
         Operand::Reg(r) if scaled => Off::RegScaled(r),
         Operand::Reg(r) => Off::Reg(r),
     }
+}
+
+// ---- Superblocks and packed micro-ops ------------------------------------
+//
+// The direct-threaded engine does not dispatch on the `Op` enum at all:
+// decode additionally partitions each function into *superblocks* —
+// single-entry straight-line runs whose interiors are ops that retire
+// exactly one event, neither transfer control nor touch the runtime,
+// and pack into a flat [`MicroOp`]. A block ends at a *terminator*
+// (branch, call, return, allocator intrinsic, halt, region marker,
+// `BadGeneric`, or the rare op whose operands do not fit the packed
+// form); the terminator stays an `Op` and is executed by the per-op
+// slow path. Interiors dispatch through a per-ABI fn-pointer table
+// indexed by [`MicroOp::kind`], with the per-instruction bookkeeping
+// (fuel check, retired count, `ClassCounts`) hoisted to block
+// boundaries via the pre-summed [`DecodedFunc::block_classes`].
+
+/// One packed interior micro-op: 32 bytes, flat fields, no nested
+/// enums. `kind` indexes the dispatch table; the other fields are
+/// kind-specific (see [`mk`] for the conventions).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MicroOp {
+    /// Absolute pc of this op (`base_pc + ip * 4`).
+    pub(crate) pc: u64,
+    /// Immediate payload: integer/f64-bits immediates, absolute
+    /// addresses, byte offsets.
+    pub(crate) imm: u64,
+    /// Secondary payload: `Madd`/`FMadd` third register, or the
+    /// captable post-increment offset (as `i32`).
+    pub(crate) aux: u32,
+    /// Destination register (source register for stores).
+    pub(crate) dst: u16,
+    /// First source register (base register for memory ops).
+    pub(crate) a: u16,
+    /// Second source register (offset register for memory ops).
+    pub(crate) b: u16,
+    /// Dispatch-table index.
+    pub(crate) kind: u8,
+    /// Access width in bytes for memory ops; long-latency extra for
+    /// int/float ALU ops; unused otherwise.
+    pub(crate) sz: u8,
+}
+
+/// Micro-op kinds: the dispatch-table indices. One kind per (operation
+/// × operand-form) so handlers are fully specialised — no inner operand
+/// or size `match` survives on the interior path. `*_RR` reads its
+/// second operand from register `b`, `*_RI` from `imm`. Memory-op
+/// kinds come in `IMM`/`REG`/`SCL` offset-mode triples (immediate
+/// offset in `imm`, register offset in `b`, width-scaled register
+/// offset in `b`), and those triples must stay adjacent (`pack` relies
+/// on `base + 1` / `base + 2`).
+#[allow(missing_docs)]
+pub(crate) mod mk {
+    pub const MOV_IMM: u8 = 1;
+    pub const MOV_F64: u8 = 2;
+    pub const MOV: u8 = 3;
+    pub const ADD_RR: u8 = 4;
+    pub const ADD_RI: u8 = 5;
+    pub const SUB_RR: u8 = 6;
+    pub const SUB_RI: u8 = 7;
+    pub const MUL_RR: u8 = 8;
+    pub const MUL_RI: u8 = 9;
+    pub const UDIV_RR: u8 = 10;
+    pub const UDIV_RI: u8 = 11;
+    pub const UREM_RR: u8 = 12;
+    pub const UREM_RI: u8 = 13;
+    pub const AND_RR: u8 = 14;
+    pub const AND_RI: u8 = 15;
+    pub const ORR_RR: u8 = 16;
+    pub const ORR_RI: u8 = 17;
+    pub const EOR_RR: u8 = 18;
+    pub const EOR_RI: u8 = 19;
+    pub const LSL_RR: u8 = 20;
+    pub const LSL_RI: u8 = 21;
+    pub const LSR_RR: u8 = 22;
+    pub const LSR_RI: u8 = 23;
+    pub const ASR_RR: u8 = 24;
+    pub const ASR_RI: u8 = 25;
+    pub const MADD: u8 = 26;
+    pub const FADD: u8 = 27;
+    pub const FSUB: u8 = 28;
+    pub const FMUL: u8 = 29;
+    pub const FDIV: u8 = 30;
+    pub const FMIN: u8 = 31;
+    pub const FMAX: u8 = 32;
+    pub const FSQRT: u8 = 33;
+    pub const FMADD: u8 = 34;
+    pub const FCEQ: u8 = 35;
+    pub const FCNE: u8 = 36;
+    pub const FCLT: u8 = 37;
+    pub const FCLE: u8 = 38;
+    pub const FCGT: u8 = 39;
+    pub const FCGE: u8 = 40;
+    pub const VADD: u8 = 41;
+    pub const VMUL: u8 = 42;
+    pub const VFMA: u8 = 43;
+    pub const VSAD: u8 = 44;
+    pub const CVT_TO_INT: u8 = 45;
+    pub const CVT_TO_F64: u8 = 46;
+    pub const LEA: u8 = 47;
+    pub const MOV_NULL: u8 = 48;
+    pub const PTR_ADD_RR: u8 = 49;
+    pub const PTR_ADD_RI: u8 = 50;
+    pub const PTR_TO_INT: u8 = 51;
+    pub const LOAD_CT: u8 = 52;
+    pub const LD_U8_IMM: u8 = 53;
+    pub const LD_U16_IMM: u8 = 56;
+    pub const LD_U32_IMM: u8 = 59;
+    pub const LD_U64_IMM: u8 = 62;
+    pub const LD_F64_IMM: u8 = 65;
+    pub const LD_CAP_IMM: u8 = 68;
+    pub const ST_U8_IMM: u8 = 71;
+    pub const ST_U16_IMM: u8 = 74;
+    pub const ST_U32_IMM: u8 = 77;
+    pub const ST_U64_IMM: u8 = 80;
+    pub const ST_F64_IMM: u8 = 83;
+    pub const ST_CAP_IMM: u8 = 86;
+    pub const CINC_RR: u8 = 89;
+    pub const CINC_RI: u8 = 90;
+    pub const CSETADDR_RR: u8 = 91;
+    pub const CSETADDR_RI: u8 = 92;
+    pub const CSETB_RR: u8 = 93;
+    pub const CSETB_RI: u8 = 94;
+    pub const CSETBE_RR: u8 = 95;
+    pub const CSETBE_RI: u8 = 96;
+    pub const CANDP_RR: u8 = 97;
+    pub const CANDP_RI: u8 = 98;
+    pub const CGETADDR: u8 = 99;
+    pub const CGETLEN: u8 = 100;
+    pub const CGETBASE: u8 = 101;
+    pub const CGETTAG: u8 = 102;
+    pub const CSEALE: u8 = 103;
+    pub const CCLEARTAG: u8 = 104;
+    pub const CSEAL: u8 = 105;
+    pub const CUNSEAL: u8 = 106;
+    /// Offset-mode strides within a memory-kind triple.
+    pub const OFF_REG: u8 = 1;
+    pub const OFF_SCL: u8 = 2;
+}
+
+/// Sentinel `term` for a block that falls through into the next leader
+/// without a terminator op (no control transfer happens at the seam, so
+/// no event and no extra fuel check either).
+pub(crate) const NO_TERM: u32 = u32::MAX;
+
+/// One single-entry straight-line run of packed micro-ops.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Superblock {
+    /// First op ip of the block (always a leader: every control
+    /// transfer in the function lands on some block's `start_ip`).
+    pub(crate) start_ip: u32,
+    /// First interior micro-op in [`DecodedFunc::micros`].
+    pub(crate) first: u32,
+    /// Number of interior micro-ops. Each retires exactly one event,
+    /// so `n` is also the block's interior fuel cost.
+    pub(crate) n: u32,
+    /// ip of the terminator `Op`, or [`NO_TERM`] for fallthrough.
+    pub(crate) term: u32,
+    /// Pre-resolved local block index of the terminator's branch target
+    /// when the terminator is `Jump`/`CondBr`, else [`NO_TERM`]. Lets
+    /// the dispatch loop chain block-to-block without re-deriving the
+    /// block index from the target ip.
+    pub(crate) t_blk: u32,
+}
+
+/// Packs one interior op into a [`MicroOp`] with its (payload-static)
+/// event class, or `None` for terminators. Interior classes never
+/// depend on the pc: application code lives at `pc >= CODE_BASE`, above
+/// every runtime window, so `OpClass::of` is payload-only here (the
+/// engine's debug asserts re-check every emitted event against a fresh
+/// classification).
+fn pack(op: &Op, pc: u64) -> Option<(MicroOp, OpClass)> {
+    let mut mo = MicroOp {
+        pc,
+        imm: 0,
+        aux: 0,
+        dst: 0,
+        a: 0,
+        b: 0,
+        kind: 0,
+        sz: 0,
+    };
+    let class = match *op {
+        Op::MovImm { dst, imm } => {
+            mo.kind = mk::MOV_IMM;
+            mo.dst = dst;
+            mo.imm = imm;
+            OpClass::IntAlu
+        }
+        Op::MovF64 { dst, imm } => {
+            mo.kind = mk::MOV_F64;
+            mo.dst = dst;
+            mo.imm = imm.to_bits();
+            OpClass::IntAlu
+        }
+        Op::Mov { dst, src } => {
+            mo.kind = mk::MOV;
+            mo.dst = dst;
+            mo.a = src;
+            OpClass::IntAlu
+        }
+        Op::IntAlu { op, dst, a, b, ll } => {
+            // The long-latency extra rides in the (otherwise unused)
+            // width byte; the handler rebuilds the exact event info.
+            mo.sz = ll;
+            let (rr, ri) = match op {
+                IntOp::Add => (mk::ADD_RR, mk::ADD_RI),
+                IntOp::Sub => (mk::SUB_RR, mk::SUB_RI),
+                IntOp::Mul => (mk::MUL_RR, mk::MUL_RI),
+                IntOp::UDiv => (mk::UDIV_RR, mk::UDIV_RI),
+                IntOp::URem => (mk::UREM_RR, mk::UREM_RI),
+                IntOp::And => (mk::AND_RR, mk::AND_RI),
+                IntOp::Orr => (mk::ORR_RR, mk::ORR_RI),
+                IntOp::Eor => (mk::EOR_RR, mk::EOR_RI),
+                IntOp::Lsl => (mk::LSL_RR, mk::LSL_RI),
+                IntOp::Lsr => (mk::LSR_RR, mk::LSR_RI),
+                IntOp::Asr => (mk::ASR_RR, mk::ASR_RI),
+            };
+            mo.dst = dst;
+            mo.a = a;
+            match b {
+                Operand::Reg(r) => {
+                    mo.kind = rr;
+                    mo.b = r;
+                }
+                Operand::Imm(i) => {
+                    mo.kind = ri;
+                    mo.imm = i as u64;
+                }
+            }
+            OpClass::IntAlu
+        }
+        Op::Madd { dst, a, b, c } => {
+            mo.kind = mk::MADD;
+            mo.dst = dst;
+            mo.a = a;
+            mo.b = b;
+            mo.aux = u32::from(c);
+            OpClass::IntAlu
+        }
+        Op::FloatAlu { op, dst, a, b, ll } => {
+            mo.sz = ll;
+            mo.kind = match op {
+                FloatOp::FAdd => mk::FADD,
+                FloatOp::FSub => mk::FSUB,
+                FloatOp::FMul => mk::FMUL,
+                FloatOp::FDiv => mk::FDIV,
+                FloatOp::FMin => mk::FMIN,
+                FloatOp::FMax => mk::FMAX,
+                FloatOp::FSqrt => mk::FSQRT,
+            };
+            mo.dst = dst;
+            mo.a = a;
+            mo.b = b;
+            OpClass::IntAlu
+        }
+        Op::FMadd { dst, a, b, c } => {
+            mo.kind = mk::FMADD;
+            mo.dst = dst;
+            mo.a = a;
+            mo.b = b;
+            mo.aux = u32::from(c);
+            OpClass::IntAlu
+        }
+        Op::FCmp { cond, dst, a, b } => {
+            // Signed and unsigned orderings coincide on f64 compares,
+            // exactly as the reference arm folds them.
+            mo.kind = match cond {
+                Cond::Eq => mk::FCEQ,
+                Cond::Ne => mk::FCNE,
+                Cond::Ltu | Cond::Lts => mk::FCLT,
+                Cond::Leu => mk::FCLE,
+                Cond::Gtu | Cond::Gts => mk::FCGT,
+                Cond::Geu => mk::FCGE,
+            };
+            mo.dst = dst;
+            mo.a = a;
+            mo.b = b;
+            OpClass::IntAlu
+        }
+        Op::Vec { op, dst, a, b } => {
+            mo.kind = match op {
+                VecKind::VAdd => mk::VADD,
+                VecKind::VMul => mk::VMUL,
+                VecKind::VFma => mk::VFMA,
+                VecKind::VSad => mk::VSAD,
+            };
+            mo.dst = dst;
+            mo.a = a;
+            mo.b = b;
+            OpClass::IntAlu
+        }
+        Op::Cvt { dst, src, to_int } => {
+            mo.kind = if to_int {
+                mk::CVT_TO_INT
+            } else {
+                mk::CVT_TO_F64
+            };
+            mo.dst = dst;
+            mo.a = src;
+            OpClass::IntAlu
+        }
+        Op::LeaConst { dst, addr } => {
+            mo.kind = mk::LEA;
+            mo.dst = dst;
+            mo.imm = addr;
+            OpClass::IntAlu
+        }
+        Op::MovNullPtr { dst } => {
+            mo.kind = mk::MOV_NULL;
+            mo.dst = dst;
+            OpClass::IntAlu
+        }
+        Op::PtrAdd { dst, base, off } => {
+            mo.dst = dst;
+            mo.a = base;
+            match off {
+                Operand::Reg(r) => {
+                    mo.kind = mk::PTR_ADD_RR;
+                    mo.b = r;
+                }
+                Operand::Imm(i) => {
+                    mo.kind = mk::PTR_ADD_RI;
+                    mo.imm = i as u64;
+                }
+            }
+            OpClass::IntAlu
+        }
+        Op::PtrToInt { dst, src } => {
+            mo.kind = mk::PTR_TO_INT;
+            mo.dst = dst;
+            mo.a = src;
+            OpClass::IntAlu
+        }
+        Op::LoadCapTable { dst, addr, off } => {
+            // The post-increment must fit `aux`; a wider one demotes
+            // the op to a terminator (slow-path executed, still exact).
+            let off32 = i32::try_from(off).ok()?;
+            mo.kind = mk::LOAD_CT;
+            mo.dst = dst;
+            mo.imm = addr;
+            mo.aux = off32 as u32;
+            OpClass::MemCap
+        }
+        Op::Load {
+            dst,
+            base,
+            off,
+            kind,
+            bytes,
+            ..
+        } => {
+            let col = match kind {
+                LoadKind::Int => match bytes {
+                    1 => mk::LD_U8_IMM,
+                    2 => mk::LD_U16_IMM,
+                    4 => mk::LD_U32_IMM,
+                    _ => mk::LD_U64_IMM,
+                },
+                LoadKind::F64 => mk::LD_F64_IMM,
+                LoadKind::Cap => mk::LD_CAP_IMM,
+            };
+            mo.dst = dst;
+            mo.a = base;
+            mo.sz = bytes;
+            pack_off(&mut mo, col, off);
+            if matches!(kind, LoadKind::Cap) {
+                OpClass::MemCap
+            } else {
+                OpClass::MemScalar
+            }
+        }
+        Op::Store {
+            src,
+            base,
+            off,
+            kind,
+            bytes,
+            ..
+        } => {
+            let col = match kind {
+                LoadKind::Int => match bytes {
+                    1 => mk::ST_U8_IMM,
+                    2 => mk::ST_U16_IMM,
+                    4 => mk::ST_U32_IMM,
+                    _ => mk::ST_U64_IMM,
+                },
+                LoadKind::F64 => mk::ST_F64_IMM,
+                LoadKind::Cap => mk::ST_CAP_IMM,
+            };
+            mo.dst = src;
+            mo.a = base;
+            mo.sz = bytes;
+            pack_off(&mut mo, col, off);
+            if matches!(kind, LoadKind::Cap) {
+                OpClass::MemCap
+            } else {
+                OpClass::MemScalar
+            }
+        }
+        Op::CapOp { op, dst, a, b } => {
+            mo.dst = dst;
+            mo.a = a;
+            mo.kind = match op {
+                CapOpKind::IncOffset
+                | CapOpKind::SetAddr
+                | CapOpKind::SetBounds
+                | CapOpKind::SetBoundsExact
+                | CapOpKind::AndPerm => {
+                    let (rr, ri) = match op {
+                        CapOpKind::IncOffset => (mk::CINC_RR, mk::CINC_RI),
+                        CapOpKind::SetAddr => (mk::CSETADDR_RR, mk::CSETADDR_RI),
+                        CapOpKind::SetBounds => (mk::CSETB_RR, mk::CSETB_RI),
+                        CapOpKind::SetBoundsExact => (mk::CSETBE_RR, mk::CSETBE_RI),
+                        _ => (mk::CANDP_RR, mk::CANDP_RI),
+                    };
+                    match b {
+                        Operand::Reg(r) => {
+                            mo.b = r;
+                            rr
+                        }
+                        Operand::Imm(i) => {
+                            mo.imm = i as u64;
+                            ri
+                        }
+                    }
+                }
+                CapOpKind::GetAddr => mk::CGETADDR,
+                CapOpKind::GetLen => mk::CGETLEN,
+                CapOpKind::GetBase => mk::CGETBASE,
+                CapOpKind::GetTag => mk::CGETTAG,
+                CapOpKind::SealEntry => mk::CSEALE,
+                CapOpKind::ClearTag => mk::CCLEARTAG,
+            };
+            OpClass::CapManip
+        }
+        Op::CapOp2 { op, a, auth, dst } => {
+            mo.kind = match op {
+                CapOp2Kind::Seal => mk::CSEAL,
+                CapOp2Kind::Unseal => mk::CUNSEAL,
+            };
+            mo.dst = dst;
+            mo.a = a;
+            mo.b = auth;
+            OpClass::CapManip
+        }
+        // Terminators: control transfers, runtime intrinsics, region
+        // markers, halt, and the lowering-reject sentinel.
+        Op::Jump { .. }
+        | Op::CondBr { .. }
+        | Op::Call { .. }
+        | Op::CallIndirect { .. }
+        | Op::Ret { .. }
+        | Op::Malloc { .. }
+        | Op::Free { .. }
+        | Op::Halt { .. }
+        | Op::Region { .. }
+        | Op::BadGeneric => return None,
+    };
+    Some((mo, class))
+}
+
+/// Applies the offset mode to a memory-kind triple base (`IMM` base,
+/// `+1` register, `+2` scaled register).
+fn pack_off(mo: &mut MicroOp, col: u8, off: Off) {
+    match off {
+        Off::Imm(i) => {
+            mo.kind = col;
+            mo.imm = i as u64;
+        }
+        Off::Reg(r) => {
+            mo.kind = col + mk::OFF_REG;
+            mo.b = r;
+        }
+        Off::RegScaled(r) => {
+            mo.kind = col + mk::OFF_SCL;
+            mo.b = r;
+        }
+    }
+}
+
+/// Partitions one function into superblocks. Leaders are ip 0, every
+/// in-function branch target, and the op after every terminator; blocks
+/// run from a leader to the next terminator (inclusive, as `term`) or
+/// fall through at the next leader ([`NO_TERM`]).
+fn build_blocks(
+    ops: &[Op],
+    base_pc: u64,
+) -> (Vec<MicroOp>, Vec<Superblock>, Vec<u32>, Vec<ClassCounts>) {
+    let len = ops.len();
+    let packed: Vec<Option<(MicroOp, OpClass)>> = ops
+        .iter()
+        .enumerate()
+        .map(|(ip, op)| pack(op, base_pc + ip as u64 * 4))
+        .collect();
+    // `leader` has one extra slot so a branch target of `len` (or a
+    // terminator as last op) needs no bounds special-casing.
+    let mut leader = vec![false; len + 1];
+    if len > 0 {
+        leader[0] = true;
+    }
+    for (ip, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Jump { t_ip, .. } => leader[t_ip as usize] = true,
+            Op::CondBr { t_ip, .. } => leader[t_ip as usize] = true,
+            _ => {}
+        }
+        if packed[ip].is_none() {
+            leader[ip + 1] = true;
+        }
+    }
+    let mut micros = Vec::new();
+    let mut blocks = Vec::new();
+    let mut block_idx = vec![0u32; len];
+    let mut block_classes = Vec::new();
+    let mut ip = 0usize;
+    while ip < len {
+        let start = ip;
+        let first = micros.len() as u32;
+        let mut classes = ClassCounts::new();
+        let mut term = NO_TERM;
+        loop {
+            match packed[ip] {
+                Some((mo, class)) => {
+                    micros.push(mo);
+                    classes.bump(class);
+                    ip += 1;
+                    if ip == len || leader[ip] {
+                        break;
+                    }
+                }
+                None => {
+                    term = ip as u32;
+                    ip += 1;
+                    break;
+                }
+            }
+        }
+        let b = blocks.len() as u32;
+        for slot in &mut block_idx[start..ip] {
+            *slot = b;
+        }
+        blocks.push(Superblock {
+            start_ip: start as u32,
+            first,
+            n: micros.len() as u32 - first,
+            term,
+            t_blk: NO_TERM,
+        });
+        block_classes.push(classes);
+    }
+    // Resolve branch-terminator targets to block indices now that the
+    // whole partition exists.
+    for blk in &mut blocks {
+        if blk.term != NO_TERM {
+            match ops[blk.term as usize] {
+                Op::Jump { t_ip, .. } | Op::CondBr { t_ip, .. } => {
+                    blk.t_blk = block_idx[t_ip as usize];
+                }
+                _ => {}
+            }
+        }
+    }
+    (micros, blocks, block_idx, block_classes)
+}
+
+/// Superblock-shape statistics for one program — the observability
+/// counterpart of the direct-threaded engine (reported by the speed
+/// bench as the schema-v2 block-size histogram).
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct SuperblockStats {
+    /// Total superblocks across all functions.
+    pub blocks: u64,
+    /// Total packed interior micro-ops (fast-path dispatched).
+    pub interior_ops: u64,
+    /// Ops kept as terminators (slow-path stepped).
+    pub terminators: u64,
+    /// Blocks that fall through without a terminator.
+    pub fallthrough_blocks: u64,
+    /// `size_hist[k]` = blocks with `k` interior ops; the final bucket
+    /// aggregates every larger block.
+    pub size_hist: Vec<u64>,
+}
+
+/// Buckets in [`SuperblockStats::size_hist`] (0..=30 exact, 31 = "31+").
+const SIZE_HIST_BUCKETS: usize = 32;
+
+/// Decodes `prog` and folds its superblock partition into
+/// [`SuperblockStats`]. Pure observability — the result has no effect
+/// on execution.
+pub fn superblock_stats(prog: &Program) -> SuperblockStats {
+    let dec = DecodedProgram::decode(prog);
+    let mut s = SuperblockStats {
+        size_hist: vec![0; SIZE_HIST_BUCKETS],
+        ..SuperblockStats::default()
+    };
+    for f in dec.funcs.iter() {
+        for b in f.blocks.iter() {
+            s.blocks += 1;
+            s.interior_ops += u64::from(b.n);
+            if b.term == NO_TERM {
+                s.fallthrough_blocks += 1;
+            } else {
+                s.terminators += 1;
+            }
+            let bucket = (b.n as usize).min(SIZE_HIST_BUCKETS - 1);
+            s.size_hist[bucket] += 1;
+        }
+    }
+    s
 }

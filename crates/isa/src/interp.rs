@@ -102,6 +102,15 @@ impl RetiredInfo {
 
 /// Consumer of retired-instruction events (the timing model).
 pub trait EventSink {
+    /// `true` when this sink wants superblock-batched delivery: the
+    /// fast engine then buffers each straight-line block's interior
+    /// events and hands them over in one
+    /// [`retire_block_classified`](EventSink::retire_block_classified)
+    /// call at the block boundary instead of one virtual hop per op.
+    /// The default (`false`) keeps per-op delivery; sinks that override
+    /// this must preserve per-event ordering semantics exactly.
+    const WANTS_BLOCK_EVENTS: bool = false;
+
     /// Called once per retired instruction, in program order.
     fn retire(&mut self, ev: RetiredEvent);
 
@@ -116,6 +125,21 @@ pub trait EventSink {
     fn retire_classified(&mut self, ev: RetiredEvent, class: OpClass) {
         let _ = class;
         self.retire(ev);
+    }
+
+    /// Delivers one superblock's retired events (with pre-computed
+    /// classes) in program order. Only called by the fast engine, and
+    /// only when [`WANTS_BLOCK_EVENTS`](EventSink::WANTS_BLOCK_EVENTS)
+    /// is `true`; the batch never spans a control transfer, a region
+    /// marker, or an error, so delivery order across calls is identical
+    /// to per-op delivery. The default unrolls to
+    /// [`retire_classified`](EventSink::retire_classified), keeping the
+    /// two delivery modes observationally identical.
+    #[inline]
+    fn retire_block_classified(&mut self, evs: &[(RetiredEvent, OpClass)]) {
+        for (ev, class) in evs {
+            self.retire_classified(*ev, *class);
+        }
     }
 
     /// Called when execution crosses a [`Region`](crate::Inst::Region)
@@ -139,6 +163,8 @@ impl EventSink for NullSink {
 }
 
 impl<S: EventSink + ?Sized> EventSink for &mut S {
+    const WANTS_BLOCK_EVENTS: bool = S::WANTS_BLOCK_EVENTS;
+
     #[inline]
     fn retire(&mut self, ev: RetiredEvent) {
         (**self).retire(ev);
@@ -147,6 +173,11 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     #[inline]
     fn retire_classified(&mut self, ev: RetiredEvent, class: OpClass) {
         (**self).retire_classified(ev, class);
+    }
+
+    #[inline]
+    fn retire_block_classified(&mut self, evs: &[(RetiredEvent, OpClass)]) {
+        (**self).retire_block_classified(evs);
     }
 
     #[inline]

@@ -61,7 +61,9 @@ pub use abi::Abi;
 pub use binlayout::{BinaryLayout, SectionSizes};
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use classify::{ClassCounts, OpClass};
+pub use decoded::{superblock_stats, SuperblockStats};
 pub use disasm::{disassemble, render_inst};
+pub use fastexec::{run_arena_stats, RunArenaStats};
 pub use inst::{
     BranchKind, CapOp2Kind, CapOpKind, Cond, FloatOp, Inst, InstClass, IntOp, Label, LoadKind,
     MemSize, Operand, VecKind,

@@ -267,6 +267,153 @@ proptest! {
     }
 }
 
+// ---- Superblock edge cases -------------------------------------------------
+//
+// Named with a `superblock_` prefix so CI can run exactly this group
+// under `--release` (`cargo test --release superblock_`): they pin the
+// partition-boundary behaviours of the direct-threaded engine — branch
+// targets splitting straight-line runs, the fuel cutoff landing inside
+// a block's interior, and a fault at a block's final interior op.
+
+/// A backward branch into the middle of what would otherwise be one
+/// straight-line run: the target must be a block leader, and chaining
+/// to it (rather than falling through) must match the reference
+/// event-for-event.
+#[test]
+fn superblock_branch_into_former_interior_is_identical() {
+    for abi in Abi::ALL {
+        let mut b = ProgramBuilder::new("midblock", abi);
+        let main = b.function("main", 0, |f| {
+            let acc = f.vreg();
+            let n = f.vreg();
+            f.mov_imm(acc, 7);
+            f.mov_imm(n, 3);
+            // Straight-line prefix; `mid` splits it into two blocks.
+            f.add(acc, acc, 11);
+            f.eor(acc, acc, 0x3c3ci64);
+            let mid = f.here();
+            f.add(acc, acc, 5);
+            f.lsr(acc, acc, 1);
+            f.eor(acc, acc, 0x55i64);
+            f.sub(n, n, 1u64);
+            f.br(Cond::Ne, n, 0u64, mid);
+            f.and(acc, acc, 0xFFFFi64);
+            f.halt_code(acc);
+        });
+        b.set_entry(main);
+        let prog = b.lower();
+        let res = diff_run(&prog, InterpConfig::default(), &format!("midblock/{abi}"))
+            .expect("program completes");
+        assert_eq!(res.classes.total(), res.retired);
+    }
+}
+
+/// Sweeps the fuel limit across every position of a long straight-line
+/// block so the cutoff lands before, inside (every interior offset),
+/// and after it. The fast engine's block-margin check must delegate to
+/// the per-op path and report the identical truncated stream and
+/// `FuelExhausted { retired }` as the reference.
+#[test]
+fn superblock_fuel_exhaustion_mid_block_is_identical() {
+    for abi in Abi::ALL {
+        let mut b = ProgramBuilder::new("fuelmid", abi);
+        let main = b.function("main", 0, |f| {
+            let acc = f.vreg();
+            f.mov_imm(acc, 1);
+            for k in 0..24 {
+                f.add(acc, acc, k + 1);
+            }
+            f.halt_code(acc);
+        });
+        b.set_entry(main);
+        let prog = b.lower();
+        let mut exhausted = 0;
+        for max in 1..40u64 {
+            let cfg = InterpConfig {
+                max_insts: max,
+                ..InterpConfig::default()
+            };
+            match diff_run(&prog, cfg, &format!("fuelmid/{abi}/max{max}")) {
+                Ok(_) => {}
+                Err(InterpError::FuelExhausted { retired }) => {
+                    // The entry prologue retires before the first fuel
+                    // check, so the cutoff count can exceed a tiny
+                    // budget; it can never undershoot it.
+                    assert!(
+                        retired >= max,
+                        "{abi}: cutoff {retired} undershoots budget {max}"
+                    );
+                    exhausted += 1;
+                }
+                Err(other) => panic!("{abi}/max{max}: unexpected error {other:?}"),
+            }
+        }
+        assert!(
+            exhausted > 20,
+            "{abi}: the sweep must cross the block interior ({exhausted} cutoffs)"
+        );
+    }
+}
+
+/// A bounds fault raised by the *last* interior op of a block (with a
+/// terminator behind it that never runs): the fast engine must stop at
+/// the same op, with the same truncated stream and the same fault.
+#[test]
+fn superblock_fault_at_block_last_op_is_identical() {
+    let mut b = ProgramBuilder::new("lastop", Abi::Purecap);
+    let main = b.function("main", 0, |f| {
+        let p = f.vreg();
+        f.malloc(p, 16);
+        let acc = f.vreg();
+        f.mov_imm(acc, 2);
+        f.add(acc, acc, 40);
+        // Out of bounds: offset 64 in a 16-byte allocation. This is the
+        // block's final interior op; the following halt never retires.
+        let v = f.vreg();
+        f.load_int(v, p, 64, MemSize::S8);
+        f.halt_code(v);
+    });
+    b.set_entry(main);
+    let prog = b.lower();
+    let err = diff_run(&prog, InterpConfig::default(), "lastop/purecap")
+        .expect_err("the out-of-bounds load must fault");
+    match err {
+        InterpError::Fault { fault, .. } => {
+            assert_eq!(fault.kind, cheri_cap::FaultKind::BoundsViolation)
+        }
+        other => panic!("expected bounds fault, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// The engine's per-block class pre-sums, folded by execution
+    /// count at run end, must equal a per-op accumulation over the
+    /// actual emitted event stream — checked directly against the
+    /// recorded events, independent of the reference engine.
+    #[test]
+    fn superblock_class_presums_match_per_op_accumulation(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        for abi in Abi::ALL {
+            let prog = realise(&ops, abi);
+            let mut sink = Recorder::default();
+            let res = Interp::new(InterpConfig::default())
+                .run(&prog, &mut sink)
+                .expect("generated programs are valid");
+            let mut per_op = cheri_isa::ClassCounts::new();
+            for o in &sink.obs {
+                if let Obs::Retire(ev, _) = o {
+                    per_op.bump(OpClass::of(ev.pc, &ev.info));
+                }
+            }
+            prop_assert_eq!(res.classes, per_op, "{}: pre-summed fold != per-op accumulation", abi);
+            prop_assert_eq!(res.classes.total(), res.retired);
+        }
+    }
+}
+
 /// Fuel exhaustion is reported identically: same error variant, same
 /// retired count at the cutoff, same (truncated) event stream.
 #[test]

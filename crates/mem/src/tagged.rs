@@ -119,15 +119,41 @@ impl Hasher for PageHasher {
     }
 }
 
+/// Ways in the direct-mapped page-translation cache. Covers the few
+/// hot streams an interpreter touches between page changes (stack,
+/// a couple of heap arrays, globals) without a hash probe per access.
+const PAGE_CACHE_WAYS: usize = 8;
+
+/// Cache-way sentinel: no page number hashes to `u64::MAX` in practice
+/// (it would require an address at the top of the space).
+const NO_PAGE: u64 = u64::MAX;
+
 /// A sparse, paged, tagged physical memory.
 ///
 /// Pages are materialised on first touch; the number of touched pages is
 /// the process's memory footprint (the paper's "memory footprint"
 /// metric in §4.4).
-#[derive(Default)]
+///
+/// Internally pages live in a slot arena (`pages`) with a hash index
+/// from page number to slot and a small direct-mapped cache in front:
+/// the hot path of every scalar access is a one-way tag compare plus a
+/// vector index, with the hash probe paid only on cache misses.
 pub struct TaggedMemory {
-    pages: HashMap<u64, Page, BuildHasherDefault<PageHasher>>,
+    pages: Vec<Page>,
+    index: HashMap<u64, u32, BuildHasherDefault<PageHasher>>,
+    cache: [(u64, u32); PAGE_CACHE_WAYS],
     stats: MemStats,
+}
+
+impl Default for TaggedMemory {
+    fn default() -> TaggedMemory {
+        TaggedMemory {
+            pages: Vec::new(),
+            index: HashMap::default(),
+            cache: [(NO_PAGE, 0); PAGE_CACHE_WAYS],
+            stats: MemStats::default(),
+        }
+    }
 }
 
 impl TaggedMemory {
@@ -151,8 +177,27 @@ impl TaggedMemory {
         self.pages_touched() * PAGE_SIZE
     }
 
+    #[inline]
     fn page_mut(&mut self, page_no: u64) -> &mut Page {
-        self.pages.entry(page_no).or_insert_with(Page::new)
+        let way = (page_no as usize) & (PAGE_CACHE_WAYS - 1);
+        let (tag, slot) = self.cache[way];
+        if tag == page_no {
+            return &mut self.pages[slot as usize];
+        }
+        self.page_mut_miss(page_no, way)
+    }
+
+    fn page_mut_miss(&mut self, page_no: u64, way: usize) -> &mut Page {
+        let slot = match self.index.entry(page_no) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let s = self.pages.len() as u32;
+                self.pages.push(Page::new());
+                *e.insert(s)
+            }
+        };
+        self.cache[way] = (page_no, slot);
+        &mut self.pages[slot as usize]
     }
 
     fn end_addr(addr: u64, len: u64) -> Result<u64, MemError> {
@@ -307,7 +352,7 @@ impl TaggedMemory {
         use cheri_cap::Capability;
         let mut revoked = 0;
         let mut scanned = 0;
-        for page in self.pages.values_mut() {
+        for page in &mut self.pages {
             for w in 0..TAG_WORDS {
                 let mut bits = page.tags[w];
                 while bits != 0 {
@@ -339,7 +384,7 @@ impl TaggedMemory {
         let lo_page = lo >> PAGE_SHIFT;
         let hi_page = hi.saturating_add(PAGE_SIZE - 1) >> PAGE_SHIFT;
         let mut pages: Vec<u64> = self
-            .pages
+            .index
             .keys()
             .copied()
             .filter(|p| *p >= lo_page && *p < hi_page)
@@ -354,7 +399,7 @@ impl TaggedMemory {
     pub fn tagged_granules_in(&self, lo: u64, hi: u64) -> Vec<u64> {
         let mut out = Vec::new();
         for page_base in self.touched_pages_in(lo, hi) {
-            let page = &self.pages[&(page_base >> PAGE_SHIFT)];
+            let page = &self.pages[self.index[&(page_base >> PAGE_SHIFT)] as usize];
             for w in 0..TAG_WORDS {
                 let mut bits = page.tags[w];
                 while bits != 0 {
@@ -376,7 +421,7 @@ impl TaggedMemory {
     /// `None` for an untouched page.
     pub fn peek_cap(&self, addr: u64) -> Option<(CompressedCap, bool)> {
         let base = addr & !(CAP_GRANULE - 1);
-        let page = self.pages.get(&(base >> PAGE_SHIFT))?;
+        let page = &self.pages[*self.index.get(&(base >> PAGE_SHIFT))? as usize];
         let in_page = (base & (PAGE_SIZE - 1)) as usize;
         let mut bytes = [0u8; 16];
         bytes.copy_from_slice(&page.data[in_page..in_page + 16]);
@@ -391,12 +436,17 @@ impl TaggedMemory {
     pub fn clear_tag(&mut self, addr: u64) -> bool {
         let page_no = addr >> PAGE_SHIFT;
         let gi = ((addr & (PAGE_SIZE - 1)) / CAP_GRANULE) as usize;
-        match self.pages.get_mut(&page_no) {
-            Some(page) if page.tag(gi) => {
-                page.set_tag(gi, false);
-                true
+        match self.index.get(&page_no) {
+            Some(&slot) => {
+                let page = &mut self.pages[slot as usize];
+                if page.tag(gi) {
+                    page.set_tag(gi, false);
+                    true
+                } else {
+                    false
+                }
             }
-            _ => false,
+            None => false,
         }
     }
 

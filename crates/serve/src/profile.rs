@@ -244,6 +244,54 @@ mod tests {
         assert!(one.iter().any(|p| p.allocs > 0));
     }
 
+    /// The pooled-`RunState` contract the profiler leans on: repeated
+    /// shape×ABI profiling on one thread is byte-identical across
+    /// passes (phase A is a pure function of its inputs, warm pool or
+    /// cold), and once the fast engine's thread-local arena pool is
+    /// warm every profiled run reuses an arena instead of allocating.
+    #[test]
+    fn repeat_profiling_is_byte_identical_and_reuses_run_arenas() {
+        let shapes = select(&["xz_557", "alloc_stress"]);
+        let cache = ProgramCache::new();
+        let pass = |cache: &ProgramCache| -> Vec<ShapeProfile> {
+            let mut rows = Vec::new();
+            for abi in [Abi::Hybrid, Abi::Purecap] {
+                for shape in &shapes {
+                    rows.push(profile_one(platform(), shape, abi, cache, None));
+                }
+            }
+            rows
+        };
+        let before = cheri_isa::run_arena_stats();
+        let first = pass(&cache);
+        let mid = cheri_isa::run_arena_stats();
+        let second = pass(&cache);
+        let after = cheri_isa::run_arena_stats();
+
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            "repeat profiling over a warm arena pool must be byte-identical"
+        );
+        // Every profiled cell is one fast-engine run.
+        let acq_cold = mid.acquires - before.acquires;
+        assert_eq!(acq_cold, (shapes.len() * 2) as u64);
+        // The single profiling thread releases each arena before the
+        // next run acquires, so a cold pool allocates at most once.
+        assert!(
+            mid.reuses - before.reuses >= acq_cold - 1,
+            "cold pass reused {} of {} acquires",
+            mid.reuses - before.reuses,
+            acq_cold
+        );
+        // Warm pool: reuse one-for-one, zero fresh allocations.
+        assert_eq!(
+            after.acquires - mid.acquires,
+            after.reuses - mid.reuses,
+            "warm pass must serve every run from the pool"
+        );
+    }
+
     #[test]
     fn hybrid_faults_never_trap() {
         let shapes = select(&["xz_557"]);

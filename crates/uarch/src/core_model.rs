@@ -539,6 +539,11 @@ impl TimingCore {
 }
 
 impl EventSink for TimingCore {
+    /// The timing core opts into superblock-batched delivery: the fast
+    /// engine buffers a block's interior events and hands them over in
+    /// one call, amortising the sink hop over the block.
+    const WANTS_BLOCK_EVENTS: bool = true;
+
     fn retire(&mut self, ev: RetiredEvent) {
         let opclass = OpClass::of(ev.pc, &ev.info);
         self.retire_with_class(ev, opclass);
@@ -547,6 +552,16 @@ impl EventSink for TimingCore {
     #[inline]
     fn retire_classified(&mut self, ev: RetiredEvent, class: OpClass) {
         self.retire_with_class(ev, class);
+    }
+
+    /// Batched delivery walks the block's events through the *same*
+    /// per-event retire path in the same order — `UarchStats` is
+    /// bit-identical whichever delivery mode the engine picks (locked
+    /// by the `differential_timing` harness).
+    fn retire_block_classified(&mut self, evs: &[(RetiredEvent, OpClass)]) {
+        for &(ev, class) in evs {
+            self.retire_with_class(ev, class);
+        }
     }
 }
 
